@@ -1,0 +1,366 @@
+(* The dip command-line tool.
+
+   Subcommands:
+     dip catalog                      list the FN operation catalog (Table 1)
+     dip inspect -p <protocol>        build a packet and dump header + hex
+     dip sizes                        header overhead per protocol (Table 2)
+     dip demo -p <protocol> -n <N>    run an N-router chain in the simulator
+     dip estimate -p <protocol>       PISA cost-model estimate per hop
+
+   Everything here drives the same public API the examples use. *)
+
+open Cmdliner
+open Dip_core
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Ipaddr = Dip_tables.Ipaddr
+module Name = Dip_tables.Name
+
+let registry = Ops.default_registry ()
+let v4 = Ipaddr.V4.of_string
+let v6 = Ipaddr.V6.of_string
+
+type proto = Dip32 | Dip128 | Ndn | Opt | Ndn_opt | Xia | Epic
+
+let proto_conv =
+  let parse = function
+    | "dip32" | "ipv4" -> Ok Dip32
+    | "dip128" | "ipv6" -> Ok Dip128
+    | "ndn" -> Ok Ndn
+    | "opt" -> Ok Opt
+    | "ndn+opt" | "ndnopt" -> Ok Ndn_opt
+    | "xia" -> Ok Xia
+    | "epic" -> Ok Epic
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with
+      | Dip32 -> "dip32"
+      | Dip128 -> "dip128"
+      | Ndn -> "ndn"
+      | Opt -> "opt"
+      | Ndn_opt -> "ndn+opt"
+      | Xia -> "xia"
+      | Epic -> "epic")
+  in
+  Arg.conv (parse, print)
+
+let proto_arg =
+  Arg.(
+    required
+    & opt (some proto_conv) None
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"Protocol to realize: dip32, dip128, ndn, opt, ndn+opt, xia or epic.")
+
+let sample_packet ?(hops = 1) proto =
+  let dest_key = String.make 16 'k' in
+  let name = Name.of_string "/hotnets.org/dip" in
+  match proto with
+  | Dip32 ->
+      Realize.ipv4 ~src:(v4 "192.0.2.7") ~dst:(v4 "10.9.0.42") ~payload:"demo" ()
+  | Dip128 ->
+      Realize.ipv6 ~src:(v6 "2001:db8::1") ~dst:(v6 "2001:db8::42")
+        ~payload:"demo" ()
+  | Ndn -> Realize.ndn_interest ~name ~payload:"" ()
+  | Opt ->
+      (* Composed with DIP-32 forwarding so routers can move it: the
+         OPT region is followed by dst/src addresses in the
+         locations. *)
+      let opt_bits = Dip_opt.Header.size_bits ~hops in
+      let region = Bitbuf.create ((opt_bits / 8) + 8) in
+      Dip_opt.Protocol.source_init region ~base:0 ~hops ~session_id:0xD1AL
+        ~timestamp:1l ~dest_key ~payload:"demo";
+      Bitbuf.blit
+        ~src:
+          (Bitbuf.of_string
+             (Ipaddr.V4.to_wire (v4 "10.9.0.42")
+             ^ Ipaddr.V4.to_wire (v4 "192.0.2.7")))
+        ~src_off:0 ~dst:region ~dst_off:(opt_bits / 8) ~len:8;
+      Packet.build
+        ~fns:
+          [
+            Fn.v ~loc:128 ~len:128 Opkey.F_parm;
+            Fn.v ~loc:0 ~len:416 Opkey.F_mac;
+            Fn.v ~loc:288 ~len:128 Opkey.F_mark;
+            Fn.v ~tag:Fn.Host ~loc:0 ~len:opt_bits Opkey.F_ver;
+            Fn.v ~loc:opt_bits ~len:32 Opkey.F_32_match;
+            Fn.v ~loc:(opt_bits + 32) ~len:32 Opkey.F_source;
+          ]
+        ~locations:(Bitbuf.to_string region) ~payload:"demo" ()
+  | Ndn_opt ->
+      Realize.ndn_opt_data ~hops ~session_id:0xD1AL ~timestamp:1l ~dest_key
+        ~name ~content:"demo" ()
+  | Xia ->
+      let open Dip_xia in
+      let dag =
+        Dag.fallback
+          ~intent:(Xid.of_name Xid.SID "svc")
+          ~via:[ Xid.of_name Xid.AD "as1"; Xid.of_name Xid.HID "h1" ]
+      in
+      Realize.xia ~dag ~payload:"demo" ()
+  | Epic ->
+      (* Hop keys derived from the same deterministic router secrets
+         the demo chain installs, in path order. *)
+      let hop_keys =
+        List.init hops (fun i ->
+            Dip_epic.Protocol.derive_key
+              (Dip_opt.Drkey.secret_of_string
+                 (Printf.sprintf "router-secret%03d" i))
+              ~src:0xD1Al ~timestamp:1l)
+      in
+      Realize.epic ~hops ~src_id:0xD1Al ~timestamp:1l ~hop_keys
+        ~src:(v4 "192.0.2.7") ~dst:(v4 "10.9.0.42") ~payload:"demo" ()
+
+let router_keys proto =
+  match proto with
+  | Dip32 -> [ Opkey.F_32_match; Opkey.F_source ]
+  | Dip128 -> [ Opkey.F_128_match; Opkey.F_source ]
+  | Ndn -> [ Opkey.F_fib ]
+  | Opt -> [ Opkey.F_parm; Opkey.F_mac; Opkey.F_mark ]
+  | Ndn_opt -> [ Opkey.F_pit; Opkey.F_parm; Opkey.F_mac; Opkey.F_mark ]
+  | Xia -> [ Opkey.F_dag; Opkey.F_intent ]
+  | Epic -> [ Opkey.F_hvf; Opkey.F_32_match; Opkey.F_source ]
+
+(* --- catalog --- *)
+
+let catalog () =
+  let t =
+    Dip_stdext.Tabular.create
+      ~aligns:[ Dip_stdext.Tabular.Right; Dip_stdext.Tabular.Left;
+                Dip_stdext.Tabular.Left; Dip_stdext.Tabular.Left ]
+      [ "key"; "notation"; "operation"; "scope" ]
+  in
+  List.iter
+    (fun k ->
+      Dip_stdext.Tabular.add_row t
+        [
+          string_of_int (Opkey.to_int k);
+          Opkey.name k;
+          Opkey.description k;
+          (if Engine.mandatory k then "all on-path ASes" else "per-AS");
+        ])
+    Opkey.all;
+  Dip_stdext.Tabular.print t;
+  0
+
+(* --- inspect --- *)
+
+let inspect proto hops =
+  let pkt = sample_packet ~hops proto in
+  (match Packet.parse pkt with
+  | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+  | Ok view ->
+      Format.printf "%a@." Header.pp view.Packet.header;
+      Array.iteri
+        (fun i fn ->
+          Format.printf "  FN %d: %a  %s@." (i + 1) Fn.pp fn (Opkey.name fn.Fn.key))
+        view.Packet.fns;
+      Printf.printf "  locations: %d bytes at offset %d\n"
+        view.Packet.header.Header.fn_loc_len view.Packet.loc_base;
+      Printf.printf "  payload:   %d bytes\n\n"
+        (String.length (Packet.payload view)));
+  Format.printf "%a" Bitbuf.pp pkt;
+  0
+
+(* --- sizes --- *)
+
+let sizes () =
+  let t =
+    Dip_stdext.Tabular.create
+      ~aligns:[ Dip_stdext.Tabular.Left; Dip_stdext.Tabular.Right ]
+      [ "network function"; "total header size (B)" ]
+  in
+  List.iter
+    (fun p ->
+      Dip_stdext.Tabular.add_row t
+        [ Realize.protocol_name p; string_of_int (Realize.header_overhead p) ])
+    [
+      Realize.P_ipv6_native; Realize.P_ipv4_native; Realize.P_dip128;
+      Realize.P_dip32; Realize.P_ndn; Realize.P_opt; Realize.P_ndn_opt;
+    ];
+  Dip_stdext.Tabular.print t;
+  0
+
+(* --- demo --- *)
+
+let demo proto n =
+  if n < 1 then begin
+    Printf.eprintf "need at least one router\n";
+    exit 1
+  end;
+  let sim = Dip_netsim.Sim.create () in
+  let name = Name.of_string "/hotnets.org/dip" in
+  let mk_router i =
+    let env = Env.create ~name:(Printf.sprintf "r%d" (i + 1)) () in
+    Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+    Dip_ip.Ipv6.add_route env.Env.v6_routes
+      (Ipaddr.Prefix.of_string "2001:db8::/32") 1;
+    Dip_tables.Name_fib.insert env.Env.fib name 1;
+    Env.set_opt_identity env
+      ~secret:(Dip_opt.Drkey.secret_of_string (Printf.sprintf "router-secret%03d" i))
+      ~hop:(i + 1);
+    Dip_xia.Router.add_route env.Env.xia (Dip_xia.Xid.of_name Dip_xia.Xid.AD "as1") 1;
+    env
+  in
+  let sink_consumed = ref 0 in
+  let sink _sim ~now:_ ~ingress:_ _pkt =
+    incr sink_consumed;
+    [ Dip_netsim.Sim.Consume ]
+  in
+  let routers = List.init n mk_router in
+  (* OPT alone carries no forwarding FN (the paper pairs it with a
+     path-aware substrate); the demo composes it with DIP-32
+     forwarding. NDN+OPT data packets follow PIT state left by a
+     previous interest, which the demo pre-installs. *)
+  (match proto with
+  | Ndn_opt ->
+      List.iter
+        (fun env ->
+          ignore
+            (Dip_tables.Pit.insert env.Env.pit
+               ~key:(Name.hash32 name) ~port:1 ~now:0.0 ~lifetime:1e9))
+        routers
+  | Dip32 | Dip128 | Ndn | Opt | Xia | Epic -> ());
+  let ids =
+    List.map
+      (fun env ->
+        Dip_netsim.Sim.add_node sim ~name:env.Env.name
+          (Engine.handler ~registry env))
+      routers
+  in
+  let sink_id = Dip_netsim.Sim.add_node sim ~name:"sink" sink in
+  let rec wire = function
+    | a :: (b :: _ as rest) ->
+        Dip_netsim.Sim.connect sim (a, 1) (b, 0);
+        wire rest
+    | [ last ] -> Dip_netsim.Sim.connect sim (last, 1) (sink_id, 0)
+    | [] -> ()
+  in
+  wire ids;
+  (* EPIC hop indices follow the chain: router i is hop i+1, which
+     matches how mk_router assigns opt_hop. *)
+  let pkt = sample_packet ~hops:n proto in
+  Dip_netsim.Sim.inject sim ~at:0.0 ~node:(List.hd ids) ~port:0 pkt;
+  Dip_netsim.Sim.run sim;
+  Printf.printf "chain of %d DIP router(s): %d packet(s) reached the sink\n" n
+    !sink_consumed;
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
+    (Dip_netsim.Stats.Counters.to_list (Dip_netsim.Sim.counters sim));
+  0
+
+(* --- estimate --- *)
+
+let estimate proto parallel =
+  let keys = router_keys proto in
+  let pkt = sample_packet proto in
+  let header_bytes =
+    match Packet.header_size pkt with Ok n -> n | Error _ -> 0
+  in
+  List.iter
+    (fun (label, alg) ->
+      let e =
+        Dip_pisa.Cost.estimate Dip_pisa.Cost.tofino_like ~alg ~parallel
+          ~header_bytes keys
+      in
+      Printf.printf "%-8s passes=%d stages=%d time=%.0f ns\n" label
+        e.Dip_pisa.Cost.passes e.Dip_pisa.Cost.stages_used e.Dip_pisa.Cost.time_ns)
+    [ ("2EM:", Dip_opt.Protocol.EM2); ("AES:", Dip_opt.Protocol.AES) ];
+  0
+
+(* --- control: runtime FN management demo --- *)
+
+let control () =
+  let controller_key = Dip_crypto.Prf.key_of_string "controller-key-0" in
+  let master = Ops.default_registry () in
+  let live = Registry.restrict master [ Opkey.F_32_match; Opkey.F_source ] in
+  let env = Env.create ~name:"edge" () in
+  let state = Control.initial_state () in
+  let show () =
+    Printf.printf "  installed: %s\n"
+      (String.concat ", " (List.map Opkey.name (Registry.supported live)))
+  in
+  print_endline "router boots with the minimal IP image:";
+  show ();
+  print_endline "\noperator pushes authenticated Enable_op commands:";
+  List.iteri
+    (fun i key ->
+      let pkt =
+        Control.encode ~key:controller_key ~seq:(Int64.of_int (i + 1))
+          (Control.Enable_op key)
+      in
+      match
+        Control.apply ~key:controller_key ~state ~env ~registry:live ~master pkt
+      with
+      | Ok cmd -> Format.printf "  applied: %a@." Control.pp_command cmd
+      | Error e -> Printf.printf "  REJECTED: %s\n" e)
+    [ Opkey.F_fib; Opkey.F_pit; Opkey.F_parm; Opkey.F_mac; Opkey.F_mark ];
+  show ();
+  print_endline "\na replayed command is refused:";
+  let replay =
+    Control.encode ~key:controller_key ~seq:1L (Control.Enable_op Opkey.F_ver)
+  in
+  (match
+     Control.apply ~key:controller_key ~state ~env ~registry:live ~master replay
+   with
+  | Error e -> Printf.printf "  %s\n" e
+  | Ok _ -> print_endline "  UNEXPECTEDLY ACCEPTED");
+  print_endline "\nand a forged command (wrong controller key) is refused:";
+  let forged =
+    Control.encode
+      ~key:(Dip_crypto.Prf.key_of_string "not-the-operator")
+      ~seq:99L Control.Disable_pass
+  in
+  (match
+     Control.apply ~key:controller_key ~state ~env ~registry:live ~master forged
+   with
+  | Error e -> Printf.printf "  %s\n" e
+  | Ok _ -> print_endline "  UNEXPECTEDLY ACCEPTED");
+  0
+
+(* --- cmdliner wiring --- *)
+
+let hops_arg =
+  Arg.(value & opt int 1 & info [ "hops" ] ~docv:"N" ~doc:"OPT path length.")
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n"; "routers" ] ~docv:"N" ~doc:"Chain length.")
+
+let parallel_arg =
+  Arg.(value & flag & info [ "parallel" ] ~doc:"Set the \\S2.2 parallel flag.")
+
+let catalog_cmd =
+  Cmd.v (Cmd.info "catalog" ~doc:"List the field-operation catalog (Table 1).")
+    Term.(const catalog $ const ())
+
+let inspect_cmd =
+  Cmd.v (Cmd.info "inspect" ~doc:"Build a protocol's DIP packet and dump it.")
+    Term.(const inspect $ proto_arg $ hops_arg)
+
+let sizes_cmd =
+  Cmd.v (Cmd.info "sizes" ~doc:"Header overhead per protocol (Table 2).")
+    Term.(const sizes $ const ())
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Run a router-chain simulation for a protocol.")
+    Term.(const demo $ proto_arg $ n_arg)
+
+let control_cmd =
+  Cmd.v
+    (Cmd.info "control"
+       ~doc:"Demonstrate runtime FN upgrades via the control plane.")
+    Term.(const control $ const ())
+
+let estimate_cmd =
+  Cmd.v (Cmd.info "estimate" ~doc:"PISA cost-model estimate for one hop.")
+    Term.(const estimate $ proto_arg $ parallel_arg)
+
+let () =
+  let doc = "DIP: unified L3 protocols from shared field operations" in
+  let info = Cmd.info "dip" ~version:"0.1.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; estimate_cmd; control_cmd ]))

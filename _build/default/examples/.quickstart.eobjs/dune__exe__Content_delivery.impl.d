@@ -1,0 +1,1 @@
+examples/content_delivery.ml: Array Dip_bitbuf Dip_core Dip_netsim Dip_tables Engine Env Hashtbl Int64 List Ops Packet Printf Realize

@@ -1,0 +1,1 @@
+examples/content_delivery.mli:

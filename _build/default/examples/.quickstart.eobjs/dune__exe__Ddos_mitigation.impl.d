@@ -1,0 +1,1 @@
+examples/ddos_mitigation.ml: Dip_core Dip_crypto Dip_ip Dip_netfence Dip_netsim Dip_tables Engine Env Hashtbl Ops Option Packet Printf Realize String

@@ -1,0 +1,1 @@
+examples/incremental_deployment.ml: Bootstrap Compat Dip_bitbuf Dip_core Dip_ip Dip_netsim Dip_tables Engine Env Fn List Opkey Ops Packet Printf Realize Registry Result String

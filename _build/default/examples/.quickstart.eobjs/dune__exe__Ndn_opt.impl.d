@@ -1,0 +1,1 @@
+examples/ndn_opt.ml: Dip_core Dip_netsim Dip_opt Dip_stdext Dip_tables Engine Env List Ops Packet Printf Realize Result String

@@ -1,0 +1,1 @@
+examples/ndn_opt.mli:

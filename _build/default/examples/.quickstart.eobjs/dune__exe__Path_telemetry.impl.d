@@ -1,0 +1,1 @@
+examples/path_telemetry.ml: Dip_core Dip_ip Dip_netsim Dip_tables Engine Env Header List Ops Packet Printf Realize String Telemetry

@@ -1,0 +1,1 @@
+examples/path_telemetry.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dip_bitbuf Dip_core Dip_ip Dip_netsim Dip_tables Engine Env Format Header List Ops Packet Printf Realize Result

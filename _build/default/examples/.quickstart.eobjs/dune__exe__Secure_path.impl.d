@@ -1,0 +1,1 @@
+examples/secure_path.ml: Dip_bitbuf Dip_core Dip_ip Dip_opt Dip_stdext Dip_tables Engine Env Fn Int32 Int64 List Opkey Ops Packet Printf Result

@@ -1,0 +1,1 @@
+examples/xia_fallback.ml: Dag Dip_core Dip_netsim Dip_xia Engine Env Format List Ops Packet Printf Realize Result Router String Xid

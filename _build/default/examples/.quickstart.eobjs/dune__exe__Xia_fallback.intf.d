@@ -1,0 +1,1 @@
+examples/xia_fallback.mli:

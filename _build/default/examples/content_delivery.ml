@@ -1,0 +1,95 @@
+(* Content delivery with DIP-realized NDN (paper §3).
+
+     dune exec examples/content_delivery.exe
+
+   A consumer requests Zipf-distributed content through a DIP router
+   whose F_FIB/F_PIT modules do the NDN work on 32-bit hashed names
+   (§4.1). The router runs with a content store (the §4.1 footnote 2
+   extension), so popular items are served from the cache. *)
+
+open Dip_core
+module Sim = Dip_netsim.Sim
+module Name = Dip_tables.Name
+module Workload = Dip_netsim.Workload
+
+let catalog_size = 200
+let requests = 2000
+
+let () =
+  let registry = Ops.default_registry () in
+  let sim = Sim.create () in
+
+  (* Router with a content store. *)
+  let renv = Env.create ~cache_capacity:64 ~name:"router" () in
+  (* Producer owns the whole catalog prefix. *)
+  Dip_tables.Name_fib.insert renv.Env.fib (Name.of_string "/content") 1;
+  (* The prototype FIB matches hashed names exactly, so announce
+     every catalog item (a real deployment would use prefixes). *)
+  for k = 1 to catalog_size do
+    Dip_tables.Name_fib.insert renv.Env.fib (Workload.catalog_name k) 1
+  done;
+
+  (* The producer answers interests with DIP data packets. *)
+  let name_of_hash = Hashtbl.create 64 in
+  for k = 1 to catalog_size do
+    let n = Workload.catalog_name k in
+    Hashtbl.replace name_of_hash (Name.hash32 n) n
+  done;
+  let producer _sim ~now:_ ~ingress pkt =
+    match Packet.parse pkt with
+    | Ok view when Array.length view.Packet.fns > 0 ->
+        let hash =
+          Int64.to_int32
+            (Dip_bitbuf.Bitbuf.get_uint view.Packet.buf
+               (Packet.locations_field view view.Packet.fns.(0)))
+        in
+        (match Hashtbl.find_opt name_of_hash hash with
+        | Some name ->
+            let data =
+              Realize.ndn_data ~name
+                ~content:("contents of " ^ Name.to_string name)
+                ()
+            in
+            [ Sim.Forward (ingress, data) ]
+        | None -> [ Sim.Drop "unknown-content" ])
+    | _ -> [ Sim.Drop "malformed" ]
+  in
+
+  let consumer_received = ref 0 in
+  let consumer _sim ~now:_ ~ingress:_ _pkt =
+    incr consumer_received;
+    [ Sim.Consume ]
+  in
+
+  let c = Sim.add_node sim ~name:"consumer" consumer in
+  let r = Sim.add_node sim ~name:"router" (Engine.handler ~registry renv) in
+  let p = Sim.add_node sim ~name:"producer" producer in
+  Sim.connect sim ~latency:2e-3 (c, 0) (r, 0);
+  Sim.connect sim ~latency:8e-3 (r, 1) (p, 0);
+
+  (* Zipf-popular requests, spaced out so each interest/data exchange
+     completes before the next request for the same item (no
+     aggregation in this example). *)
+  let names = Workload.zipf_names ~seed:42L ~catalog:catalog_size ~count:requests ~skew:1.1 in
+  List.iteri
+    (fun i name ->
+      let interest = Realize.ndn_interest ~name ~payload:"" () in
+      Sim.inject sim
+        ~at:(0.05 *. float_of_int i)
+        ~node:r ~port:0 interest)
+    names;
+  Sim.run sim;
+
+  let ctrs = Sim.counters sim in
+  let get = Dip_netsim.Stats.Counters.get ctrs in
+  let responded = get "router.tx" in
+  let from_producer = get "producer.rx" in
+  Printf.printf "requests sent:        %d\n" requests;
+  Printf.printf "data received:        %d\n" !consumer_received;
+  Printf.printf "router transmissions: %d\n" responded;
+  Printf.printf "reached producer:     %d\n" from_producer;
+  Printf.printf "served from cache:    %d (%.1f%%)\n"
+    (requests - from_producer)
+    (100.0 *. float_of_int (requests - from_producer) /. float_of_int requests);
+  assert (!consumer_received = requests);
+  print_endline "\nall interests satisfied; the Zipf head came from the router's content store"

@@ -1,0 +1,1 @@
+lib/bitbuf/bitbuf.ml: Bytes Char Dip_stdext Field Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/bitbuf/bitbuf.mli: Field Format

@@ -1,0 +1,1 @@
+lib/bitbuf/field.ml: Format Int

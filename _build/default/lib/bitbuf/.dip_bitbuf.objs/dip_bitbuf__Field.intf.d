@@ -1,0 +1,1 @@
+lib/bitbuf/field.mli: Format

@@ -1,0 +1,1 @@
+lib/core/bootstrap.ml: Hashtbl List Opkey Queue Set

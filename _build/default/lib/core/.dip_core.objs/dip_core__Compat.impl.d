@@ -1,0 +1,1 @@
+lib/core/compat.ml: Dip_bitbuf Dip_ip Packet String

@@ -1,0 +1,1 @@
+lib/core/compat.mli: Dip_bitbuf Dip_tables Fn

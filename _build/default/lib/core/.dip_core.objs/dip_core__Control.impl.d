@@ -1,0 +1,1 @@
+lib/core/control.ml: Buffer Bytes Char Dip_bitbuf Dip_crypto Dip_netfence Dip_netsim Env Format Header Int64 Opkey Packet Printf Registry String

@@ -1,0 +1,1 @@
+lib/core/control.mli: Dip_bitbuf Dip_crypto Dip_netsim Env Format Opkey Registry

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Dip_bitbuf Dip_netsim Env Errors Fn Guard Header List Opkey Packet Registry

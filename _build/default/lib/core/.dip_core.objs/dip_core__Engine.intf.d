@@ -1,0 +1,1 @@
+lib/core/engine.mli: Dip_bitbuf Dip_netsim Env Opkey Registry

@@ -1,0 +1,1 @@
+lib/core/env.ml: Dip_crypto Dip_netfence Dip_netsim Dip_opt Dip_tables Dip_xia Guard Hashtbl

@@ -1,0 +1,1 @@
+lib/core/errors.ml: Char Dip_bitbuf Header Opkey Packet String

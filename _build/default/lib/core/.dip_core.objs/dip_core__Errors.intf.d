@@ -1,0 +1,1 @@
+lib/core/errors.mli: Dip_bitbuf Opkey

@@ -1,0 +1,1 @@
+lib/core/fn.ml: Dip_bitbuf Format Opkey Printf

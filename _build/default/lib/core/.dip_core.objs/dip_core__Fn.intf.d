@@ -1,0 +1,1 @@
+lib/core/fn.mli: Dip_bitbuf Format Opkey

@@ -1,0 +1,1 @@
+lib/core/header.ml: Dip_bitbuf Fn Format

@@ -1,0 +1,1 @@
+lib/core/header.mli: Dip_bitbuf Format

@@ -1,0 +1,1 @@
+lib/core/host.ml: Bootstrap Dip_epic Dip_opt Engine Env Hashtbl List Opkey Printf Realize

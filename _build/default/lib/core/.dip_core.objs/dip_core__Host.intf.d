@@ -1,0 +1,1 @@
+lib/core/host.mli: Bootstrap Dip_bitbuf Dip_crypto Dip_opt Dip_tables Dip_xia Engine Env Opkey Registry

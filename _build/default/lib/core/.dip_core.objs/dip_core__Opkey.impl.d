@@ -1,0 +1,1 @@
+lib/core/opkey.ml: Format Int List

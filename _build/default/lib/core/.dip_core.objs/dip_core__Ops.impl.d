@@ -1,0 +1,1 @@
+lib/core/ops.ml: Bytes Dip_bitbuf Dip_crypto Dip_epic Dip_netfence Dip_opt Dip_tables Dip_xia Env Fn Format Guard Hashtbl Header Int32 Int64 List Opkey Packet Registry String Telemetry

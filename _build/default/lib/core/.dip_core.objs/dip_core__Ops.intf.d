@@ -1,0 +1,1 @@
+lib/core/ops.mli: Dip_bitbuf Dip_crypto Fn Packet Registry

@@ -1,0 +1,1 @@
+lib/core/packet.ml: Array Dip_bitbuf Fn Format Header List Printf String

@@ -1,0 +1,1 @@
+lib/core/packet.mli: Dip_bitbuf Fn Header

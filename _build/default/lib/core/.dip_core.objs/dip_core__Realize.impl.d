@@ -1,0 +1,1 @@
+lib/core/realize.ml: Bytes Dip_bitbuf Dip_epic Dip_ip Dip_netfence Dip_opt Dip_tables Dip_xia Fn List Opkey Ops Packet String Telemetry

@@ -1,0 +1,1 @@
+lib/core/realize.mli: Dip_bitbuf Dip_crypto Dip_opt Dip_tables Dip_xia

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Dip_bitbuf Dip_opt Env Fn Guard Hashtbl List Opkey Packet

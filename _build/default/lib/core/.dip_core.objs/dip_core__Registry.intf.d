@@ -1,0 +1,1 @@
+lib/core/registry.mli: Dip_bitbuf Dip_opt Env Fn Guard Opkey Packet

@@ -1,0 +1,1 @@
+lib/core/telemetry.ml: Dip_bitbuf Int64 List

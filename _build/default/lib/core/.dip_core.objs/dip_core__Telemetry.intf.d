@@ -1,0 +1,1 @@
+lib/core/telemetry.mli: Dip_bitbuf

@@ -1,0 +1,76 @@
+module Key_set = Set.Make (Opkey)
+
+type t = {
+  support : (int, Key_set.t) Hashtbl.t;
+  adj : (int, int list ref) Hashtbl.t;
+}
+
+let create () = { support = Hashtbl.create 16; adj = Hashtbl.create 16 }
+
+let add_as t as_id keys =
+  Hashtbl.replace t.support as_id (Key_set.of_list keys);
+  if not (Hashtbl.mem t.adj as_id) then Hashtbl.replace t.adj as_id (ref [])
+
+let check_known t as_id =
+  if not (Hashtbl.mem t.support as_id) then raise Not_found
+
+let link t a b =
+  check_known t a;
+  check_known t b;
+  let add x y =
+    let l = Hashtbl.find t.adj x in
+    if not (List.mem y !l) then l := y :: !l
+  in
+  add a b;
+  add b a
+
+let supported t as_id =
+  check_known t as_id;
+  Key_set.elements (Hashtbl.find t.support as_id)
+
+let local_offer = supported
+
+let bfs_path t ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let pred = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add src q;
+    Hashtbl.replace pred src src;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let u = Queue.take q in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem pred v) then begin
+            Hashtbl.replace pred v u;
+            if v = dst then found := true else Queue.add v q
+          end)
+        !(Hashtbl.find t.adj u)
+    done;
+    if not !found then None
+    else begin
+      let rec back v acc = if v = src then src :: acc else back (Hashtbl.find pred v) (v :: acc) in
+      Some (back dst [])
+    end
+  end
+
+let path_supported t ~src ~dst =
+  check_known t src;
+  check_known t dst;
+  match bfs_path t ~src ~dst with
+  | None -> None
+  | Some path ->
+      let inter =
+        List.fold_left
+          (fun acc as_id -> Key_set.inter acc (Hashtbl.find t.support as_id))
+          (Hashtbl.find t.support src)
+          path
+      in
+      Some (Key_set.elements inter)
+
+let plan ~required ~offered =
+  let offered = Key_set.of_list offered in
+  match List.filter (fun k -> not (Key_set.mem k offered)) required with
+  | [] -> Ok ()
+  | missing -> Error missing

@@ -1,0 +1,166 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+
+type verdict =
+  | Forwarded of Env.port list
+  | Delivered
+  | Responded of Bitbuf.t
+  | Quiet
+  | Dropped of string
+  | Unsupported of Opkey.t
+
+type info = {
+  ops_run : int;
+  ops_skipped : int;
+  state_bytes : int;
+  parallel_depth : int;
+}
+
+let mandatory = function
+  | Opkey.F_parm | Opkey.F_mac | Opkey.F_mark | Opkey.F_hvf -> true
+  | Opkey.F_32_match | Opkey.F_128_match | Opkey.F_source | Opkey.F_fib
+  | Opkey.F_pit | Opkey.F_ver | Opkey.F_dag | Opkey.F_intent | Opkey.F_pass
+  | Opkey.F_cc | Opkey.F_tel ->
+      false
+
+(* Dependency leveling for the §2.2 parallel flag: two FNs conflict
+   when their target fields overlap (a conservative approximation of
+   read/write dependences). The critical-path length is what a
+   modular-parallel dataplane (NFP-style, refs [31,32]) would pay. *)
+let critical_path fns =
+  let n = Array.length fns in
+  let level = Array.make n 1 in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      if Field.overlaps fns.(i).Fn.field fns.(j).Fn.field then
+        level.(i) <- max level.(i) (level.(j) + 1)
+    done
+  done;
+  Array.fold_left max (if n = 0 then 0 else 1) level
+
+let run ~registry ~side env ~now ~ingress buf =
+  match Packet.parse buf with
+  | Error e ->
+      ( Dropped ("parse: " ^ e),
+        { ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 } )
+  | Ok view ->
+      let budget = Guard.start env.Env.guard in
+      let scratch = { Registry.opt_key = None } in
+      let ops_run = ref 0 and ops_skipped = ref 0 in
+      let route = ref None in
+      let finish verdict =
+        let depth =
+          if view.Packet.header.Header.parallel then critical_path view.Packet.fns
+          else !ops_run
+        in
+        ( verdict,
+          {
+            ops_run = !ops_run;
+            ops_skipped = !ops_skipped;
+            state_bytes = Guard.state_used budget;
+            parallel_depth = depth;
+          } )
+      in
+      let nfns = Array.length view.Packet.fns in
+      let rec loop i =
+        if i = nfns then
+          (* end processing: act on the accumulated decision *)
+          match (!route, side) with
+          | Some (`Ports ports), _ ->
+              if Header.decrement_hop_limit buf then finish (Forwarded ports)
+              else finish (Dropped "hop-limit-expired")
+          | Some `Local, _ -> finish Delivered
+          | None, `Host -> finish Delivered
+          | None, `Router -> finish (Dropped "no-forwarding-decision")
+        else
+          let fn = view.Packet.fns.(i) in
+          let skip_tag =
+            match (side, fn.Fn.tag) with
+            | `Router, Fn.Host -> true (* Algorithm 1 line 5 *)
+            | `Host, Fn.Router -> true
+            | (`Router | `Host), _ -> false
+          in
+          if skip_tag then begin
+            incr ops_skipped;
+            loop (i + 1)
+          end
+          else
+            match Registry.find registry fn.Fn.key with
+            | None ->
+                if mandatory fn.Fn.key then finish (Unsupported fn.Fn.key)
+                else begin
+                  (* "Otherwise, the router can simply ignore this
+                     FN" (§2.4). *)
+                  incr ops_skipped;
+                  loop (i + 1)
+                end
+            | Some impl ->
+                if not (Guard.charge_op budget) then
+                  finish (Dropped "guard-ops-exhausted")
+                else begin
+                  incr ops_run;
+                  let ctx =
+                    {
+                      Registry.env;
+                      view;
+                      fn;
+                      target = Packet.locations_field view fn;
+                      ingress;
+                      now;
+                      scratch;
+                      budget;
+                    }
+                  in
+                  match impl ctx with
+                  | Registry.Continue -> loop (i + 1)
+                  | Registry.Set_route ports ->
+                      if !route = None then route := Some (`Ports ports);
+                      loop (i + 1)
+                  | Registry.Deliver_local ->
+                      if !route = None then route := Some `Local;
+                      loop (i + 1)
+                  | Registry.Respond pkt -> finish (Responded pkt)
+                  | Registry.Silent -> finish Quiet
+                  | Registry.Abort reason -> finish (Dropped reason)
+                end
+      in
+      loop 0
+
+let process ~registry env ~now ~ingress buf =
+  run ~registry ~side:`Router env ~now ~ingress buf
+
+let host_process ~registry env ~now ~ingress buf =
+  run ~registry ~side:`Host env ~now ~ingress buf
+
+let count env key = Dip_netsim.Stats.Counters.incr env.Env.counters key
+
+let actions_of_verdict env ~ingress buf = function
+  | Forwarded ports ->
+      count env "dip.forwarded";
+      List.map (fun p -> Dip_netsim.Sim.Forward (p, buf)) ports
+  | Delivered ->
+      count env "dip.delivered";
+      [ Dip_netsim.Sim.Consume ]
+  | Responded reply ->
+      count env "dip.responded";
+      [ Dip_netsim.Sim.Forward (ingress, reply) ]
+  | Quiet ->
+      count env "dip.quiet";
+      []
+  | Dropped reason ->
+      count env ("dip.drop." ^ reason);
+      [ Dip_netsim.Sim.Drop reason ]
+  | Unsupported key ->
+      count env ("dip.unsupported." ^ Opkey.name key);
+      [
+        Dip_netsim.Sim.Forward (ingress, Errors.fn_unsupported ~key ~rejected:buf);
+        Dip_netsim.Sim.Drop ("unsupported-" ^ Opkey.name key);
+      ]
+
+let handler ~registry env _sim ~now ~ingress packet =
+  let verdict, _info = process ~registry env ~now ~ingress packet in
+  actions_of_verdict env ~ingress packet verdict
+
+let host_handler ~registry env _sim ~now ~ingress packet =
+  let verdict, _info = host_process ~registry env ~now ~ingress packet in
+  actions_of_verdict env ~ingress packet verdict

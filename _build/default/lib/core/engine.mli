@@ -1,0 +1,76 @@
+(** The DIP packet processing engine — Algorithm 1 of the paper.
+
+    {v
+    parse basic DIP header (FN_Num and FN_LocLen);
+    parse FN[] according to FN_Num;
+    extract FN_Loc according to FN_LocLen;
+    for i ← 1 to FN_Num do
+      if FN[i].tag == 1 then continue        (skip host operation)
+      else
+        target_field ← FN_Loc(FN[i].FieldLoc, FN[i].FieldLen);
+        switch FN[i].key do … dispatch to the operation module
+    end processing
+    v}
+
+    {!process} is the router-side loop (skips host-tagged FNs,
+    decrements the hop limit when forwarding); {!host_process} is the
+    receiving host's dual (runs only host-tagged FNs, e.g.
+    {i F_ver}). Both enforce the §2.4 guard budget and the §2.4
+    heterogeneous-deployment rule: an uninstalled operation key is
+    skipped if ignorable and generates an FN-unsupported notification
+    if it requires all-path participation. *)
+
+type verdict =
+  | Forwarded of Env.port list
+  | Delivered
+  | Responded of Dip_bitbuf.Bitbuf.t
+      (** a reply (e.g. cached data) to send out of the ingress port *)
+  | Quiet  (** processed but nothing to transmit (aggregation) *)
+  | Dropped of string
+  | Unsupported of Opkey.t
+      (** a mandatory FN this node does not support; the caller
+          should return {!Errors.fn_unsupported} to the source *)
+
+(** Execution accounting, consumed by the PISA cost model and the
+    parallelism ablation. *)
+type info = {
+  ops_run : int;  (** router FNs actually executed *)
+  ops_skipped : int;  (** host-tagged or unsupported-but-ignorable *)
+  state_bytes : int;  (** §2.4 state consumed (PIT inserts etc.) *)
+  parallel_depth : int;
+      (** length of the FN dependency critical path: with the §2.2
+          parallel bit set, a modular-parallel dataplane finishes in
+          this many sequential steps instead of [ops_run] *)
+}
+
+val mandatory : Opkey.t -> bool
+(** Keys that "require all on-path ASes to participate" (§2.4): the
+    OPT path-authentication operations. *)
+
+val process :
+  registry:Registry.t ->
+  Env.t ->
+  now:float ->
+  ingress:Env.port ->
+  Dip_bitbuf.Bitbuf.t ->
+  verdict * info
+(** Router-side Algorithm 1. Mutates the packet in place (tag
+    updates, pointer advances, hop limit). *)
+
+val host_process :
+  registry:Registry.t ->
+  Env.t ->
+  now:float ->
+  ingress:Env.port ->
+  Dip_bitbuf.Bitbuf.t ->
+  verdict * info
+(** Host-side: executes only host-tagged FNs; a packet with no host
+    FNs is simply delivered. *)
+
+val handler : registry:Registry.t -> Env.t -> Dip_netsim.Sim.handler
+(** A DIP router as a simulator node. Unsupported-FN verdicts send
+    an {!Errors.fn_unsupported} notification back out the ingress
+    port. *)
+
+val host_handler : registry:Registry.t -> Env.t -> Dip_netsim.Sim.handler
+(** A DIP end host as a simulator node. *)

@@ -1,0 +1,82 @@
+type port = Dip_netsim.Sim.port
+
+type t = {
+  name : string;
+  v4_routes : port Dip_tables.Lpm_trie.t;
+  v6_routes : port Dip_tables.Lpm_trie.t;
+  mutable local_v4 : Dip_tables.Ipaddr.V4.t option;
+  mutable local_v6 : Dip_tables.Ipaddr.V6.t option;
+  fib : port Dip_tables.Name_fib.t;
+  pit : int32 Dip_tables.Pit.t;
+  cache : (int32, string) Dip_tables.Lru.t option;
+  interest_lifetime : float;
+  mutable opt_secret : Dip_opt.Drkey.secret option;
+  mutable opt_hop : int;
+  opt_alg : Dip_opt.Protocol.alg;
+  opt_sessions :
+    (int64, Dip_opt.Drkey.session_key list * Dip_opt.Drkey.session_key) Hashtbl.t;
+  xia : Dip_xia.Router.t;
+  mutable pass_key : Dip_crypto.Siphash.key option;
+  mutable pass_enabled : bool;
+  mutable netfence : Dip_netfence.Policer.t option;
+  mutable node_id : int;
+  mutable queue_depth : unit -> int;
+  guard : Guard.t;
+  counters : Dip_netsim.Stats.Counters.t;
+}
+
+let create ?(cache_capacity = 0) ?(pit_capacity = 65536)
+    ?(interest_lifetime = 4.0) ?(opt_alg = Dip_opt.Protocol.EM2) ?guard ~name
+    () =
+  {
+    name;
+    v4_routes = Dip_tables.Lpm_trie.create ();
+    v6_routes = Dip_tables.Lpm_trie.create ();
+    local_v4 = None;
+    local_v6 = None;
+    fib = Dip_tables.Name_fib.create ();
+    pit = Dip_tables.Pit.create ~capacity:pit_capacity ();
+    cache =
+      (if cache_capacity > 0 then
+         Some (Dip_tables.Lru.create ~capacity:cache_capacity ())
+       else None);
+    interest_lifetime;
+    opt_secret = None;
+    opt_hop = 1;
+    opt_alg;
+    opt_sessions = Hashtbl.create 8;
+    xia = Dip_xia.Router.create ();
+    pass_key = None;
+    pass_enabled = false;
+    netfence = None;
+    node_id = 0;
+    queue_depth = (fun () -> 0);
+    guard = (match guard with Some g -> g | None -> Guard.create ());
+    counters = Dip_netsim.Stats.Counters.create ();
+  }
+
+let set_opt_identity t ~secret ~hop =
+  if hop < 1 then invalid_arg "Env.set_opt_identity: hops are 1-based";
+  t.opt_secret <- Some secret;
+  t.opt_hop <- hop
+
+let register_opt_session t ~session_id ~session_keys ~dest_key =
+  Hashtbl.replace t.opt_sessions session_id (session_keys, dest_key)
+
+let enable_pass t ~key =
+  t.pass_key <- Some key;
+  t.pass_enabled <- true
+
+let disable_pass t = t.pass_enabled <- false
+
+let set_netfence t p = t.netfence <- Some p
+
+let set_telemetry_identity t ~node_id ~queue_depth =
+  t.node_id <- node_id;
+  t.queue_depth <- queue_depth
+
+let cache_find t h =
+  match t.cache with Some c -> Dip_tables.Lru.find c h | None -> None
+
+let cache_insert t h v =
+  match t.cache with Some c -> Dip_tables.Lru.insert c h v | None -> ()

@@ -1,0 +1,94 @@
+(** Per-node environment: the state the FN operation modules operate
+    against.
+
+    A DIP node (router or host) owns the classic dataplane state —
+    IP route tables, the NDN FIB/PIT/content-store, the XIA
+    forwarding table — plus the DIP-specific state: its OPT local
+    secret and hop position, its {i F_pass} source-label key, and the
+    security-guard configuration of §2.4. The operation modules in
+    {!Ops} read and update exactly this record, which is what makes
+    the "common network function core shared by these L3 protocols"
+    concrete: every realized protocol runs against the same tables. *)
+
+type port = Dip_netsim.Sim.port
+
+type t = {
+  name : string;
+  (* IP state (F_32_match / F_128_match) *)
+  v4_routes : port Dip_tables.Lpm_trie.t;
+  v6_routes : port Dip_tables.Lpm_trie.t;
+  mutable local_v4 : Dip_tables.Ipaddr.V4.t option;
+  mutable local_v6 : Dip_tables.Ipaddr.V6.t option;
+  (* NDN state (F_FIB / F_PIT); the prototype forwards on 32-bit
+     hashed content names (§4.1), so the PIT and cache are keyed by
+     the hash. *)
+  fib : port Dip_tables.Name_fib.t;
+  pit : int32 Dip_tables.Pit.t;
+  cache : (int32, string) Dip_tables.Lru.t option;
+  interest_lifetime : float;
+  (* OPT state (F_parm / F_MAC / F_mark): the router's long-term
+     secret and which OPV slot it fills on this path. *)
+  mutable opt_secret : Dip_opt.Drkey.secret option;
+  mutable opt_hop : int;
+  opt_alg : Dip_opt.Protocol.alg;
+  (* Host-side OPT verification state (F_ver): session id →
+     (per-hop session keys, destination key). *)
+  opt_sessions : (int64, Dip_opt.Drkey.session_key list * Dip_opt.Drkey.session_key) Hashtbl.t;
+  (* XIA state (F_DAG / F_intent). *)
+  xia : Dip_xia.Router.t;
+  (* F_pass (§2.4): AS-wide source-label key; verification can be
+     enabled on the fly when an attack is detected. *)
+  mutable pass_key : Dip_crypto.Siphash.key option;
+  mutable pass_enabled : bool;
+  (* NetFence-style congestion policing (F_cc, key 13). *)
+  mutable netfence : Dip_netfence.Policer.t option;
+  (* In-band telemetry (F_tel, key 14): this node's id and a hook
+     reporting the current queue depth. *)
+  mutable node_id : int;
+  mutable queue_depth : unit -> int;
+  (* §2.4 security guard: hard limits on per-packet work/state. *)
+  guard : Guard.t;
+  counters : Dip_netsim.Stats.Counters.t;
+}
+
+val create :
+  ?cache_capacity:int ->
+  ?pit_capacity:int ->
+  ?interest_lifetime:float ->
+  ?opt_alg:Dip_opt.Protocol.alg ->
+  ?guard:Guard.t ->
+  name:string ->
+  unit ->
+  t
+(** Fresh empty environment. [cache_capacity = 0] (default) disables
+    the content store, matching the paper's prototype. *)
+
+val set_opt_identity : t -> secret:Dip_opt.Drkey.secret -> hop:int -> unit
+(** Give a router its OPT role: local secret and 1-based OPV slot. *)
+
+val register_opt_session :
+  t ->
+  session_id:int64 ->
+  session_keys:Dip_opt.Drkey.session_key list ->
+  dest_key:Dip_opt.Drkey.session_key ->
+  unit
+(** Host-side: record the keys learned during OPT key negotiation so
+    {i F_ver} can validate incoming packets. *)
+
+val enable_pass : t -> key:Dip_crypto.Siphash.key -> unit
+(** Switch {i F_pass} verification on ("can be enabled on the fly
+    upon detecting content poisoning attacks", §2.4). *)
+
+val disable_pass : t -> unit
+
+val set_netfence : t -> Dip_netfence.Policer.t -> unit
+(** Install a congestion policer (makes this node a NetFence
+    bottleneck router). *)
+
+val set_telemetry_identity : t -> node_id:int -> queue_depth:(unit -> int) -> unit
+(** Configure what {i F_tel} records at this node. *)
+
+val cache_find : t -> int32 -> string option
+val cache_insert : t -> int32 -> string -> unit
+(** Hashed-name content store access (no-ops when the cache is
+    disabled). *)

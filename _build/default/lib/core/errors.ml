@@ -1,0 +1,36 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+
+let next_header_value = 0xFE
+let echo_limit = 64
+
+type t = { key : Opkey.t; echo : string }
+
+let fn_unsupported ~key ~rejected =
+  let echo_len = min echo_limit (Bitbuf.length rejected) in
+  let echo = String.sub (Bitbuf.to_string rejected) 0 echo_len in
+  let payload = String.make 1 (Char.chr (Opkey.to_int key)) ^ echo in
+  (* A control packet carries no FNs: routers forward it by whatever
+     reverse path delivered it (our simulator sends it back out the
+     ingress port hop by hop). *)
+  Packet.build ~next_header:next_header_value ~fns:[] ~locations:""
+    ~payload ()
+
+let is_control buf =
+  match Header.decode buf with
+  | Ok h -> h.Header.next_header = next_header_value
+  | Error _ -> false
+
+let parse buf =
+  match Header.decode buf with
+  | Error e -> Error e
+  | Ok h ->
+      if h.Header.next_header <> next_header_value then Error "not a control packet"
+      else
+        let off = Header.payload_offset h in
+        let s = Bitbuf.to_string buf in
+        if String.length s <= off then Error "empty control payload"
+        else
+          match Opkey.of_int (Char.code s.[off]) with
+          | None -> Error "unknown key in notification"
+          | Some key ->
+              Ok { key; echo = String.sub s (off + 1) (String.length s - off - 1) }

@@ -1,0 +1,38 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+
+type tag = Router | Host
+type t = { field : Field.t; key : Opkey.t; tag : tag }
+
+let v ?(tag = Router) ~loc ~len key =
+  if loc < 0 || loc > 0xFFFF then invalid_arg "Fn.v: location exceeds 16 bits";
+  if len <= 0 || len > 0xFFFF then invalid_arg "Fn.v: length exceeds 16 bits";
+  { field = Field.v ~off_bits:loc ~len_bits:len; key; tag }
+
+let size = 6
+
+let encode t buf ~pos =
+  Bitbuf.set_uint16 buf pos t.field.Field.off_bits;
+  Bitbuf.set_uint16 buf (pos + 2) t.field.Field.len_bits;
+  let tag_bit = match t.tag with Host -> 0x8000 | Router -> 0 in
+  Bitbuf.set_uint16 buf (pos + 4) (tag_bit lor Opkey.to_int t.key)
+
+let decode buf ~pos =
+  if pos + size > Bitbuf.length buf then Error "truncated FN triple"
+  else
+    let loc = Bitbuf.get_uint16 buf pos in
+    let len = Bitbuf.get_uint16 buf (pos + 2) in
+    let raw_key = Bitbuf.get_uint16 buf (pos + 4) in
+    let tag = if raw_key land 0x8000 <> 0 then Host else Router in
+    if len = 0 then Error "zero-length FN field"
+    else
+      match Opkey.of_int (raw_key land 0x7FFF) with
+      | None -> Error (Printf.sprintf "unknown operation key %d" (raw_key land 0x7FFF))
+      | Some key -> Ok { field = Field.v ~off_bits:loc ~len_bits:len; key; tag }
+
+let equal a b = Field.equal a.field b.field && Opkey.equal a.key b.key && a.tag = b.tag
+
+let pp fmt t =
+  Format.fprintf fmt "(loc: %d, len: %d, key: %d%s)" t.field.Field.off_bits
+    t.field.Field.len_bits (Opkey.to_int t.key)
+    (match t.tag with Host -> ", host" | Router -> "")

@@ -1,0 +1,39 @@
+(** The Field Operation — the paper's core primitive (§2.1).
+
+    "Each FN consists of two elements: a target field and an
+    operation to be applied on the corresponding target field."
+    On the wire an FN is a fixed triple — field location, field
+    length, operation key (§2.2) — 6 bytes in this implementation:
+
+    {v field_loc(16 bits) | field_len(16 bits) | tag(1) op_key(15) v}
+
+    Locations and lengths are in {e bits}, relative to the start of
+    the packet's FN-locations region; that is what lets the paper
+    write triples like (loc: 288, len: 128, key: 8). "The highest bit
+    of the operation key field is a tag bit to indicate whether the
+    operation should be performed by the router or the host" (§2.2). *)
+
+(** Who executes the operation. Routers skip host-tagged FNs
+    (Algorithm 1 line 5) and vice versa. *)
+type tag = Router | Host
+
+type t = { field : Dip_bitbuf.Field.t; key : Opkey.t; tag : tag }
+
+val v : ?tag:tag -> loc:int -> len:int -> Opkey.t -> t
+(** [v ~loc ~len key] is the triple (loc, len, key), in bits, with
+    [tag] defaulting to [Router]. Raises [Invalid_argument] when the
+    location or length does not fit its 16-bit wire field. *)
+
+val size : int
+(** Wire size of one FN triple: 6 bytes. *)
+
+val encode : t -> Dip_bitbuf.Bitbuf.t -> pos:int -> unit
+(** Write the 6-byte triple at byte offset [pos]. *)
+
+val decode : Dip_bitbuf.Bitbuf.t -> pos:int -> (t, string) result
+(** Parse a triple; [Error] on an unknown operation key or a
+    truncated buffer. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Paper notation: [(loc: 0, len: 32, key: 4)]. *)

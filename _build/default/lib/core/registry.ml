@@ -1,0 +1,40 @@
+type outcome =
+  | Continue
+  | Set_route of Env.port list
+  | Deliver_local
+  | Respond of Dip_bitbuf.Bitbuf.t
+  | Silent
+  | Abort of string
+
+type ctx = {
+  env : Env.t;
+  view : Packet.view;
+  fn : Fn.t;
+  target : Dip_bitbuf.Field.t;
+  ingress : Env.port;
+  now : float;
+  scratch : scratch;
+  budget : Guard.budget;
+}
+
+and scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
+
+type impl = ctx -> outcome
+
+type t = (Opkey.t, impl) Hashtbl.t
+
+let empty () : t = Hashtbl.create 16
+let install t key impl = Hashtbl.replace t key impl
+let uninstall t key = Hashtbl.remove t key
+let find t key = Hashtbl.find_opt t key
+let supports t key = Hashtbl.mem t key
+
+let supported t =
+  List.filter (fun k -> supports t k) Opkey.all
+
+let restrict t keys =
+  let r = empty () in
+  List.iter
+    (fun k -> match find t k with Some impl -> install r k impl | None -> ())
+    keys;
+  r

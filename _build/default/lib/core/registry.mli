@@ -1,0 +1,61 @@
+(** The operation-module registry and the semantics shared by all
+    operation implementations.
+
+    "Runtime programmability has not yet been implemented on Barefoot
+    Tofino, so we pre-write the required operation modules on the
+    data plane and use the operation key to match these operation
+    modules" (§4.1). A registry is a node's installed set of
+    operation modules; heterogeneous deployments (§2.4) are nodes
+    with different registries. *)
+
+(** What one operation may do. Algorithm 1 executes {e all} FNs of a
+    packet, so a forwarding choice must not abort the loop — an
+    NDN+OPT interest both matches the FIB and updates MAC tags. *)
+type outcome =
+  | Continue  (** pure field manipulation; keep going *)
+  | Set_route of Env.port list
+      (** propose forwarding port(s); first proposal wins *)
+  | Deliver_local  (** propose local delivery *)
+  | Respond of Dip_bitbuf.Bitbuf.t
+      (** answer with a new packet out of the ingress port (e.g. a
+          content-store hit turning an interest into data) *)
+  | Silent  (** drop the loop without error (aggregated interest) *)
+  | Abort of string  (** security/sanity failure: drop now *)
+
+(** Everything an operation sees: Algorithm 1's [target_field]
+    resolved to an absolute bit range, plus node state and per-packet
+    scratch. *)
+type ctx = {
+  env : Env.t;
+  view : Packet.view;
+  fn : Fn.t;
+  target : Dip_bitbuf.Field.t;  (** absolute position in [view.buf] *)
+  ingress : Env.port;
+  now : float;
+  scratch : scratch;
+  budget : Guard.budget;  (** §2.4 per-packet state/ops allowance *)
+}
+
+(** Per-packet scratch shared between the FNs of one packet: F_parm
+    deposits the derived OPT key here, F_MAC/F_mark consume it. *)
+and scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
+
+type impl = ctx -> outcome
+(** One operation module. *)
+
+type t
+
+val empty : unit -> t
+val install : t -> Opkey.t -> impl -> unit
+(** Pre-write an operation module; replaces an existing one. *)
+
+val uninstall : t -> Opkey.t -> unit
+val find : t -> Opkey.t -> impl option
+val supports : t -> Opkey.t -> bool
+val supported : t -> Opkey.t list
+(** Installed keys in key order — what the §2.3 bootstrap
+    advertises. *)
+
+val restrict : t -> Opkey.t list -> t
+(** A copy supporting only the listed keys (heterogeneous-AS
+    configurations, §2.4). *)

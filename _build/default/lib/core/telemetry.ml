@@ -1,0 +1,49 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+
+type record = { node_id : int; timestamp : int32; queue_depth : int }
+
+let record_bytes = 8
+
+let region_size ~max_hops =
+  if max_hops < 1 then invalid_arg "Telemetry.region_size";
+  1 + (record_bytes * max_hops)
+
+let capacity ~region_bytes = (region_bytes - 1) / record_bytes
+
+let count_field base = Field.v ~off_bits:((8 * base) + 1) ~len_bits:7
+let overflow_field base = Field.v ~off_bits:(8 * base) ~len_bits:1
+
+let init buf ~base = Bitbuf.set_uint8 buf base 0
+
+let get_count buf ~base = Int64.to_int (Bitbuf.get_uint buf (count_field base))
+
+let record_off base i = base + 1 + (record_bytes * i)
+
+let append buf ~base ~region_bytes r =
+  let count = get_count buf ~base in
+  if count >= capacity ~region_bytes || count >= 127 then begin
+    Bitbuf.set_uint buf (overflow_field base) 1L;
+    false
+  end
+  else begin
+    let off = record_off base count in
+    Bitbuf.set_uint16 buf off (r.node_id land 0xFFFF);
+    Bitbuf.set_uint32 buf (off + 2) r.timestamp;
+    Bitbuf.set_uint16 buf (off + 6) (r.queue_depth land 0xFFFF);
+    Bitbuf.set_uint buf (count_field base) (Int64.of_int (count + 1));
+    true
+  end
+
+let read buf ~base ~region_bytes =
+  let count = min (get_count buf ~base) (capacity ~region_bytes) in
+  let records =
+    List.init count (fun i ->
+        let off = record_off base i in
+        {
+          node_id = Bitbuf.get_uint16 buf off;
+          timestamp = Bitbuf.get_uint32 buf (off + 2);
+          queue_depth = Bitbuf.get_uint16 buf (off + 6);
+        })
+  in
+  (records, Bitbuf.get_uint buf (overflow_field base) = 1L)

@@ -1,0 +1,1 @@
+lib/crypto/aes128.ml: Array Char Lazy String

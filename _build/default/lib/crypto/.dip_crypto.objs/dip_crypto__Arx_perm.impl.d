@@ -1,0 +1,1 @@
+lib/crypto/arx_perm.ml: Array Bytes Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/cbc_mac.ml: Block Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/cbc_mac.mli: Block

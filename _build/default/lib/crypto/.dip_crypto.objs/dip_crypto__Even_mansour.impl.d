@@ -1,0 +1,1 @@
+lib/crypto/even_mansour.ml: Arx_perm Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/even_mansour.mli: Block

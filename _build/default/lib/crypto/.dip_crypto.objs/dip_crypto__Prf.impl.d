@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Buffer Bytes Cbc_mac Even_mansour Int32 String

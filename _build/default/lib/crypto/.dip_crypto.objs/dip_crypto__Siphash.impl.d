@@ -1,0 +1,1 @@
+lib/crypto/siphash.ml: Char Int64 String

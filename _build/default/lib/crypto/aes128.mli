@@ -1,0 +1,14 @@
+(** AES-128 (FIPS-197), implemented from first principles.
+
+    The paper's §4.1 notes that AES "needs to resubmit the packet" on
+    Tofino, which is why the prototype preferred 2EM. We implement
+    AES anyway so the MAC-cipher ablation (DESIGN.md, experiment A2)
+    can quantify that trade-off: the PISA model charges {!passes} > 1
+    pipeline passes per AES block.
+
+    The S-box is derived at start-up from the GF(2^8) inverse plus
+    the FIPS affine transform rather than pasted in as a table, and
+    the implementation is validated against the FIPS-197 known-answer
+    vector in the test suite. *)
+
+include Block.S

@@ -1,0 +1,49 @@
+module Make (C : Block.S) = struct
+  type key = C.key
+
+  let expand_key = C.expand_key
+  let passes = C.passes
+
+  let xor_into dst src =
+    for i = 0 to Bytes.length dst - 1 do
+      Bytes.set dst i (Char.chr (Char.code (Bytes.get dst i) lxor Char.code src.[i]))
+    done
+
+  (* Length block: 64-bit big-endian byte count, zero padded to a full
+     block. Prefixing (not suffixing) the length makes the encoding
+     prefix-free, which is what CBC-MAC needs for variable lengths. *)
+  let length_block n =
+    let b = Bytes.make C.block_size '\000' in
+    Bytes.set_int64_be b (C.block_size - 8) (Int64.of_int n);
+    Bytes.unsafe_to_string b
+
+  let mac k msg =
+    let bs = C.block_size in
+    let state = ref (C.encrypt_block k (length_block (String.length msg))) in
+    let nblocks = (String.length msg + bs - 1) / bs in
+    for i = 0 to nblocks - 1 do
+      let chunk = Bytes.make bs '\000' in
+      let len = min bs (String.length msg - (i * bs)) in
+      Bytes.blit_string msg (i * bs) chunk 0 len;
+      xor_into chunk !state;
+      state := C.encrypt_block k (Bytes.unsafe_to_string chunk)
+    done;
+    !state
+
+  let mac_truncated k n msg =
+    if n < 1 || n > C.block_size then
+      invalid_arg "Cbc_mac.mac_truncated: bad tag length";
+    String.sub (mac k msg) 0 n
+
+  let verify k ~tag msg =
+    let n = String.length tag in
+    if n < 1 || n > C.block_size then false
+    else
+      let expected = String.sub (mac k msg) 0 n in
+      (* Constant-time fold over all bytes; no early exit. *)
+      let diff = ref 0 in
+      for i = 0 to n - 1 do
+        diff := !diff lor (Char.code tag.[i] lxor Char.code expected.[i])
+      done;
+      !diff = 0
+end

@@ -1,0 +1,41 @@
+let name = "2EM"
+let block_size = 16
+let key_size = 16
+let passes = 1
+
+type key = {
+  k1 : Arx_perm.block;
+  k2 : Arx_perm.block;
+  k3 : Arx_perm.block;
+}
+
+let xor (a1, a2) (b1, b2) = (Int64.logxor a1 b1, Int64.logxor a2 b2)
+
+(* Round keys are separated by running the master key through the
+   public permutation with distinct constants, so k1, k2, k3 are
+   pairwise independent-looking. *)
+let expand_key raw =
+  if String.length raw <> key_size then
+    invalid_arg "Even_mansour.expand_key: need a 16-byte key";
+  let k1 = Arx_perm.of_string raw in
+  let k2 = Arx_perm.forward (xor k1 (0x0101010101010101L, 0x0101010101010101L)) in
+  let k3 = Arx_perm.forward (xor k2 (0x0202020202020202L, 0x0202020202020202L)) in
+  { k1; k2; k3 }
+
+let check_block b =
+  if String.length b <> block_size then
+    invalid_arg "Even_mansour: block must be 16 bytes"
+
+let encrypt_block k block =
+  check_block block;
+  let x = Arx_perm.of_string block in
+  let y = Arx_perm.forward (xor x k.k1) in
+  let z = Arx_perm.forward (xor y k.k2) in
+  Arx_perm.to_string (xor z k.k3)
+
+let decrypt_block k block =
+  check_block block;
+  let z = xor (Arx_perm.of_string block) k.k3 in
+  let y = xor (Arx_perm.backward z) k.k2 in
+  let x = xor (Arx_perm.backward y) k.k1 in
+  Arx_perm.to_string x

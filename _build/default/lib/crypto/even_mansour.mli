@@ -1,0 +1,15 @@
+(** 2EM — the two-round Even–Mansour cipher.
+
+    The paper's prototype computes its MAC with 2EM [2] "since 2EM is
+    more friendly to Barefoot Tofino and can be completed without
+    resubmitting the packet, while the AES needs to resubmit the
+    packet" (§4.1). The construction is
+
+    {v E_k(x) = P(P(x ⊕ k1) ⊕ k2) ⊕ k3 v}
+
+    with {i P} the public permutation from {!Arx_perm} and the three
+    128-bit round keys derived from a 16-byte master key. Key
+    alternation with two permutation calls is provably secure up to
+    ~2^(2n/3) queries (Bogdanov et al., EUROCRYPT 2012). *)
+
+include Block.S

@@ -1,0 +1,24 @@
+module M = Cbc_mac.Make (Even_mansour)
+
+type key = M.key
+
+let key_of_string s =
+  if String.length s <> 16 then invalid_arg "Prf.key_of_string: need 16 bytes";
+  M.expand_key s
+
+(* The label is framed with its own length so that (label, input)
+   pairs cannot collide across different splits of the same bytes. *)
+let derive k ~label input =
+  let framed =
+    let b = Buffer.create (String.length label + String.length input + 4) in
+    Buffer.add_int32_be b (Int32.of_int (String.length label));
+    Buffer.add_string b label;
+    Buffer.add_string b input;
+    Buffer.contents b
+  in
+  M.mac k framed
+
+let derive_int k ~label v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 v;
+  derive k ~label (Bytes.unsafe_to_string b)

@@ -1,0 +1,73 @@
+type key = { k0 : int64; k1 : int64 }
+
+let key_of_string s =
+  if String.length s <> 16 then invalid_arg "Siphash.key_of_string: need 16 bytes";
+  { k0 = String.get_int64_le s 0; k1 = String.get_int64_le s 8 }
+
+let default_key =
+  key_of_string "\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f"
+
+let rotl x b = Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+
+type state = {
+  mutable v0 : int64;
+  mutable v1 : int64;
+  mutable v2 : int64;
+  mutable v3 : int64;
+}
+
+let sipround s =
+  s.v0 <- Int64.add s.v0 s.v1;
+  s.v1 <- rotl s.v1 13;
+  s.v1 <- Int64.logxor s.v1 s.v0;
+  s.v0 <- rotl s.v0 32;
+  s.v2 <- Int64.add s.v2 s.v3;
+  s.v3 <- rotl s.v3 16;
+  s.v3 <- Int64.logxor s.v3 s.v2;
+  s.v0 <- Int64.add s.v0 s.v3;
+  s.v3 <- rotl s.v3 21;
+  s.v3 <- Int64.logxor s.v3 s.v0;
+  s.v2 <- Int64.add s.v2 s.v1;
+  s.v1 <- rotl s.v1 17;
+  s.v1 <- Int64.logxor s.v1 s.v2;
+  s.v2 <- rotl s.v2 32
+
+let hash { k0; k1 } msg =
+  let s =
+    {
+      v0 = Int64.logxor k0 0x736f6d6570736575L;
+      v1 = Int64.logxor k1 0x646f72616e646f6dL;
+      v2 = Int64.logxor k0 0x6c7967656e657261L;
+      v3 = Int64.logxor k1 0x7465646279746573L;
+    }
+  in
+  let len = String.length msg in
+  let nwords = len / 8 in
+  for i = 0 to nwords - 1 do
+    let m = String.get_int64_le msg (8 * i) in
+    s.v3 <- Int64.logxor s.v3 m;
+    sipround s;
+    sipround s;
+    s.v0 <- Int64.logxor s.v0 m
+  done;
+  (* Final block: remaining bytes little-endian, length in top byte. *)
+  let last = ref (Int64.shift_left (Int64.of_int (len land 0xFF)) 56) in
+  for i = 0 to (len mod 8) - 1 do
+    last :=
+      Int64.logor !last
+        (Int64.shift_left (Int64.of_int (Char.code msg.[(nwords * 8) + i])) (8 * i))
+  done;
+  s.v3 <- Int64.logxor s.v3 !last;
+  sipround s;
+  sipround s;
+  s.v0 <- Int64.logxor s.v0 !last;
+  s.v2 <- Int64.logxor s.v2 0xFFL;
+  sipround s;
+  sipround s;
+  sipround s;
+  sipround s;
+  Int64.logxor (Int64.logxor s.v0 s.v1) (Int64.logxor s.v2 s.v3)
+
+let hash32 k msg =
+  let h = hash k msg in
+  Int64.to_int32 (Int64.logxor h (Int64.shift_right_logical h 32))

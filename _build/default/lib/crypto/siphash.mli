@@ -1,0 +1,24 @@
+(** SipHash-2-4 (Aumasson & Bernstein 2012).
+
+    A fast keyed 64-bit PRF used where a short, cheap authenticator
+    or a DoS-resistant hash is enough: hashing content names into the
+    32-bit identifiers the DIP prototype forwards on (§4.1, "we take
+    the 32-bit content name"), and keying the simulator's flow
+    tables. Validated against the reference test vectors. *)
+
+type key
+(** A 128-bit SipHash key. *)
+
+val key_of_string : string -> key
+(** 16 little-endian bytes, as in the reference implementation.
+    Raises [Invalid_argument] otherwise. *)
+
+val default_key : key
+(** A fixed public key for non-adversarial uses (name hashing). *)
+
+val hash : key -> string -> int64
+(** The 64-bit SipHash-2-4 digest. *)
+
+val hash32 : key -> string -> int32
+(** The digest folded to 32 bits (hi XOR lo) — the width of the
+    prototype's hashed content names. *)

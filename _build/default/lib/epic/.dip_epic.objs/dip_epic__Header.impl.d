@@ -1,0 +1,1 @@
+lib/epic/header.ml: Dip_bitbuf Int64

@@ -1,0 +1,1 @@
+lib/epic/header.mli: Dip_bitbuf

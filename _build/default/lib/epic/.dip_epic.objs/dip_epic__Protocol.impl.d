@@ -1,0 +1,1 @@
+lib/epic/protocol.ml: Bytes Dip_bitbuf Dip_opt Header Int32 List String

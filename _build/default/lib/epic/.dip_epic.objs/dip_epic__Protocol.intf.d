@@ -1,0 +1,1 @@
+lib/epic/protocol.mli: Dip_bitbuf Dip_opt

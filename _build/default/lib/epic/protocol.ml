@@ -1,0 +1,63 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+
+let derive_key secret ~src ~timestamp =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 src;
+  Bytes.set_int32_be b 4 timestamp;
+  Dip_opt.Drkey.derive_for secret ~label:"epic-hop" (Bytes.to_string b)
+
+let mac ~key msg = Dip_opt.Protocol.mac ~alg:Dip_opt.Protocol.EM2 ~key msg
+
+let trunc32 tag = String.get_int32_be tag 0
+
+let origin buf ~base =
+  Bitbuf.get_field buf
+    (Dip_bitbuf.Field.v ~off_bits:(8 * base) ~len_bits:192)
+
+let hvf_of_origin ~key buf ~base = trunc32 (mac ~key (origin buf ~base))
+
+let verified_form ~key hvf =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 hvf;
+  trunc32 (mac ~key ("fwd" ^ Bytes.to_string b))
+
+let source_init buf ~base ~src ~timestamp ~hop_keys ~payload =
+  Header.set_src buf ~base src;
+  Header.set_timestamp buf ~base timestamp;
+  Header.set_payload_hash buf ~base (Dip_opt.Protocol.hash_payload payload);
+  List.iteri
+    (fun i key -> Header.set_hvf buf ~base (i + 1) (hvf_of_origin ~key buf ~base))
+    hop_keys
+
+type router_verdict = Forwarded | Rejected
+
+let router_check buf ~base ~hop ~key =
+  let expected = hvf_of_origin ~key buf ~base in
+  let carried = Header.get_hvf buf ~base hop in
+  if Int32.equal expected carried then begin
+    Header.set_hvf buf ~base hop (verified_form ~key carried);
+    Forwarded
+  end
+  else Rejected
+
+let verify_delivery buf ~base ~hop_keys ~payload =
+  let payload_ok =
+    match payload with
+    | None -> true
+    | Some p ->
+        String.equal
+          (Header.get_payload_hash buf ~base)
+          (Dip_opt.Protocol.hash_payload p)
+  in
+  if not payload_ok then Error 0
+  else
+    let rec go i = function
+      | [] -> Ok ()
+      | key :: rest ->
+          let original = hvf_of_origin ~key buf ~base in
+          let expected = verified_form ~key original in
+          if Int32.equal expected (Header.get_hvf buf ~base i) then
+            go (i + 1) rest
+          else Error i
+    in
+    go 1 hop_keys

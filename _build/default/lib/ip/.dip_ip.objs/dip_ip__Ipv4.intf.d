@@ -1,0 +1,1 @@
+lib/ip/ipv4.mli: Dip_bitbuf Dip_netsim Dip_tables

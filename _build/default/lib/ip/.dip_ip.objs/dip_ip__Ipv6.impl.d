@@ -1,0 +1,1 @@
+lib/ip/ipv6.ml: Dip_bitbuf Dip_netsim Dip_tables String

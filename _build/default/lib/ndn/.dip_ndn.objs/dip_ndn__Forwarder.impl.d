@@ -1,0 +1,1 @@
+lib/ndn/forwarder.ml: Dip_bitbuf Dip_netsim Dip_tables List Packet

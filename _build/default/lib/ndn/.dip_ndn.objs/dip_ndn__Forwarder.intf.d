@@ -1,0 +1,1 @@
+lib/ndn/forwarder.mli: Dip_bitbuf Dip_netsim Dip_tables

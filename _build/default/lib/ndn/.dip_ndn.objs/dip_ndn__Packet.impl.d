@@ -1,0 +1,1 @@
+lib/ndn/packet.ml: Buffer Char Dip_bitbuf Dip_tables Printf String

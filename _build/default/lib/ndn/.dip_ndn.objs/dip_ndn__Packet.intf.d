@@ -1,0 +1,1 @@
+lib/ndn/packet.mli: Dip_bitbuf Dip_tables

@@ -1,0 +1,75 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Name = Dip_tables.Name
+
+type t =
+  | Interest of { name : Name.t; nonce : int32 }
+  | Data of { name : Name.t; content : string }
+
+let name = function Interest { name; _ } -> name | Data { name; _ } -> name
+
+let interest ?(nonce = 0l) name = Interest { name; nonce }
+let data name content = Data { name; content }
+
+let encode t =
+  let b = Buffer.create 64 in
+  (match t with
+  | Interest { name; nonce } ->
+      Buffer.add_uint8 b 1;
+      Buffer.add_int32_be b nonce;
+      Buffer.add_string b (Name.to_wire name)
+  | Data { name; content } ->
+      Buffer.add_uint8 b 2;
+      Buffer.add_string b (Name.to_wire name);
+      if String.length content > 0xFFFF then
+        invalid_arg "Ndn.Packet.encode: content too large";
+      Buffer.add_uint16_be b (String.length content);
+      Buffer.add_string b content);
+  Bitbuf.of_string (Buffer.contents b)
+
+(* Names are self-delimiting on the wire, so we re-parse them by
+   walking the component lengths. *)
+let name_wire_length s pos =
+  if pos >= String.length s then None
+  else
+    let n = Char.code s.[pos] in
+    let rec go i off =
+      if i = n then Some (off - pos)
+      else if off + 2 > String.length s then None
+      else
+        let l = String.get_uint16_be s off in
+        if off + 2 + l > String.length s then None else go (i + 1) (off + 2 + l)
+    in
+    go 0 (pos + 1)
+
+let decode buf =
+  let s = Bitbuf.to_string buf in
+  if String.length s < 1 then Error "empty packet"
+  else
+    match Char.code s.[0] with
+    | 1 ->
+        if String.length s < 5 then Error "truncated interest"
+        else
+          let nonce = String.get_int32_be s 1 in
+          (match name_wire_length s 5 with
+          | None -> Error "malformed interest name"
+          | Some nl -> (
+              try
+                let name = Name.of_wire (String.sub s 5 nl) in
+                (* Trailing bytes after the name are payload padding
+                   added to reach a target wire size; ignore them. *)
+                Ok (Interest { name; nonce })
+              with Invalid_argument _ -> Error "malformed interest name"))
+    | 2 -> (
+        match name_wire_length s 1 with
+        | None -> Error "malformed data name"
+        | Some nl -> (
+            try
+              let name = Name.of_wire (String.sub s 1 nl) in
+              let pos = 1 + nl in
+              if pos + 2 > String.length s then Error "truncated data length"
+              else
+                let len = String.get_uint16_be s pos in
+                if pos + 2 + len > String.length s then Error "truncated content"
+                else Ok (Data { name; content = String.sub s (pos + 2) len })
+            with Invalid_argument _ -> Error "malformed data name"))
+    | t -> Error (Printf.sprintf "unknown packet type %d" t)

@@ -1,0 +1,23 @@
+(** NDN packet codec: interest and data packets.
+
+    NDN "uses data names instead of IP addresses for better content
+    delivery with interest packets and data packets" (paper §1). This
+    is the native wire format used by the baseline forwarder; the DIP
+    realization of NDN instead carries only the 32-bit hashed name in
+    the FN locations (§4.1), which is why its header is smaller.
+
+    Wire layout: 1 type byte, 4-byte nonce (interests only), the
+    name ({!Dip_tables.Name.to_wire}), and for data a 2-byte length
+    plus the content bytes. *)
+
+type t =
+  | Interest of { name : Dip_tables.Name.t; nonce : int32 }
+  | Data of { name : Dip_tables.Name.t; content : string }
+
+val name : t -> Dip_tables.Name.t
+
+val encode : t -> Dip_bitbuf.Bitbuf.t
+val decode : Dip_bitbuf.Bitbuf.t -> (t, string) result
+
+val interest : ?nonce:int32 -> Dip_tables.Name.t -> t
+val data : Dip_tables.Name.t -> string -> t

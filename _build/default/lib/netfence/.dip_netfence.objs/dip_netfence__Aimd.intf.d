@@ -1,0 +1,1 @@
+lib/netfence/aimd.mli:

@@ -1,0 +1,1 @@
+lib/netfence/header.ml: Dip_bitbuf Dip_crypto Float Int64 String

@@ -1,0 +1,1 @@
+lib/netfence/header.mli: Dip_bitbuf Dip_crypto

@@ -1,0 +1,1 @@
+lib/netfence/policer.ml: Dip_crypto Float Hashtbl Header Token_bucket

@@ -1,0 +1,1 @@
+lib/netfence/policer.mli: Dip_bitbuf Dip_crypto

@@ -1,0 +1,1 @@
+lib/netfence/token_bucket.ml: Float

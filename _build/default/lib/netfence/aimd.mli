@@ -1,0 +1,27 @@
+(** AIMD rate control — the sender's half of NetFence.
+
+    The sender maintains an allowed rate; congestion feedback from the
+    bottleneck (echoed by the receiver, integrity-protected by the
+    router's MAC) triggers a multiplicative decrease, and each
+    feedback-free control interval earns an additive increase. This
+    is exactly the "congestion control emulated inside the network"
+    of the paper's NetFence summary (§1). *)
+
+type t
+
+val create :
+  ?increase:float ->
+  ?decrease:float ->
+  ?min_rate:float ->
+  ?max_rate:float ->
+  initial:float ->
+  unit ->
+  t
+(** Defaults: [increase] 12500 B/s per interval, [decrease] 0.5,
+    [min_rate] 1250 B/s, [max_rate] 1.25e9 B/s. *)
+
+val rate : t -> float
+
+val on_feedback : t -> congested:bool -> unit
+(** One control interval elapsed: halve on congestion, otherwise add
+    the increment. The rate stays within [min_rate, max_rate]. *)

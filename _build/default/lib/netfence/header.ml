@@ -1,0 +1,56 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+
+type flag = No_congestion | Congestion | Attack
+
+let flag_to_int = function No_congestion -> 0 | Congestion -> 1 | Attack -> 2
+
+let flag_of_int = function
+  | 0 -> Some No_congestion
+  | 1 -> Some Congestion
+  | 2 -> Some Attack
+  | _ -> None
+
+let size_bits = 168
+let size_bytes = size_bits / 8
+
+let at base off len = Field.v ~off_bits:((8 * base) + off) ~len_bits:len
+
+let get_sender buf ~base = Int64.to_int32 (Bitbuf.get_uint buf (at base 0 32))
+let set_sender buf ~base v =
+  Bitbuf.set_uint buf (at base 0 32) (Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL)
+
+let get_rate buf ~base = Int64.to_float (Bitbuf.get_uint buf (at base 32 32))
+let set_rate buf ~base v =
+  let clamped = Float.max 0.0 (Float.min 4.294967295e9 v) in
+  Bitbuf.set_uint buf (at base 32 32) (Int64.of_float clamped)
+
+let get_flag buf ~base =
+  flag_of_int (Int64.to_int (Bitbuf.get_uint buf (at base 64 8)))
+
+let set_flag buf ~base f =
+  Bitbuf.set_uint buf (at base 64 8) (Int64.of_int (flag_to_int f))
+
+let get_timestamp buf ~base = Int64.to_int32 (Bitbuf.get_uint buf (at base 72 32))
+let set_timestamp buf ~base v =
+  Bitbuf.set_uint buf (at base 72 32) (Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL)
+
+let feedback_mac ~key buf ~base =
+  let covered = Bitbuf.get_field buf (at base 0 104) in
+  let tag = Dip_crypto.Prf.derive key ~label:"netfence-feedback" covered in
+  String.get_int64_be tag 0
+
+let mac_field base = at base 104 64
+
+let stamp ~key buf ~base =
+  Bitbuf.set_uint buf (mac_field base) (feedback_mac ~key buf ~base)
+
+let verify ~key buf ~base =
+  Int64.equal (Bitbuf.get_uint buf (mac_field base)) (feedback_mac ~key buf ~base)
+
+let init buf ~base ~sender ~rate ~timestamp =
+  set_sender buf ~base sender;
+  set_rate buf ~base rate;
+  set_flag buf ~base No_congestion;
+  set_timestamp buf ~base timestamp;
+  Bitbuf.set_uint buf (mac_field base) 0L

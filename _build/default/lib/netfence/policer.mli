@@ -1,0 +1,42 @@
+(** The bottleneck router's policer: per-sender token buckets plus
+    integrity-protected congestion feedback.
+
+    On each packet the policer refills the sender's bucket at the
+    rate the sender claims (bounded by the policer's ceiling),
+    charges the packet size, and — when the sender is over its
+    allowance — either {e marks} the congestion flag (normal mode) or
+    {e drops} (attack mode, NetFence's DDoS stance). Marked or not,
+    the feedback fields are MAC-stamped with the router's secret so
+    end hosts cannot launder them. *)
+
+type t
+
+type mode = Mark | Police
+(** [Mark]: over-rate packets are marked and forwarded.
+    [Police]: over-rate packets are dropped (attack mode). *)
+
+val create :
+  ?mode:mode ->
+  ?rate_ceiling:float ->
+  ?burst:float ->
+  key:Dip_crypto.Prf.key ->
+  unit ->
+  t
+(** Defaults: [Mark], ceiling 1.25e8 B/s (1 Gb/s), burst 15000 B. *)
+
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+(** Switch to attack mode when a DDoS is detected. *)
+
+val sender_count : t -> int
+
+type verdict =
+  | Pass  (** within allowance; feedback stamped as-is *)
+  | Marked  (** over allowance; congestion flag set, forwarded *)
+  | Dropped  (** over allowance in [Police] mode *)
+
+val police :
+  t -> Dip_bitbuf.Bitbuf.t -> base:int -> now:float -> size:int -> verdict
+(** Process the NetFence header at [base]: enforce the bucket, set
+    the flag if needed, stamp the MAC. [size] is the wire size the
+    bucket is charged. *)

@@ -1,0 +1,1 @@
+lib/netsim/event_queue.ml: Array Float

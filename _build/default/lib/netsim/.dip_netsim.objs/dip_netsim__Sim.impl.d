@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Array Dip_bitbuf Event_queue Float Hashtbl List Printf Stats

@@ -1,0 +1,1 @@
+lib/netsim/sim.mli: Dip_bitbuf Stats

@@ -1,0 +1,1 @@
+lib/netsim/stats.ml: Array Float Hashtbl List Printf Stdlib String

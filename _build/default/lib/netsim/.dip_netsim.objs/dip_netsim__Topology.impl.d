@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Dip_stdext Float Hashtbl List Queue Sim

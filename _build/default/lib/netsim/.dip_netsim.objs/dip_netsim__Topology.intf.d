@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Sim

@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Dip_bitbuf Dip_stdext Float Format Int32 List Sim

@@ -1,0 +1,1 @@
+lib/netsim/trace.mli: Dip_bitbuf Format Sim

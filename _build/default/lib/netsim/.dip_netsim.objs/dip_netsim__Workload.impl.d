@@ -1,0 +1,1 @@
+lib/netsim/workload.ml: Dip_bitbuf Dip_stdext Dip_tables List Printf

@@ -1,0 +1,1 @@
+lib/netsim/workload.mli: Dip_bitbuf Dip_tables

@@ -1,0 +1,76 @@
+type 'a cell = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let dummy payload = { time = 0.0; seq = 0; payload }
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+let size t = t.len
+let is_empty t = t.len = 0
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t c =
+  let cap = Array.length t.heap in
+  if t.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nh = Array.make ncap (dummy c.payload) in
+    Array.blit t.heap 0 nh 0 t.len;
+    t.heap <- nh
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_queue.push: time must be finite";
+  if time < 0.0 then invalid_arg "Event_queue.push: negative time";
+  let c = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t c;
+  t.heap.(t.len) <- c;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+let clear t =
+  t.heap <- [||];
+  t.len <- 0

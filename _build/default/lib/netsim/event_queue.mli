@@ -1,0 +1,23 @@
+(** A priority queue of timestamped events — the heart of the
+    discrete-event simulator that stands in for the paper's hardware
+    testbed (see DESIGN.md §2).
+
+    Ordering is by time, ties broken by insertion order so that the
+    simulation is fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule an event. [time] must be finite and non-negative. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,170 @@
+type node_id = int
+type port = int
+
+type action =
+  | Forward of port * Dip_bitbuf.Bitbuf.t
+  | Consume
+  | Drop of string
+
+type event =
+  | Arrival of node_id * port * Dip_bitbuf.Bitbuf.t
+  | Timer of (t -> unit)
+
+and handler = t -> now:float -> ingress:port -> Dip_bitbuf.Bitbuf.t -> action list
+
+and node = { name : string; handler : handler }
+
+and link_end = {
+  latency : float;
+  bandwidth : float;
+  capacity : int;
+  peer : node_id * port;
+  (* Egress serialization state for this direction. *)
+  mutable busy_until : float;
+  mutable queued : int;
+}
+
+and t = {
+  mutable nodes : node array;
+  mutable nnodes : int;
+  links : (node_id * port, link_end) Hashtbl.t;
+  queue : event Event_queue.t;
+  stats : Stats.Counters.t;
+  mutable clock : float;
+  mutable delivered : (node_id * float * Dip_bitbuf.Bitbuf.t) list; (* reversed *)
+  mutable consume_hooks : (node_id -> float -> Dip_bitbuf.Bitbuf.t -> unit) list;
+}
+
+let create () =
+  {
+    nodes = [||];
+    nnodes = 0;
+    links = Hashtbl.create 64;
+    queue = Event_queue.create ();
+    stats = Stats.Counters.create ();
+    clock = 0.0;
+    delivered = [];
+    consume_hooks = [];
+  }
+
+let add_node t ~name handler =
+  let node = { name; handler } in
+  if t.nnodes = Array.length t.nodes then begin
+    let nn = Array.make (max 8 (2 * t.nnodes)) node in
+    Array.blit t.nodes 0 nn 0 t.nnodes;
+    t.nodes <- nn
+  end;
+  t.nodes.(t.nnodes) <- node;
+  t.nnodes <- t.nnodes + 1;
+  t.nnodes - 1
+
+let check_node t id =
+  if id < 0 || id >= t.nnodes then invalid_arg "Sim: unknown node id"
+
+let node_name t id =
+  check_node t id;
+  t.nodes.(id).name
+
+let node_count t = t.nnodes
+
+let connect t ?(latency = 1e-6) ?(bandwidth = Float.infinity)
+    ?(queue_capacity = max_int) (a, pa) (b, pb) =
+  check_node t a;
+  check_node t b;
+  if latency < 0.0 then invalid_arg "Sim.connect: negative latency";
+  if bandwidth <= 0.0 then invalid_arg "Sim.connect: non-positive bandwidth";
+  if queue_capacity < 1 then invalid_arg "Sim.connect: queue capacity";
+  if Hashtbl.mem t.links (a, pa) then
+    invalid_arg
+      (Printf.sprintf "Sim.connect: port %d of %s already wired" pa
+         t.nodes.(a).name);
+  if Hashtbl.mem t.links (b, pb) then
+    invalid_arg
+      (Printf.sprintf "Sim.connect: port %d of %s already wired" pb
+         t.nodes.(b).name);
+  let mk peer =
+    { latency; bandwidth; capacity = queue_capacity; peer;
+      busy_until = 0.0; queued = 0 }
+  in
+  Hashtbl.replace t.links (a, pa) (mk (b, pb));
+  Hashtbl.replace t.links (b, pb) (mk (a, pa))
+
+let queue_depth t id port =
+  match Hashtbl.find_opt t.links (id, port) with
+  | Some l -> l.queued
+  | None -> 0
+
+let neighbor t id port =
+  match Hashtbl.find_opt t.links (id, port) with
+  | Some l -> Some l.peer
+  | None -> None
+
+let inject t ~at ~node ~port packet =
+  check_node t node;
+  Event_queue.push t.queue ~time:at (Arrival (node, port, packet))
+
+let schedule t ~at f = Event_queue.push t.queue ~time:at (Timer f)
+
+let now t = t.clock
+let counters t = t.stats
+let consumed t = List.rev t.delivered
+let on_consume t f = t.consume_hooks <- f :: t.consume_hooks
+
+let transmit t ~from:(id, port) packet =
+  let name = t.nodes.(id).name in
+  match Hashtbl.find_opt t.links (id, port) with
+  | None -> Stats.Counters.incr t.stats (name ^ ".drop.unwired-port")
+  | Some l ->
+      if l.queued >= l.capacity then
+        Stats.Counters.incr t.stats (name ^ ".drop.queue-overflow")
+      else begin
+        Stats.Counters.incr t.stats (name ^ ".tx");
+        let size = float_of_int (Dip_bitbuf.Bitbuf.length packet) in
+        let dst, dport = l.peer in
+        if Float.is_finite l.bandwidth then begin
+          (* Serialize behind whatever is already on the wire. *)
+          let start = Float.max t.clock l.busy_until in
+          let departure = start +. (size /. l.bandwidth) in
+          l.busy_until <- departure;
+          l.queued <- l.queued + 1;
+          Event_queue.push t.queue ~time:departure (Timer (fun _ -> l.queued <- l.queued - 1));
+          Event_queue.push t.queue ~time:(departure +. l.latency)
+            (Arrival (dst, dport, packet))
+        end
+        else
+          Event_queue.push t.queue ~time:(t.clock +. l.latency)
+            (Arrival (dst, dport, packet))
+      end
+
+let handle_arrival t id port packet =
+  let node = t.nodes.(id) in
+  Stats.Counters.incr t.stats (node.name ^ ".rx");
+  let actions = node.handler t ~now:t.clock ~ingress:port packet in
+  List.iter
+    (fun action ->
+      match action with
+      | Forward (out, pkt) -> transmit t ~from:(id, out) pkt
+      | Consume ->
+          Stats.Counters.incr t.stats (node.name ^ ".consumed");
+          t.delivered <- (id, t.clock, packet) :: t.delivered;
+          List.iter (fun f -> f id t.clock packet) t.consume_hooks
+      | Drop reason ->
+          Stats.Counters.incr t.stats (node.name ^ ".drop." ^ reason))
+    actions
+
+let run ?(until = Float.infinity) t =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | None -> ()
+    | Some time when time > until -> ()
+    | Some _ -> (
+        match Event_queue.pop t.queue with
+        | None -> ()
+        | Some (time, ev) ->
+            t.clock <- time;
+            (match ev with
+            | Arrival (id, port, packet) -> handle_arrival t id port packet
+            | Timer f -> f t);
+            loop ())
+  in
+  loop ()

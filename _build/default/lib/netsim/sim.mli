@@ -1,0 +1,86 @@
+(** The discrete-event network simulator.
+
+    This is the testbed substitute (DESIGN.md §2): nodes are hosts or
+    routers identified by small integers, links connect (node, port)
+    pairs with latency and bandwidth, and packets are opaque
+    {!Dip_bitbuf.Bitbuf.t} buffers handed to per-node handlers. A
+    handler decides, per packet, which ports to forward on, whether
+    to consume locally, or to drop.
+
+    The simulation is deterministic: same topology, same injections,
+    same handler logic → identical event order. *)
+
+type t
+type node_id = int
+type port = int
+
+(** What a node does with a received packet. *)
+type action =
+  | Forward of port * Dip_bitbuf.Bitbuf.t
+      (** Transmit (a possibly rewritten) packet out of a port. *)
+  | Consume  (** Deliver to the local stack; counted as received. *)
+  | Drop of string  (** Discard, with a reason for the counters. *)
+
+type handler = t -> now:float -> ingress:port -> Dip_bitbuf.Bitbuf.t -> action list
+(** Invoked once per packet arrival. The handler may also call
+    {!schedule} for timers (e.g. PIT expiry sweeps). *)
+
+val create : unit -> t
+
+val add_node : t -> name:string -> handler -> node_id
+(** Register a node. Names appear in counters and traces. *)
+
+val node_name : t -> node_id -> string
+val node_count : t -> int
+
+val connect :
+  t ->
+  ?latency:float ->
+  ?bandwidth:float ->
+  ?queue_capacity:int ->
+  node_id * port ->
+  node_id * port ->
+  unit
+(** Bidirectional link. [latency] (seconds, default [1e-6]) is the
+    propagation delay; [bandwidth] (bytes/second, default infinite)
+    adds a serialization delay of [size / bandwidth] {e and}
+    serializes transmissions: a packet must wait for the packets
+    ahead of it on the same direction of the link. [queue_capacity]
+    (default unbounded) bounds how many packets may be waiting or in
+    flight on one direction; beyond it the transmitter drop-tails
+    (counted as ["<name>.drop.queue-overflow"]). Connecting an
+    already-wired port raises [Invalid_argument]. *)
+
+val queue_depth : t -> node_id -> port -> int
+(** Packets currently queued or serializing on the egress direction
+    of a port (0 for unwired ports) — what an {i F_tel}-style
+    telemetry hook reports. *)
+
+val neighbor : t -> node_id -> port -> (node_id * port) option
+(** The far end of a link, if wired. *)
+
+val inject : t -> at:float -> node:node_id -> port:port -> Dip_bitbuf.Bitbuf.t -> unit
+(** Present a packet to [node] as if it arrived on [port] at [at].
+    [port] does not need to be wired — hosts inject on a virtual
+    port. *)
+
+val schedule : t -> at:float -> (t -> unit) -> unit
+(** Run a callback at simulated time [at]. *)
+
+val now : t -> float
+(** Current simulated time (0 before the first event). *)
+
+val run : ?until:float -> t -> unit
+(** Process events in order until the queue drains or the clock
+    passes [until]. *)
+
+val counters : t -> Stats.Counters.t
+(** Global counters: per node, ["<name>.rx"], ["<name>.tx"],
+    ["<name>.consumed"], ["<name>.drop.<reason>"]. *)
+
+val consumed : t -> (node_id * float * Dip_bitbuf.Bitbuf.t) list
+(** All locally delivered packets, in delivery order, with their
+    delivery times. *)
+
+val on_consume : t -> (node_id -> float -> Dip_bitbuf.Bitbuf.t -> unit) -> unit
+(** Additional hook invoked at each local delivery. *)

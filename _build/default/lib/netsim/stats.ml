@@ -1,0 +1,65 @@
+module Counters = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let incr ?(by = 1) t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace t name (ref by)
+
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end
+
+module Series = struct
+  type t = { mutable samples : float list; mutable n : int; mutable sorted : float array option }
+
+  let create () = { samples = []; n = 0; sorted = None }
+
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.n <- t.n + 1;
+    t.sorted <- None
+
+  let count t = t.n
+
+  let mean t =
+    if t.n = 0 then 0.0 else List.fold_left ( +. ) 0.0 t.samples /. float_of_int t.n
+
+  let min t = List.fold_left Float.min Float.infinity t.samples
+  let max t = List.fold_left Float.max Float.neg_infinity t.samples
+
+  let stddev t =
+    if t.n < 2 then 0.0
+    else
+      let m = mean t in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t.samples in
+      sqrt (ss /. float_of_int (t.n - 1))
+
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+        let a = Array.of_list t.samples in
+        Array.sort Float.compare a;
+        t.sorted <- Some a;
+        a
+
+  let percentile t p =
+    if t.n = 0 then invalid_arg "Stats.Series.percentile: empty series";
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Stats.Series.percentile: p out of range";
+    let a = sorted t in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    a.(Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)))
+
+  let summary t =
+    if t.n = 0 then "n=0"
+    else
+      Printf.sprintf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f" t.n (mean t)
+        (percentile t 50.0) (percentile t 99.0) (max t)
+end

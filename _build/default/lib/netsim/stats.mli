@@ -1,0 +1,37 @@
+(** Measurement collection: counters and latency/size histograms.
+
+    Every experiment harness reports through this module so output
+    formats stay uniform across the paper's figures. *)
+
+(** A monotonically growing set of named counters. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+end
+
+(** A reservoir of float samples with summary statistics. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0. on an empty series. *)
+
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+  val percentile : t -> float -> float
+  (** [percentile s p] with [p] in [\[0,100\]] by nearest-rank on the
+      sorted samples. Raises [Invalid_argument] on an empty series or
+      [p] out of range. *)
+
+  val summary : t -> string
+  (** "n=… mean=… p50=… p99=… max=…" one-liner. *)
+end

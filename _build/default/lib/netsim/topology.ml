@@ -1,0 +1,109 @@
+type edge = { u : int; v : int; latency : float; bandwidth : float }
+type t = { node_count : int; edges : edge list }
+
+let mk_edge ?(latency = 1e-6) ?(bandwidth = Float.infinity) u v =
+  { u; v; latency; bandwidth }
+
+let linear ?latency ?bandwidth n =
+  if n < 1 then invalid_arg "Topology.linear: need at least one node";
+  {
+    node_count = n;
+    edges = List.init (n - 1) (fun i -> mk_edge ?latency ?bandwidth i (i + 1));
+  }
+
+let star ?latency ?bandwidth k =
+  if k < 1 then invalid_arg "Topology.star: need at least one leaf";
+  {
+    node_count = k + 1;
+    edges = List.init k (fun i -> mk_edge ?latency ?bandwidth 0 (i + 1));
+  }
+
+let dumbbell ?latency ?bandwidth l r =
+  if l < 1 || r < 1 then invalid_arg "Topology.dumbbell: need hosts on both sides";
+  let ls = l and rs = l + 1 in
+  let left = List.init l (fun i -> mk_edge ?latency ?bandwidth i ls) in
+  let right = List.init r (fun i -> mk_edge ?latency ?bandwidth rs (l + 2 + i)) in
+  let middle = [ mk_edge ?latency ?bandwidth ls rs ] in
+  { node_count = l + r + 2; edges = left @ middle @ right }
+
+let random ~seed ~nodes ~degree =
+  if nodes < 2 then invalid_arg "Topology.random: need at least two nodes";
+  if degree < 1 then invalid_arg "Topology.random: degree must be positive";
+  let g = Dip_stdext.Prng.create seed in
+  let have = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem have key) then begin
+      Hashtbl.replace have key ();
+      edges := mk_edge (fst key) (snd key) :: !edges
+    end
+  in
+  (* Spanning backbone: attach each node to a random earlier one. *)
+  for v = 1 to nodes - 1 do
+    add (Dip_stdext.Prng.int g v) v
+  done;
+  let target = nodes * degree / 2 in
+  let attempts = ref 0 in
+  while List.length !edges < target && !attempts < 50 * target do
+    incr attempts;
+    add (Dip_stdext.Prng.int g nodes) (Dip_stdext.Prng.int g nodes)
+  done;
+  { node_count = nodes; edges = List.rev !edges }
+
+let neighbors t u =
+  List.filter_map
+    (fun e ->
+      if e.u = u then Some e.v else if e.v = u then Some e.u else None)
+    t.edges
+  |> List.sort_uniq compare
+
+let port_of t u v =
+  let ns = neighbors t u in
+  let rec idx i = function
+    | [] -> raise Not_found
+    | x :: _ when x = v -> i
+    | _ :: rest -> idx (i + 1) rest
+  in
+  idx 0 ns
+
+let shortest_paths t ~src =
+  if src < 0 || src >= t.node_count then invalid_arg "Topology.shortest_paths";
+  let pred = Array.make t.node_count (-1) in
+  let seen = Array.make t.node_count false in
+  seen.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          pred.(v) <- u;
+          Queue.add v q
+        end)
+      (neighbors t u)
+  done;
+  pred
+
+let next_hop t ~src ~dst =
+  if src = dst then None
+  else
+    let pred = shortest_paths t ~src in
+    if dst < 0 || dst >= t.node_count || pred.(dst) = -1 then None
+    else
+      (* Walk back from dst to src; the node whose predecessor is src
+         is the first hop. *)
+      let rec back v = if pred.(v) = src then Some v else back pred.(v) in
+      back dst
+
+let instantiate t sim ~name ~handler =
+  let ids = Array.init t.node_count (fun i -> Sim.add_node sim ~name:(name i) (handler i)) in
+  List.iter
+    (fun e ->
+      Sim.connect sim ~latency:e.latency ~bandwidth:e.bandwidth
+        (ids.(e.u), port_of t e.u e.v)
+        (ids.(e.v), port_of t e.v e.u))
+    t.edges;
+  ids

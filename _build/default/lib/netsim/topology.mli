@@ -1,0 +1,53 @@
+(** Topology builders and route computation.
+
+    Experiments need reproducible topologies: a linear chain for the
+    per-hop processing measurements (the paper evaluates OPT with one
+    hop, §4.1), a star for fan-in workloads, a dumbbell for congested
+    paths, and small random graphs for robustness tests.
+
+    A topology is described abstractly (adjacency with link
+    parameters) and then {e instantiated} onto a {!Sim.t} once the
+    caller has chosen a handler per node. Port numbers are assigned
+    deterministically: node [u]'s port to neighbor [v] is the index
+    of [v] in [u]'s sorted adjacency list. *)
+
+type edge = { u : int; v : int; latency : float; bandwidth : float }
+
+type t = { node_count : int; edges : edge list }
+
+val linear : ?latency:float -> ?bandwidth:float -> int -> t
+(** [linear n] is a chain of [n] nodes ([n >= 1]):
+    0 – 1 – … – (n-1). *)
+
+val star : ?latency:float -> ?bandwidth:float -> int -> t
+(** [star k] is a hub (node 0) with [k] leaves (nodes 1..k). *)
+
+val dumbbell : ?latency:float -> ?bandwidth:float -> int -> int -> t
+(** [dumbbell l r]: [l] left hosts – left switch – right switch –
+    [r] right hosts. Left hosts are nodes [0..l-1], the switches are
+    [l] and [l+1], right hosts [l+2 ..]. *)
+
+val random : seed:int64 -> nodes:int -> degree:int -> t
+(** A connected random graph: a spanning backbone plus extra edges
+    until the average degree target is met. Deterministic in
+    [seed]. *)
+
+val port_of : t -> int -> int -> int
+(** [port_of t u v] is the port on [u] that reaches neighbor [v].
+    Raises [Not_found] if the edge does not exist. *)
+
+val neighbors : t -> int -> int list
+(** Sorted adjacency list. *)
+
+val shortest_paths : t -> src:int -> int array
+(** BFS hop-count predecessor array: [pred.(v)] is the previous hop
+    on a shortest path from [src] to [v] ([-1] for [src] itself and
+    for unreachable nodes). *)
+
+val next_hop : t -> src:int -> dst:int -> int option
+(** First hop on a shortest path from [src] to [dst]; [None] if
+    unreachable or [src = dst]. *)
+
+val instantiate : t -> Sim.t -> name:(int -> string) -> handler:(int -> Sim.handler) -> Sim.node_id array
+(** Add every node to the simulator and wire every edge. Returns the
+    simulator ids indexed by topology node. *)

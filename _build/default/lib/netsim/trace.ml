@@ -1,0 +1,52 @@
+type event_kind = Received of Sim.port | Consumed | Dropped of string
+
+type event = { time : float; node : string; kind : event_kind }
+
+type t = {
+  fingerprint : Dip_bitbuf.Bitbuf.t -> int32;
+  mutable log : (int32 * event) list; (* reversed *)
+}
+
+let default_fingerprint buf =
+  Dip_stdext.Crc32.digest_bytes (Dip_bitbuf.Bitbuf.to_bytes buf)
+
+let attach ?(fingerprint = default_fingerprint) sim =
+  let t = { fingerprint; log = [] } in
+  Sim.on_consume sim (fun node time pkt ->
+      t.log <-
+        (t.fingerprint pkt, { time; node = Sim.node_name sim node; kind = Consumed })
+        :: t.log);
+  t
+
+let record t ~node ~time fp kind = t.log <- (fp, { time; node; kind }) :: t.log
+
+let wrap t ~name inner sim ~now ~ingress packet =
+  let fp = t.fingerprint packet in
+  record t ~node:name ~time:now fp (Received ingress);
+  let actions = inner sim ~now ~ingress packet in
+  List.iter
+    (fun action ->
+      match action with
+      | Sim.Drop reason -> record t ~node:name ~time:now fp (Dropped reason)
+      | Sim.Forward _ | Sim.Consume -> ())
+    actions;
+  actions
+
+let by_time evs = List.stable_sort (fun a b -> Float.compare a.time b.time) evs
+
+let events t = by_time (List.rev_map snd t.log)
+
+let journey t fp =
+  List.rev t.log
+  |> List.filter_map (fun (f, e) -> if Int32.equal f fp then Some e else None)
+  |> by_time
+
+let pp_kind fmt = function
+  | Received p -> Format.fprintf fmt "received on port %d" p
+  | Consumed -> Format.pp_print_string fmt "consumed"
+  | Dropped r -> Format.fprintf fmt "dropped (%s)" r
+
+let pp_events fmt evs =
+  List.iter
+    (fun e -> Format.fprintf fmt "%.6fs  %-12s %a@." e.time e.node pp_kind e.kind)
+    evs

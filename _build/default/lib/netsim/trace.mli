@@ -1,0 +1,37 @@
+(** Packet-journey tracing.
+
+    A trace records, per node, what happened to traffic (received /
+    consumed / dropped with reason) with timestamps. Debugging aid
+    for examples and experiment post-mortems: render a journey to see
+    where a packet died.
+
+    Packets are identified by a caller-chosen fingerprint — by
+    default the CRC-32 of the buffer at observation time. Packets
+    that are rewritten in flight (TTL decrements etc.) change their
+    default fingerprint; pass a [fingerprint] that reads an invariant
+    field to follow them across hops. *)
+
+type event_kind =
+  | Received of Sim.port
+  | Consumed
+  | Dropped of string
+
+type event = { time : float; node : string; kind : event_kind }
+
+type t
+
+val attach : ?fingerprint:(Dip_bitbuf.Bitbuf.t -> int32) -> Sim.t -> t
+(** Start recording; local deliveries are captured automatically via
+    the simulator's consume hook. *)
+
+val wrap : t -> name:string -> Sim.handler -> Sim.handler
+(** Wrap a node's handler (use the same [name] as its
+    {!Sim.add_node}) so its receptions and drops are recorded. *)
+
+val events : t -> event list
+(** All recorded events in time order. *)
+
+val journey : t -> int32 -> event list
+(** Events whose packet fingerprint matched. *)
+
+val pp_events : Format.formatter -> event list -> unit

@@ -1,0 +1,36 @@
+(** Synthetic workload generators.
+
+    The paper evaluates with fixed-size packets (128, 768 and 1500
+    bytes, §4.2); richer experiments in this repository additionally
+    use Poisson arrivals and Zipf-distributed content popularity.
+    Every generator is deterministic in its seed. *)
+
+val paper_packet_sizes : int list
+(** The three sizes of Figure 2: [\[128; 768; 1500\]]. *)
+
+val payload : seed:int64 -> size:int -> bytes
+(** [size] pseudo-random payload bytes. *)
+
+val pad_to : Dip_bitbuf.Bitbuf.t -> int -> Dip_bitbuf.Bitbuf.t
+(** [pad_to pkt size] extends a header buffer with zero payload up
+    to [size] bytes total (returns the input unchanged if already at
+    least that long). Models "a header plus enough payload to reach
+    the wire size". *)
+
+type arrival = { time : float; index : int }
+
+val poisson_arrivals : seed:int64 -> rate:float -> count:int -> arrival list
+(** [count] arrivals with exponential inter-arrival times at [rate]
+    packets/second, starting at time 0. *)
+
+val constant_arrivals : interval:float -> count:int -> arrival list
+(** Evenly spaced arrivals. *)
+
+val zipf_names :
+  seed:int64 -> catalog:int -> count:int -> skew:float -> Dip_tables.Name.t list
+(** [count] content names drawn from a [catalog]-item corpus
+    ["/content/item<k>"] with Zipf(skew) popularity — the standard
+    NDN request model. *)
+
+val catalog_name : int -> Dip_tables.Name.t
+(** The canonical name of catalog item [k]. *)

@@ -1,0 +1,1 @@
+lib/opt/drkey.ml: Bytes Dip_crypto Dip_stdext List

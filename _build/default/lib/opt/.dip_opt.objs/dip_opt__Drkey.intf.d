@@ -1,0 +1,1 @@
+lib/opt/drkey.mli: Dip_stdext

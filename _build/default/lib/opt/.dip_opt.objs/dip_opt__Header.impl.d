@@ -1,0 +1,1 @@
+lib/opt/header.ml: Dip_bitbuf Int64

@@ -1,0 +1,1 @@
+lib/opt/header.mli: Dip_bitbuf

@@ -1,0 +1,1 @@
+lib/opt/protocol.ml: Char Dip_bitbuf Dip_crypto Format Header List String

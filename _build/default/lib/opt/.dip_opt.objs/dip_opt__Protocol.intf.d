@@ -1,0 +1,1 @@
+lib/opt/protocol.mli: Dip_bitbuf Drkey Format

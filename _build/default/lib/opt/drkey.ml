@@ -1,0 +1,16 @@
+type secret = Dip_crypto.Prf.key
+
+let secret_of_string = Dip_crypto.Prf.key_of_string
+
+let secret_gen g =
+  Dip_crypto.Prf.key_of_string (Bytes.to_string (Dip_stdext.Prng.bytes g 16))
+
+type session_key = string
+
+let derive secret ~session_id =
+  Dip_crypto.Prf.derive_int secret ~label:"opt-session" session_id
+
+let derive_for secret ~label input = Dip_crypto.Prf.derive secret ~label input
+
+let session_keys secrets ~session_id =
+  List.map (fun s -> derive s ~session_id) secrets

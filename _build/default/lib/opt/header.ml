@@ -1,0 +1,46 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+
+let size_bits ~hops =
+  if hops < 1 then invalid_arg "Opt.Header.size_bits: need at least one hop";
+  416 + (128 * hops)
+
+let size_bytes ~hops = size_bits ~hops / 8
+
+let data_hash_field = Field.v ~off_bits:0 ~len_bits:128
+let session_id_field = Field.v ~off_bits:128 ~len_bits:128
+let timestamp_field = Field.v ~off_bits:256 ~len_bits:32
+let pvf_field = Field.v ~off_bits:288 ~len_bits:128
+
+let opv_field i =
+  if i < 1 then invalid_arg "Opt.Header.opv_field: hops are 1-based";
+  Field.v ~off_bits:(416 + (128 * (i - 1))) ~len_bits:128
+
+let mac_span_field = Field.v ~off_bits:0 ~len_bits:416
+let ver_span_field ~hops = Field.v ~off_bits:0 ~len_bits:(size_bits ~hops)
+
+let at base (f : Field.t) =
+  Field.v ~off_bits:((8 * base) + f.Field.off_bits) ~len_bits:f.Field.len_bits
+
+let get_data_hash buf ~base = Bitbuf.get_field buf (at base data_hash_field)
+let set_data_hash buf ~base v = Bitbuf.set_field buf (at base data_hash_field) v
+
+(* The session id occupies the low 64 bits of its 128-bit field, the
+   upper half is reserved. *)
+let session_id_low base =
+  Field.v ~off_bits:((8 * base) + 128 + 64) ~len_bits:64
+
+let get_session_id buf ~base = Bitbuf.get_uint buf (session_id_low base)
+let set_session_id buf ~base v = Bitbuf.set_uint buf (session_id_low base) v
+
+let get_timestamp buf ~base =
+  Int64.to_int32 (Bitbuf.get_uint buf (at base timestamp_field))
+
+let set_timestamp buf ~base v =
+  Bitbuf.set_uint buf (at base timestamp_field)
+    (Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL)
+
+let get_pvf buf ~base = Bitbuf.get_field buf (at base pvf_field)
+let set_pvf buf ~base v = Bitbuf.set_field buf (at base pvf_field) v
+let get_opv buf ~base i = Bitbuf.get_field buf (at base (opv_field i))
+let set_opv buf ~base i v = Bitbuf.set_field buf (at base (opv_field i)) v

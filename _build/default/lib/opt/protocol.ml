@@ -1,0 +1,89 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Mac2em = Dip_crypto.Cbc_mac.Make (Dip_crypto.Even_mansour)
+module MacAes = Dip_crypto.Cbc_mac.Make (Dip_crypto.Aes128)
+
+type alg = EM2 | AES
+
+let mac ?(alg = EM2) ~key msg =
+  match alg with
+  | EM2 -> Mac2em.mac (Mac2em.expand_key key) msg
+  | AES -> MacAes.mac (MacAes.expand_key key) msg
+
+(* A fixed public key turns the MAC into an unkeyed compression
+   function standing in for a hash; see DESIGN.md substitutions. *)
+let hash_key = "opt-data-hash-k0"
+
+let hash_payload payload = mac ~alg:EM2 ~key:hash_key payload
+
+(* The 52-byte F_MAC input: bits [0,416) of the OPT region. *)
+let mac_span buf ~base =
+  Bitbuf.get_field buf
+    (Dip_bitbuf.Field.v ~off_bits:(8 * base) ~len_bits:416)
+
+let mac_span_with_pvf buf ~base ~pvf =
+  let s = mac_span buf ~base in
+  String.sub s 0 36 ^ pvf
+
+let source_init ?alg buf ~base ~hops ~session_id ~timestamp ~dest_key ~payload =
+  Header.set_data_hash buf ~base (hash_payload payload);
+  (* Clear the reserved upper half of the session-id field, then set
+     the id itself. *)
+  Bitbuf.set_field buf
+    (Dip_bitbuf.Field.v ~off_bits:((8 * base) + 128) ~len_bits:64)
+    (String.make 8 '\000');
+  Header.set_session_id buf ~base session_id;
+  Header.set_timestamp buf ~base timestamp;
+  Header.set_pvf buf ~base (mac ?alg ~key:dest_key (Header.get_data_hash buf ~base));
+  for i = 1 to hops do
+    Header.set_opv buf ~base i (String.make 16 '\000')
+  done
+
+let mac_update ?alg buf ~base ~hop ~key =
+  Header.set_opv buf ~base hop (mac ?alg ~key (mac_span buf ~base))
+
+let mark_update ?alg buf ~base ~key =
+  Header.set_pvf buf ~base (mac ?alg ~key (Header.get_pvf buf ~base))
+
+let router_update ?alg buf ~base ~hop ~key =
+  mac_update ?alg buf ~base ~hop ~key;
+  mark_update ?alg buf ~base ~key
+
+type failure = Bad_data_hash | Bad_opv of int | Bad_pvf
+
+let pp_failure fmt = function
+  | Bad_data_hash -> Format.pp_print_string fmt "data hash mismatch"
+  | Bad_opv i -> Format.fprintf fmt "OPV %d mismatch" i
+  | Bad_pvf -> Format.pp_print_string fmt "PVF mismatch"
+
+let ct_equal a b =
+  String.length a = String.length b
+  && begin
+       let diff = ref 0 in
+       String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code b.[i])) a;
+       !diff = 0
+     end
+
+let verify ?alg buf ~base ~hops ~session_keys ~dest_key ~payload =
+  if List.length session_keys <> hops then
+    invalid_arg "Opt.Protocol.verify: need one session key per hop";
+  let data_hash = Header.get_data_hash buf ~base in
+  let payload_ok =
+    match payload with
+    | None -> true
+    | Some p -> ct_equal data_hash (hash_payload p)
+  in
+  if not payload_ok then Error Bad_data_hash
+  else begin
+    (* Replay the chain from the seed PVF. *)
+    let rec go hop pvf = function
+      | [] -> if ct_equal pvf (Header.get_pvf buf ~base) then Ok () else Error Bad_pvf
+      | key :: rest ->
+          let expected_opv =
+            mac ?alg ~key (mac_span_with_pvf buf ~base ~pvf)
+          in
+          if not (ct_equal expected_opv (Header.get_opv buf ~base hop)) then
+            Error (Bad_opv hop)
+          else go (hop + 1) (mac ?alg ~key pvf) rest
+    in
+    go 1 (mac ?alg ~key:dest_key data_hash) session_keys
+  end

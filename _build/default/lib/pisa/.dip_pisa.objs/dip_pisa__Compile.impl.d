@@ -1,0 +1,1 @@
+lib/pisa/compile.ml: Array Cost Dip_bitbuf Dip_core Engine Env Fn Guard Header List Opkey Packet Printf Registry String

@@ -1,0 +1,1 @@
+lib/pisa/compile.mli: Cost Dip_bitbuf Dip_core Dip_opt

@@ -1,0 +1,1 @@
+lib/pisa/cost.ml: Dip_core Dip_crypto Dip_opt List Stdlib

@@ -1,0 +1,1 @@
+lib/pisa/cost.mli: Dip_core Dip_opt

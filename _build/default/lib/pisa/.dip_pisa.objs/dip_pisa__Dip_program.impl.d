@@ -1,0 +1,1 @@
+lib/pisa/dip_program.ml: Dip_bitbuf Dip_tables Int64 List Parser Phv Pipeline Table

@@ -1,0 +1,1 @@
+lib/pisa/dip_program.mli: Dip_bitbuf Dip_tables Parser Pipeline

@@ -1,0 +1,1 @@
+lib/pisa/parser.ml: Dip_bitbuf Hashtbl List Phv

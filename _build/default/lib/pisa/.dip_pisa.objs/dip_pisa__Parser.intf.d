@@ -1,0 +1,1 @@
+lib/pisa/parser.mli: Dip_bitbuf Phv

@@ -1,0 +1,1 @@
+lib/pisa/phv.ml: Dip_bitbuf Hashtbl Printf

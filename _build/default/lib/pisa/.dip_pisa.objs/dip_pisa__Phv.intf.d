@@ -1,0 +1,1 @@
+lib/pisa/phv.mli: Dip_bitbuf

@@ -1,0 +1,1 @@
+lib/pisa/pipeline.ml: Cost List Phv Printf Table

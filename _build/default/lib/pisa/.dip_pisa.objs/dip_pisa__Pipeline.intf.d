@@ -1,0 +1,1 @@
+lib/pisa/pipeline.mli: Cost Phv Table

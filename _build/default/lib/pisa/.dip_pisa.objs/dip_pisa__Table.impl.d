@@ -1,0 +1,1 @@
+lib/pisa/table.ml: Hashtbl Int64 List Phv

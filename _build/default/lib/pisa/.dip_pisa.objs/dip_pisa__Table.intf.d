@@ -1,0 +1,1 @@
+lib/pisa/table.mli: Phv

@@ -1,0 +1,51 @@
+(** Unrolled FN dispatch — the §4.1 compilation strategy.
+
+    "It was challenging to implement a loop to invoke the operation
+    modules. We use the simple 'if-else' statement with FN_Num to
+    determine how many field operations to perform. The field slices
+    … are restricted to not using variables, therefore we preset some
+    fixed field slices and use some tables to match the target
+    field."
+
+    {!compile} takes a {e template} DIP packet and pre-resolves
+    everything Algorithm 1 would do per packet: the FN triples are
+    parsed once, each operation module is looked up once, and each
+    target field becomes a preset slice. The compiled program then
+    processes any packet with the {e same header shape} (same FN
+    definitions and locations length — the preset-slice restriction)
+    without re-parsing or re-dispatching. The dispatch ablation (A1
+    in DESIGN.md) measures interpreter vs compiled on identical
+    packets. *)
+
+type t
+
+val compile :
+  registry:Dip_core.Registry.t ->
+  template:Dip_bitbuf.Bitbuf.t ->
+  (t, string) result
+(** Pre-resolve a packet shape. Fails on unparseable templates or on
+    router-mandatory FNs missing from the registry. *)
+
+val fn_count : t -> int
+(** Router-side operations in the unrolled program. *)
+
+val keys : t -> Dip_core.Opkey.t list
+(** The router-side operation keys, in execution order. *)
+
+val matches : t -> Dip_bitbuf.Bitbuf.t -> bool
+(** Whether a packet has the template's header shape (the cheap
+    runtime check the preset slices rely on). *)
+
+val run :
+  t ->
+  Dip_core.Env.t ->
+  now:float ->
+  ingress:Dip_core.Env.port ->
+  Dip_bitbuf.Bitbuf.t ->
+  Dip_core.Engine.verdict
+(** Execute the unrolled program on a packet of the compiled shape.
+    Returns [Dropped "shape-mismatch"] when {!matches} fails —
+    a real switch would send such packets to the slow path. *)
+
+val estimate : t -> ?alg:Dip_opt.Protocol.alg -> ?parallel:bool -> Cost.config -> Cost.estimate
+(** The cost model's view of this program. *)

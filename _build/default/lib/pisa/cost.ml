@@ -1,0 +1,84 @@
+type config = {
+  stages_per_pass : int;
+  stage_ns : float;
+  parse_ns_per_byte : float;
+  resubmit_ns : float;
+}
+
+let tofino_like =
+  { stages_per_pass = 12; stage_ns = 33.0; parse_ns_per_byte = 1.0; resubmit_ns = 100.0 }
+
+type op_cost = { stages : int; extra_passes : int }
+
+let crypto_cost ~alg =
+  match alg with
+  | Dip_opt.Protocol.EM2 ->
+      (* 2EM "can be completed without resubmitting the packet"
+         (§4.1): the ARX rounds spread over a few ALU stages. *)
+      { stages = 4; extra_passes = 0 }
+  | Dip_opt.Protocol.AES ->
+      (* "the AES needs to resubmit the packet" (§4.1). *)
+      { stages = 4; extra_passes = Dip_crypto.Aes128.passes - 1 }
+
+let op_cost ~alg = function
+  | Dip_core.Opkey.F_32_match -> { stages = 1; extra_passes = 0 }
+  | Dip_core.Opkey.F_128_match -> { stages = 2; extra_passes = 0 }
+  | Dip_core.Opkey.F_source -> { stages = 0; extra_passes = 0 }
+  | Dip_core.Opkey.F_fib -> { stages = 2; extra_passes = 0 } (* FIB + PIT insert *)
+  | Dip_core.Opkey.F_pit -> { stages = 1; extra_passes = 0 }
+  | Dip_core.Opkey.F_parm ->
+      (* Table lookup for the local key plus one cipher call for the
+         DRKey derivation. *)
+      let c = crypto_cost ~alg in
+      { stages = 1 + c.stages; extra_passes = c.extra_passes }
+  | Dip_core.Opkey.F_mac ->
+      (* CBC-MAC over 52 header bytes: 4 blocks + length block. *)
+      let c = crypto_cost ~alg in
+      { stages = 5 * c.stages; extra_passes = 5 * c.extra_passes }
+  | Dip_core.Opkey.F_mark ->
+      (* One block over the 16-byte PVF (plus its length block). *)
+      let c = crypto_cost ~alg in
+      { stages = 2 * c.stages; extra_passes = 2 * c.extra_passes }
+  | Dip_core.Opkey.F_ver ->
+      (* Host side; a switch would never run it, charge like F_mac. *)
+      let c = crypto_cost ~alg in
+      { stages = 5 * c.stages; extra_passes = 5 * c.extra_passes }
+  | Dip_core.Opkey.F_dag -> { stages = 3; extra_passes = 0 }
+  | Dip_core.Opkey.F_intent -> { stages = 1; extra_passes = 0 }
+  | Dip_core.Opkey.F_pass -> { stages = 2; extra_passes = 0 }
+  | Dip_core.Opkey.F_cc -> { stages = 2; extra_passes = 0 }
+  | Dip_core.Opkey.F_tel -> { stages = 1; extra_passes = 0 }
+  | Dip_core.Opkey.F_hvf ->
+      (* Key derivation plus check plus update: three short MACs. *)
+      let c = crypto_cost ~alg in
+      { stages = 3 * c.stages; extra_passes = 3 * c.extra_passes }
+
+type estimate = { passes : int; stages_used : int; time_ns : float }
+
+let estimate config ?(alg = Dip_opt.Protocol.EM2) ?(parallel = false)
+    ~header_bytes keys =
+  if config.stages_per_pass < 1 then invalid_arg "Pisa.Cost.estimate: bad config";
+  let costs = List.map (op_cost ~alg) keys in
+  let stages_used = List.fold_left (fun a c -> a + c.stages) 0 costs in
+  let forced_passes = List.fold_left (fun a c -> a + c.extra_passes) 0 costs in
+  let effective_stages =
+    if parallel && List.length keys > 1 then
+      (* Modular parallelism (refs [31,32]): independent modules run
+         in distinct pipeline units; approximate as a 2-way split. *)
+      (stages_used + 1) / 2
+    else stages_used
+  in
+  let fit_passes =
+    Stdlib.max 1
+      ((effective_stages + config.stages_per_pass - 1) / config.stages_per_pass)
+  in
+  let passes = fit_passes + forced_passes in
+  let pipeline_ns =
+    float_of_int config.stages_per_pass *. config.stage_ns
+  in
+  let time_ns =
+    (config.parse_ns_per_byte *. float_of_int header_bytes)
+    +. (float_of_int passes *. pipeline_ns)
+    +. (float_of_int (passes - 1) *. config.resubmit_ns)
+  in
+  { passes; stages_used = effective_stages; time_ns }

@@ -1,0 +1,57 @@
+(** The PISA cost model: what the paper's Tofino would pay.
+
+    The prototype ran on a Barefoot Tofino S9180-32X with three
+    §4.1 compromises baked in:
+
+    + no loops — FN dispatch is an if-else chain on FN_Num, so every
+      executed operation consumes match-action {e stages};
+    + fixed field slices — slice extraction is free at runtime but
+      bounded per pass;
+    + no runtime programmability — operation modules are pre-written
+      and selected by key.
+
+    A packet traverses the pipeline in one or more {e passes}; an
+    operation that does not fit the remaining stages (or that, like
+    AES, needs more rounds than one traversal offers) forces a
+    {e resubmit}. Time = parse + passes × pipeline latency. The
+    absolute constants are calibrated to public Tofino figures
+    (~400 ns pipeline latency); the model's purpose is relative
+    shape, not nanosecond fidelity (DESIGN.md §2). *)
+
+type config = {
+  stages_per_pass : int;  (** match-action stages per traversal *)
+  stage_ns : float;  (** per-stage latency *)
+  parse_ns_per_byte : float;  (** programmable parser cost *)
+  resubmit_ns : float;  (** fixed penalty per extra pass *)
+}
+
+val tofino_like : config
+(** 12 stages, 400 ns/pass-ish constants. *)
+
+(** Per-operation resource demand. *)
+type op_cost = { stages : int; extra_passes : int }
+
+val op_cost : alg:Dip_opt.Protocol.alg -> Dip_core.Opkey.t -> op_cost
+(** Stage/pass demand of one operation module. The MAC operations
+    cost [extra_passes > 0] under AES (the §4.1 resubmission) and 0
+    under 2EM. *)
+
+type estimate = {
+  passes : int;
+  stages_used : int;
+  time_ns : float;
+}
+
+val estimate :
+  config ->
+  ?alg:Dip_opt.Protocol.alg ->
+  ?parallel:bool ->
+  header_bytes:int ->
+  Dip_core.Opkey.t list ->
+  estimate
+(** Model the per-hop cost of executing the given (router-side)
+    operation keys on a packet with [header_bytes] of DIP header.
+    With [parallel] (the §2.2 flag), independent operations share
+    stages: the stage demand is the maximum over dependency levels
+    rather than the sum — we approximate by dividing the
+    non-crypto stage demand evenly. *)

@@ -1,0 +1,129 @@
+module Field = Dip_bitbuf.Field
+module Ipaddr = Dip_tables.Ipaddr
+
+(* DIP-32 wire layout (Realize.ipv4): 6-byte basic header, two 6-byte
+   FN triples, then the 8-byte locations region (dst ∥ src). *)
+
+let f ~off ~len = Field.v ~off_bits:off ~len_bits:len
+
+let parser () =
+  Parser.build ~start:"start"
+    [
+      {
+        Parser.name = "start";
+        extracts =
+          [
+            { Parser.container = "fn_num"; field = f ~off:8 ~len:8 };
+            { Parser.container = "hop_limit"; field = f ~off:16 ~len:8 };
+            { Parser.container = "param"; field = f ~off:24 ~len:16 };
+          ];
+        transition = Parser.Select ("fn_num", [ (2L, "dip32") ], "reject");
+      };
+      {
+        Parser.name = "dip32";
+        extracts =
+          [
+            (* Operation keys of the two triples (offset 4 within
+               each 6-byte triple), tag bit masked in the table. *)
+            { Parser.container = "fn1_key"; field = f ~off:(8 * 10) ~len:16 };
+            { Parser.container = "fn2_key"; field = f ~off:(8 * 16) ~len:16 };
+            (* Preset slices: destination and source in the
+               locations region at byte 18. *)
+            { Parser.container = "dip32_dst"; field = f ~off:(8 * 18) ~len:32 };
+            { Parser.container = "dip32_src"; field = f ~off:(8 * 22) ~len:32 };
+          ];
+        transition = Parser.Accept;
+      };
+      {
+        Parser.name = "reject";
+        extracts = [];
+        transition = Parser.Reject "unsupported shape (preset slices)";
+      };
+    ]
+
+let noop _ = ()
+
+let key_table ~stage ~container ~expect =
+  let t =
+    Table.create
+      ~default:("drop_unknown_op", fun phv -> Phv.drop phv "unknown-op")
+      ~name:stage ~key:container Table.Exact
+  in
+  Table.add_exact t (Int64.of_int expect) ~name:"valid_op" noop;
+  t
+
+let pipeline ~routes () =
+  let lpm =
+    Table.create
+      ~default:("drop_no_route", fun phv -> Phv.drop phv "no-route")
+      ~name:"ipv4_lpm" ~key:"dip32_dst" Table.Lpm
+  in
+  List.iter
+    (fun (prefix, port) ->
+      match prefix.Ipaddr.Prefix.addr with
+      | Ipaddr.Prefix.V4 a ->
+          Table.add_lpm lpm
+            ~value:(Int64.logand (Int64.of_int32 a) 0xFFFFFFFFL)
+            ~prefix_len:prefix.Ipaddr.Prefix.len ~width:32 ~name:"set_egress"
+            (fun phv -> Phv.set_egress phv port)
+      | Ipaddr.Prefix.V6 _ ->
+          invalid_arg "Dip_program.pipeline: v6 route in the DIP-32 program")
+    routes;
+  let hop =
+    let t =
+      Table.create
+        ~default:
+          ( "decrement_hop",
+            fun phv -> Phv.set phv "hop_limit" (Int64.sub (Phv.get phv "hop_limit") 1L) )
+        ~name:"hop_limit" ~key:"hop_limit" Table.Ternary
+    in
+    (* Exact-match entries on the expiring values, expressed as
+       full-mask ternary entries. *)
+    Table.add_ternary t ~value:0L ~mask:0xFFL ~priority:0 ~name:"drop_expired"
+      (fun phv -> Phv.drop phv "hop-limit-expired");
+    Table.add_ternary t ~value:1L ~mask:0xFFL ~priority:0 ~name:"drop_expired"
+      (fun phv -> Phv.drop phv "hop-limit-expired");
+    t
+  in
+  Pipeline.build
+    [
+      { Pipeline.label = "fn1"; tables = [ key_table ~stage:"fn1_dispatch" ~container:"fn1_key" ~expect:1 ] };
+      { Pipeline.label = "route"; tables = [ lpm ] };
+      { Pipeline.label = "fn2"; tables = [ key_table ~stage:"fn2_dispatch" ~container:"fn2_key" ~expect:3 ] };
+      { Pipeline.label = "hop"; tables = [ hop ] };
+    ]
+
+type verdict = Forward of int | Drop of string
+
+let process parser pipeline packet =
+  match Parser.run parser packet with
+  | Error e -> (Drop e, None)
+  | Ok phv -> (
+      let result = Pipeline.run pipeline phv in
+      match (result.Pipeline.dropped, result.Pipeline.egress) with
+      | Some reason, _ -> (Drop reason, Some result)
+      | None, Some port -> (Forward port, Some result)
+      | None, None -> (Drop "no-decision", Some result))
+
+(* A stylized multi-pass MAC: each pass completes a few "rounds" and
+   resubmits until done — the AES pattern of §4.1. The round counter
+   lives in PHV metadata, surviving resubmission like Tofino's
+   resubmit metadata. *)
+let demo_resubmit_pipeline ~rounds =
+  let mac =
+    Table.create
+      ~default:
+        ( "mac_round",
+          fun phv ->
+            let done_ = Phv.get_meta phv "mac_rounds" in
+            if Int64.to_int done_ + 1 >= rounds then begin
+              Phv.set_meta phv "mac_rounds" (Int64.of_int rounds);
+              Phv.set_egress phv 1
+            end
+            else begin
+              Phv.set_meta phv "mac_rounds" (Int64.add done_ 1L);
+              Phv.request_resubmit phv
+            end )
+      ~name:"mac" ~key:"hop_limit" Table.Exact
+  in
+  Pipeline.build [ { Pipeline.label = "mac"; tables = [ mac ] } ]

@@ -1,0 +1,35 @@
+(** The DIP dataplane program of §4.1, expressed on the PISA
+    pipeline abstraction — what the paper's P4 prototype looks like
+    in this repository.
+
+    The program handles the DIP-32 forwarding shape (the packet
+    layout of {!Dip_core.Realize.ipv4}): the parser checks FN_Num,
+    extracts the operation keys of both FN triples and the preset
+    destination/source slices; the stages then
+
+    + validate FN 1's key against the installed module (key 1),
+    + longest-prefix-match the destination slice,
+    + validate FN 2's key (key 3),
+    + decrement the hop limit (dropping expired packets).
+
+    Packets of any other shape are rejected by the parser — the
+    "preset fixed field slices" restriction, honest to the
+    hardware. *)
+
+val parser : unit -> Parser.t
+(** The DIP-32 parse graph. *)
+
+val pipeline :
+  routes:(Dip_tables.Ipaddr.Prefix.t * int) list -> unit -> Pipeline.t
+(** The four-stage match-action program with the given v4 routes
+    installed in the LPM stage. *)
+
+type verdict = Forward of int | Drop of string
+
+val process : Parser.t -> Pipeline.t -> Dip_bitbuf.Bitbuf.t -> verdict * Pipeline.result option
+(** Parse + run. [None] result when the parser rejected. *)
+
+val demo_resubmit_pipeline : rounds:int -> Pipeline.t
+(** A pipeline whose MAC stage requests [rounds] resubmissions
+    before accepting — the AES-on-Tofino pattern, used by tests and
+    the dispatch ablation to show pass accounting. *)

@@ -1,0 +1,76 @@
+type extract = { container : string; field : Dip_bitbuf.Field.t }
+
+type state = { name : string; extracts : extract list; transition : transition }
+
+and transition =
+  | Accept
+  | Reject of string
+  | Select of string * (int64 * string) list * string
+
+type t = { start : string; states : (string, state) Hashtbl.t }
+
+let targets = function
+  | Accept | Reject _ -> []
+  | Select (_, cases, default) -> default :: List.map snd cases
+
+let build ~start states =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem tbl s.name then
+        invalid_arg ("Pisa.Parser.build: duplicate state " ^ s.name);
+      Hashtbl.replace tbl s.name s)
+    states;
+  if not (Hashtbl.mem tbl start) then
+    invalid_arg "Pisa.Parser.build: unknown start state";
+  List.iter
+    (fun s ->
+      List.iter
+        (fun target ->
+          if not (Hashtbl.mem tbl target) then
+            invalid_arg ("Pisa.Parser.build: unknown transition target " ^ target))
+        (targets s.transition))
+    states;
+  (* Cycle check by DFS. *)
+  let visiting = Hashtbl.create 16 in
+  let done_ = Hashtbl.create 16 in
+  let rec visit name =
+    if Hashtbl.mem done_ name then ()
+    else if Hashtbl.mem visiting name then
+      invalid_arg "Pisa.Parser.build: parser graph has a cycle"
+    else begin
+      Hashtbl.replace visiting name ();
+      List.iter visit (targets (Hashtbl.find tbl name).transition);
+      Hashtbl.remove visiting name;
+      Hashtbl.replace done_ name ()
+    end
+  in
+  visit start;
+  { start; states = tbl }
+
+let state_count t = Hashtbl.length t.states
+
+let run t packet =
+  let phv = Phv.create packet in
+  let rec step name =
+    let state = Hashtbl.find t.states name in
+    match
+      List.iter
+        (fun e -> Phv.bind phv e.container e.field)
+        state.extracts
+    with
+    | exception Invalid_argument _ -> Error ("parser: truncated at " ^ name)
+    | () -> (
+        match state.transition with
+        | Accept -> Ok phv
+        | Reject reason -> Error ("parser: " ^ reason)
+        | Select (container, cases, default) -> (
+            match Phv.get phv container with
+            | exception Not_found ->
+                Error ("parser: select on unbound container " ^ container)
+            | v -> (
+                match List.assoc_opt v cases with
+                | Some next -> step next
+                | None -> step default)))
+  in
+  step t.start

@@ -1,0 +1,36 @@
+(** The programmable parser: a finite state machine that extracts
+    preset slices into PHV containers.
+
+    §4.1: "The field slices in Barefoot Tofino are restricted to not
+    using variables, therefore we preset some fixed field slices".
+    Accordingly each parser state extracts containers at {e fixed}
+    offsets; branching on an extracted value (e.g. FN_Num) is how a
+    DIP parser selects between the preset layouts. *)
+
+type extract = { container : string; field : Dip_bitbuf.Field.t }
+
+type state = {
+  name : string;
+  extracts : extract list;
+  transition : transition;
+}
+
+and transition =
+  | Accept
+  | Reject of string
+  | Select of string * (int64 * string) list * string
+      (** [(container, cases, default)] — branch to a state by the
+          value of an already-extracted container. *)
+
+type t
+
+val build : start:string -> state list -> t
+(** Validate the graph: the start state and every transition target
+    must exist, and the graph must be cycle-free (a parser is a DAG).
+    Raises [Invalid_argument] otherwise. *)
+
+val run : t -> Dip_bitbuf.Bitbuf.t -> (Phv.t, string) result
+(** Parse: walk the FSM, extracting into a fresh PHV. Fails cleanly
+    when an extraction exceeds the packet or the FSM rejects. *)
+
+val state_count : t -> int

@@ -1,0 +1,54 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+
+type t = {
+  packet : Bitbuf.t;
+  containers : (string, Field.t) Hashtbl.t;
+  meta : (string, int64) Hashtbl.t;
+  mutable egress : int option;
+  mutable dropped : string option;
+  mutable resubmit : bool;
+}
+
+let create packet =
+  {
+    packet;
+    containers = Hashtbl.create 16;
+    meta = Hashtbl.create 8;
+    egress = None;
+    dropped = None;
+    resubmit = false;
+  }
+
+let packet t = t.packet
+
+let bind t name field =
+  if Field.last_bit field > Bitbuf.bit_length t.packet then
+    invalid_arg
+      (Printf.sprintf "Phv.bind: container %S exceeds the packet" name);
+  Hashtbl.replace t.containers name field
+
+let bound t name = Hashtbl.mem t.containers name
+
+let field_of t name =
+  match Hashtbl.find_opt t.containers name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let get t name = Bitbuf.get_uint t.packet (field_of t name)
+let set t name v = Bitbuf.set_uint t.packet (field_of t name) v
+let get_bytes t name = Bitbuf.get_field t.packet (field_of t name)
+let set_bytes t name v = Bitbuf.set_field t.packet (field_of t name) v
+
+let get_meta t name =
+  match Hashtbl.find_opt t.meta name with Some v -> v | None -> 0L
+
+let set_meta t name v = Hashtbl.replace t.meta name v
+
+let egress t = t.egress
+let set_egress t p = t.egress <- Some p
+let drop t reason = t.dropped <- Some reason
+let dropped t = t.dropped
+let request_resubmit t = t.resubmit <- true
+let resubmit_requested t = t.resubmit
+let clear_resubmit t = t.resubmit <- false

@@ -1,0 +1,54 @@
+(** The Packet Header Vector — the per-packet state a PISA pipeline
+    operates on.
+
+    A PISA parser deposits header fields into named containers; the
+    match-action stages read and write those containers and a small
+    set of metadata registers (egress port, drop, resubmit). §4.1's
+    "preset fixed field slices" are exactly containers whose
+    positions were fixed at compile time: a container is a name bound
+    to a {!Dip_bitbuf.Field.t} of the underlying packet, so container
+    writes go straight to the wire bytes (as in hardware, where
+    deparsing re-emits the containers). *)
+
+type t
+
+val create : Dip_bitbuf.Bitbuf.t -> t
+(** Wrap a packet with no containers bound yet. *)
+
+val packet : t -> Dip_bitbuf.Bitbuf.t
+
+val bind : t -> string -> Dip_bitbuf.Field.t -> unit
+(** Bind a container name to a packet field (parser extraction).
+    Rebinding replaces. Raises [Invalid_argument] if the field falls
+    outside the packet. *)
+
+val bound : t -> string -> bool
+
+val get : t -> string -> int64
+(** Read a container (≤ 64 bits). Raises [Not_found] for unbound
+    names. *)
+
+val set : t -> string -> int64 -> unit
+(** Write a container; the packet bytes change underneath. *)
+
+val get_bytes : t -> string -> string
+val set_bytes : t -> string -> string -> unit
+(** Wide-container access (e.g. 128-bit tags). *)
+
+val field_of : t -> string -> Dip_bitbuf.Field.t
+(** The slice a container is bound to. *)
+
+(** {1 Standard metadata} *)
+
+val get_meta : t -> string -> int64
+(** 0 when never set. *)
+
+val set_meta : t -> string -> int64 -> unit
+
+val egress : t -> int option
+val set_egress : t -> int -> unit
+val drop : t -> string -> unit
+val dropped : t -> string option
+val request_resubmit : t -> unit
+val resubmit_requested : t -> bool
+val clear_resubmit : t -> unit

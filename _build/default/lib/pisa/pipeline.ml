@@ -1,0 +1,60 @@
+type stage = { label : string; tables : Table.t list }
+
+type t = { stages : stage list; max_passes : int }
+
+let build ?(config = Cost.tofino_like) ?(max_passes = 8) stages =
+  if stages = [] then invalid_arg "Pisa.Pipeline.build: no stages";
+  if List.length stages > config.Cost.stages_per_pass then
+    invalid_arg
+      (Printf.sprintf
+         "Pisa.Pipeline.build: %d stages exceed the %d-stage pipeline"
+         (List.length stages) config.Cost.stages_per_pass);
+  if max_passes < 1 then invalid_arg "Pisa.Pipeline.build: max_passes";
+  { stages; max_passes }
+
+type result = {
+  egress : int option;
+  dropped : string option;
+  passes : int;
+  tables_applied : int;
+  trace : (string * string) list;
+}
+
+let stage_count t = List.length t.stages
+
+let run t phv =
+  let tables_applied = ref 0 in
+  let trace = ref [] in
+  let one_pass () =
+    List.iter
+      (fun stage ->
+        if Phv.dropped phv = None then
+          List.iter
+            (fun table ->
+              if Phv.dropped phv = None then begin
+                incr tables_applied;
+                let action = Table.apply table phv in
+                trace := (Table.name table, action) :: !trace
+              end)
+            stage.tables)
+      t.stages
+  in
+  let rec go pass =
+    Phv.clear_resubmit phv;
+    one_pass ();
+    if Phv.dropped phv = None && Phv.resubmit_requested phv then
+      if pass >= t.max_passes then begin
+        Phv.drop phv "resubmit-limit";
+        pass
+      end
+      else go (pass + 1)
+    else pass
+  in
+  let passes = go 1 in
+  {
+    egress = Phv.egress phv;
+    dropped = Phv.dropped phv;
+    passes;
+    tables_applied = !tables_applied;
+    trace = List.rev !trace;
+  }

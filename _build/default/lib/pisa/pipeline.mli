@@ -1,0 +1,34 @@
+(** A PISA pipeline: an ordered sequence of match-action stages with
+    resubmission.
+
+    A packet's PHV flows through every stage once per pass; an action
+    may set the egress port, drop, or request a {e resubmit}, which
+    sends the PHV through the pipeline again — the mechanism §4.1
+    says AES would need on Tofino. The pipeline enforces the stage
+    budget (a pass has a fixed number of stages) and a resubmission
+    cap, and reports pass/stage accounting to the caller so measured
+    behaviour and the {!Cost} model can be compared. *)
+
+type stage = { label : string; tables : Table.t list }
+
+type t
+
+val build : ?config:Cost.config -> ?max_passes:int -> stage list -> t
+(** Raises [Invalid_argument] if there are more stages than the
+    configuration's [stages_per_pass] (the program does not fit the
+    chip) or no stages at all. [max_passes] defaults to 8. *)
+
+type result = {
+  egress : int option;
+  dropped : string option;
+  passes : int;
+  tables_applied : int;
+  trace : (string * string) list;  (** (table, action) in order *)
+}
+
+val run : t -> Phv.t -> result
+(** Send a parsed PHV through the pipeline. Resubmission repeats the
+    pass with the (possibly rewritten) headers; exceeding
+    [max_passes] drops with reason ["resubmit-limit"]. *)
+
+val stage_count : t -> int

@@ -1,0 +1,110 @@
+type action = Phv.t -> unit
+
+type kind = Exact | Lpm | Ternary
+
+type entry = {
+  value : int64;
+  mask : int64; (* for ternary; for lpm derived from prefix_len *)
+  prefix_len : int; (* lpm *)
+  priority : int; (* ternary *)
+  action_name : string;
+  action : action;
+}
+
+type t = {
+  name : string;
+  key : string;
+  kind : kind;
+  default_name : string;
+  default : action;
+  exact : (int64, entry) Hashtbl.t;
+  mutable listed : entry list; (* lpm / ternary entries *)
+}
+
+let create ?default ~name ~key kind =
+  let default_name, default =
+    match default with Some (n, a) -> (n, a) | None -> ("NoAction", fun _ -> ())
+  in
+  {
+    name;
+    key;
+    kind;
+    default_name;
+    default;
+    exact = Hashtbl.create 64;
+    listed = [];
+  }
+
+let name t = t.name
+
+let size t =
+  match t.kind with
+  | Exact -> Hashtbl.length t.exact
+  | Lpm | Ternary -> List.length t.listed
+
+let add_exact t value ~name action =
+  if t.kind <> Exact then invalid_arg "Pisa.Table.add_exact: not an exact table";
+  Hashtbl.replace t.exact value
+    { value; mask = -1L; prefix_len = 0; priority = 0; action_name = name; action }
+
+let mask_of_prefix ~width ~prefix_len =
+  if prefix_len = 0 then 0L
+  else if prefix_len >= width then
+    if width = 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+  else
+    Int64.shift_left
+      (Int64.sub (Int64.shift_left 1L prefix_len) 1L)
+      (width - prefix_len)
+
+let add_lpm t ~value ~prefix_len ~width ~name action =
+  if t.kind <> Lpm then invalid_arg "Pisa.Table.add_lpm: not an lpm table";
+  if prefix_len < 0 || prefix_len > width || width < 1 || width > 64 then
+    invalid_arg "Pisa.Table.add_lpm: bad prefix";
+  let mask = mask_of_prefix ~width ~prefix_len in
+  t.listed <-
+    { value = Int64.logand value mask; mask; prefix_len; priority = 0;
+      action_name = name; action }
+    :: t.listed
+
+let add_ternary t ~value ~mask ~priority ~name action =
+  if t.kind <> Ternary then invalid_arg "Pisa.Table.add_ternary: not ternary";
+  t.listed <-
+    { value = Int64.logand value mask; mask; prefix_len = 0; priority;
+      action_name = name; action }
+    :: t.listed
+
+let lookup t key_value =
+  match t.kind with
+  | Exact -> Hashtbl.find_opt t.exact key_value
+  | Lpm ->
+      List.fold_left
+        (fun best e ->
+          if Int64.logand key_value e.mask = e.value then
+            match best with
+            | Some b when b.prefix_len >= e.prefix_len -> best
+            | _ -> Some e
+          else best)
+        None t.listed
+  | Ternary ->
+      List.fold_left
+        (fun best e ->
+          if Int64.logand key_value e.mask = e.value then
+            match best with
+            | Some b when b.priority <= e.priority -> best
+            | _ -> Some e
+          else best)
+        None t.listed
+
+let apply t phv =
+  let hit =
+    match Phv.get phv t.key with
+    | exception Not_found -> None
+    | v -> lookup t v
+  in
+  match hit with
+  | Some e ->
+      e.action phv;
+      e.action_name
+  | None ->
+      t.default phv;
+      t.default_name

@@ -1,0 +1,37 @@
+(** Match-action tables — the unit of work in a PISA stage.
+
+    A table matches one PHV container (exact, LPM or ternary) and
+    runs the hit entry's action, or the default action on a miss
+    ("we … use some tables to match the target field", §4.1).
+    Actions are host-language closures over router state, exactly as
+    P4 actions compile to ALU configurations plus extern calls. *)
+
+type action = Phv.t -> unit
+
+type kind =
+  | Exact
+  | Lpm  (** entries carry a prefix length; longest wins *)
+  | Ternary  (** entries carry a mask; first-priority match wins *)
+
+type t
+
+val create : ?default:string * action -> name:string -> key:string -> kind -> t
+(** [key] names the PHV container matched. The default action (miss)
+    defaults to a no-op called ["NoAction"]. *)
+
+val name : t -> string
+val size : t -> int
+
+val add_exact : t -> int64 -> name:string -> action -> unit
+(** Raises [Invalid_argument] on a non-[Exact] table. *)
+
+val add_lpm : t -> value:int64 -> prefix_len:int -> width:int -> name:string -> action -> unit
+(** [width] is the container width in bits; the entry matches when
+    the top [prefix_len] bits agree. *)
+
+val add_ternary : t -> value:int64 -> mask:int64 -> priority:int -> name:string -> action -> unit
+(** Lower [priority] wins among matches. *)
+
+val apply : t -> Phv.t -> string
+(** Match the key container, run the chosen action, return its name.
+    A missing container counts as a miss. *)

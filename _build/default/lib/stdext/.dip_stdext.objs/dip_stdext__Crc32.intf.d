@@ -1,0 +1,1 @@
+lib/stdext/crc32.mli:

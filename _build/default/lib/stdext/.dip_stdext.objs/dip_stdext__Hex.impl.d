@@ -1,0 +1,1 @@
+lib/stdext/hex.ml: Bytes Char Format String

@@ -1,0 +1,1 @@
+lib/stdext/hex.mli: Format

@@ -1,0 +1,1 @@
+lib/stdext/tabular.ml: Array Buffer List String

@@ -1,0 +1,1 @@
+lib/stdext/tabular.mli:

@@ -1,0 +1,1 @@
+lib/tables/content_store.mli: Name

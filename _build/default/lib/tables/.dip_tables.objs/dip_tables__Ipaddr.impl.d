@@ -1,0 +1,1 @@
+lib/tables/ipaddr.ml: Bytes Format Int Int32 Int64 List Printf String

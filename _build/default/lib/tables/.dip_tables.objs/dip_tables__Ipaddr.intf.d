@@ -1,0 +1,1 @@
+lib/tables/ipaddr.mli: Format

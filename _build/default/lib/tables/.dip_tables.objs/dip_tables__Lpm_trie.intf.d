@@ -1,0 +1,1 @@
+lib/tables/lpm_trie.mli:

@@ -1,0 +1,1 @@
+lib/tables/lru.mli:

@@ -1,0 +1,1 @@
+lib/tables/name.ml: Buffer Char Dip_crypto Format List String

@@ -1,0 +1,1 @@
+lib/tables/name.mli: Format

@@ -1,0 +1,1 @@
+lib/tables/name_fib.ml: Hashtbl List Name

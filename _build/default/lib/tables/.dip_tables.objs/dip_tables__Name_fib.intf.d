@@ -1,0 +1,1 @@
+lib/tables/name_fib.mli: Name

@@ -1,0 +1,1 @@
+lib/tables/pit.ml: Float Hashtbl List Name

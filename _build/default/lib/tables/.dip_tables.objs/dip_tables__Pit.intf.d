@@ -1,0 +1,1 @@
+lib/tables/pit.mli: Name

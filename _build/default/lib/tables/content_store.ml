@@ -1,0 +1,99 @@
+(* Classic doubly-linked-list LRU with a hashtable index keyed on the
+   canonical name string. *)
+
+type 'v node = {
+  key : string;
+  name : Name.t;
+  mutable value : 'v;
+  mutable prev : 'v node option;
+  mutable next : 'v node option;
+}
+
+type 'v t = {
+  index : (string, 'v node) Hashtbl.t;
+  cap : int;
+  mutable head : 'v node option; (* most recent *)
+  mutable tail : 'v node option; (* least recent *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Content_store.create: capacity must be >= 1";
+  {
+    index = Hashtbl.create (2 * capacity);
+    cap = capacity;
+    head = None;
+    tail = None;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let size t = Hashtbl.length t.index
+let capacity t = t.cap
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  unlink t n;
+  push_front t n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.index n.key
+
+let insert t name v =
+  let key = Name.to_string name in
+  match Hashtbl.find_opt t.index key with
+  | Some n ->
+      n.value <- v;
+      touch t n
+  | None ->
+      if Hashtbl.length t.index >= t.cap then evict_lru t;
+      let n = { key; name; value = v; prev = None; next = None } in
+      Hashtbl.replace t.index key n;
+      push_front t n
+
+let find t name =
+  match Hashtbl.find_opt t.index (Name.to_string name) with
+  | Some n ->
+      t.hit_count <- t.hit_count + 1;
+      touch t n;
+      Some n.value
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      None
+
+let mem t name = Hashtbl.mem t.index (Name.to_string name)
+
+let remove t name =
+  match Hashtbl.find_opt t.index (Name.to_string name) with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.index n.key;
+      true
+  | None -> false
+
+let clear t =
+  Hashtbl.reset t.index;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,35 @@
+(** An LRU content store (cache) for NDN data packets.
+
+    The paper's prototype router "has no cached data" (§4.1,
+    footnote 2), but the same footnote describes the extension: "the
+    FIB matching module can be slightly modified to first match the
+    local content store and then match the FIB." This module is that
+    content store; the NDN forwarder and the {i F_FIB}-with-cache
+    variant both use it, and the content-poisoning ablation (§2.4's
+    {i F_pass} discussion) attacks it. *)
+
+type 'v t
+
+val create : capacity:int -> 'v t
+(** LRU cache holding at most [capacity] entries ([capacity >= 1]). *)
+
+val size : 'v t -> int
+val capacity : 'v t -> int
+
+val insert : 'v t -> Name.t -> 'v -> unit
+(** Insert (or refresh) an entry, evicting the least recently used
+    entry when full. *)
+
+val find : 'v t -> Name.t -> 'v option
+(** Lookup; a hit refreshes recency. *)
+
+val mem : 'v t -> Name.t -> bool
+(** Lookup without touching recency. *)
+
+val remove : 'v t -> Name.t -> bool
+
+val hits : 'v t -> int
+val misses : 'v t -> int
+(** Running hit/miss counters for cache-efficiency reporting. *)
+
+val clear : 'v t -> unit

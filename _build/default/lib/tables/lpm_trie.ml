@@ -1,0 +1,105 @@
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+}
+
+type 'a t = { root : 'a node; mutable count : int }
+
+let fresh () = { value = None; zero = None; one = None }
+let create () = { root = fresh (); count = 0 }
+let size t = t.count
+
+let child node bit = if bit then node.one else node.zero
+
+let set_child node bit c =
+  if bit then node.one <- c else node.zero <- c
+
+let insert t ~bits ~len v =
+  if len < 0 then invalid_arg "Lpm_trie.insert: negative length";
+  let rec go node i =
+    if i = len then begin
+      if node.value = None then t.count <- t.count + 1;
+      node.value <- Some v
+    end
+    else
+      let b = bits i in
+      let next =
+        match child node b with
+        | Some c -> c
+        | None ->
+            let c = fresh () in
+            set_child node b (Some c);
+            c
+      in
+      go next (i + 1)
+  in
+  go t.root 0
+
+let find_exact t ~bits ~len =
+  let rec go node i =
+    if i = len then node.value
+    else
+      match child node (bits i) with None -> None | Some c -> go c (i + 1)
+  in
+  go t.root 0
+
+let remove t ~bits ~len =
+  (* Returns (removed, prune) going back up. *)
+  let rec go node i =
+    if i = len then
+      match node.value with
+      | None -> (false, false)
+      | Some _ ->
+          node.value <- None;
+          t.count <- t.count - 1;
+          (true, node.zero = None && node.one = None)
+    else
+      match child node (bits i) with
+      | None -> (false, false)
+      | Some c ->
+          let removed, prune = go c (i + 1) in
+          if prune then set_child node (bits i) None;
+          ( removed,
+            removed && node.value = None && node.zero = None && node.one = None
+          )
+  in
+  fst (go t.root 0)
+
+let lookup t ~bits ~len =
+  let rec go node i best =
+    let best =
+      match node.value with Some v -> Some (i, v) | None -> best
+    in
+    if i = len then best
+    else
+      match child node (bits i) with
+      | None -> best
+      | Some c -> go c (i + 1) best
+  in
+  go t.root 0 None
+
+let fold f t init =
+  let rec go node path_rev len acc =
+    let acc =
+      match node.value with
+      | Some v -> f (len, List.rev path_rev) v acc
+      | None -> acc
+    in
+    let acc =
+      match node.zero with
+      | Some c -> go c (false :: path_rev) (len + 1) acc
+      | None -> acc
+    in
+    match node.one with
+    | Some c -> go c (true :: path_rev) (len + 1) acc
+    | None -> acc
+  in
+  go t.root [] 0 init
+
+let depth t =
+  let rec go node =
+    let d c = match c with None -> 0 | Some n -> 1 + go n in
+    max (d node.zero) (d node.one)
+  in
+  go t.root

@@ -1,0 +1,31 @@
+(** A generic bounded LRU map.
+
+    The backing store for every cache in the repository whose key is
+    not a content {!Name} (those use {!Content_store}): the DIP
+    engine's hashed-name content store, and any per-flow state that
+    must stay bounded per the §2.4 state-consumption rule. *)
+
+type ('k, 'v) t
+
+val create : ?hash:('k -> int) -> ?equal:('k -> 'k -> bool) -> capacity:int -> unit -> ('k, 'v) t
+(** Holds at most [capacity] entries ([>= 1]); the least recently
+    used entry is evicted on overflow. [hash]/[equal] default to the
+    polymorphic ones. *)
+
+val capacity : ('k, 'v) t -> int
+val size : ('k, 'v) t -> int
+
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or refresh. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** A hit refreshes recency. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** No recency effect. *)
+
+val remove : ('k, 'v) t -> 'k -> bool
+val clear : ('k, 'v) t -> unit
+
+val fold : ('k -> 'v -> 'a -> 'a) -> ('k, 'v) t -> 'a -> 'a
+(** Most recent first. *)

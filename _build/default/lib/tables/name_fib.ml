@@ -1,0 +1,90 @@
+type 'a node = {
+  children : (string, 'a node) Hashtbl.t;
+  mutable value : 'a option;
+}
+
+type 'a t = {
+  root : 'a node;
+  by_hash : (int32, 'a) Hashtbl.t;
+  mutable count : int;
+}
+
+let fresh () = { children = Hashtbl.create 4; value = None }
+
+let create () = { root = fresh (); by_hash = Hashtbl.create 64; count = 0 }
+let size t = t.count
+
+let insert t name v =
+  let rec go node = function
+    | [] ->
+        if node.value = None then t.count <- t.count + 1;
+        node.value <- Some v
+    | c :: rest ->
+        let next =
+          match Hashtbl.find_opt node.children c with
+          | Some n -> n
+          | None ->
+              let n = fresh () in
+              Hashtbl.add node.children c n;
+              n
+        in
+        go next rest
+  in
+  go t.root (Name.components name);
+  Hashtbl.replace t.by_hash (Name.hash32 name) v
+
+let remove t name =
+  let rec go node = function
+    | [] -> (
+        match node.value with
+        | None -> false
+        | Some _ ->
+            node.value <- None;
+            t.count <- t.count - 1;
+            true)
+    | c :: rest -> (
+        match Hashtbl.find_opt node.children c with
+        | None -> false
+        | Some n ->
+            let removed = go n rest in
+            if removed && n.value = None && Hashtbl.length n.children = 0 then
+              Hashtbl.remove node.children c;
+            removed)
+  in
+  let removed = go t.root (Name.components name) in
+  if removed then Hashtbl.remove t.by_hash (Name.hash32 name);
+  removed
+
+let lookup t name =
+  let rec go node comps taken best =
+    let best =
+      match node.value with
+      | Some v when taken > 0 -> Some (taken, v)
+      | Some v -> Some (taken, v) (* root binding: a default route *)
+      | None -> best
+    in
+    match comps with
+    | [] -> best
+    | c :: rest -> (
+        match Hashtbl.find_opt node.children c with
+        | None -> best
+        | Some n -> go n rest (taken + 1) best)
+  in
+  match go t.root (Name.components name) 0 None with
+  | None -> None
+  | Some (0, _) -> None (* a zero-component "name" cannot be built *)
+  | Some (k, v) -> Some (Name.prefix name k, v)
+
+let lookup_hash t h = Hashtbl.find_opt t.by_hash h
+
+let fold f t init =
+  let rec go node path_rev acc =
+    let acc =
+      match node.value with
+      | Some v when path_rev <> [] ->
+          f (Name.of_components (List.rev path_rev)) v acc
+      | _ -> acc
+    in
+    Hashtbl.fold (fun c n acc -> go n (c :: path_rev) acc) node.children acc
+  in
+  go t.root [] init

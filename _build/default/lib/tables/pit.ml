@@ -1,0 +1,55 @@
+type port = int
+
+type entry = { mutable ports : port list; mutable expires : float }
+
+type 'k t = { table : ('k, entry) Hashtbl.t; capacity : int }
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Pit.create: capacity must be positive";
+  { table = Hashtbl.create 256; capacity }
+
+let size t = Hashtbl.length t.table
+
+type outcome = Forwarded | Aggregated | Rejected
+
+let live t key now =
+  match Hashtbl.find_opt t.table key with
+  | Some e when e.expires > now -> Some e
+  | Some _ ->
+      Hashtbl.remove t.table key;
+      None
+  | None -> None
+
+let insert t ~key ~port ~now ~lifetime =
+  match live t key now with
+  | Some e ->
+      if not (List.mem port e.ports) then e.ports <- port :: e.ports;
+      e.expires <- Float.max e.expires (now +. lifetime);
+      Aggregated
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then Rejected
+      else begin
+        Hashtbl.replace t.table key { ports = [ port ]; expires = now +. lifetime };
+        Forwarded
+      end
+
+let consume t ~key ~now =
+  match live t key now with
+  | None -> []
+  | Some e ->
+      Hashtbl.remove t.table key;
+      List.rev e.ports
+
+let pending t ~key ~now =
+  match live t key now with None -> [] | Some e -> List.rev e.ports
+
+let purge_expired t ~now =
+  let dead =
+    Hashtbl.fold
+      (fun k e acc -> if e.expires <= now then k :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) dead;
+  List.length dead
+
+let hash32_key = Name.hash32

@@ -1,0 +1,1 @@
+lib/xia/dag.ml: Array Buffer Char Format List String Xid

@@ -1,0 +1,1 @@
+lib/xia/dag.mli: Format Xid

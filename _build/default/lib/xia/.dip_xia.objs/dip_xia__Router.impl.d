@@ -1,0 +1,1 @@
+lib/xia/router.ml: Char Dag Dip_bitbuf Dip_netsim Hashtbl List String Xid

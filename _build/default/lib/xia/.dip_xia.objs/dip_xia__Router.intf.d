@@ -1,0 +1,1 @@
+lib/xia/router.mli: Dag Dip_bitbuf Dip_netsim Xid

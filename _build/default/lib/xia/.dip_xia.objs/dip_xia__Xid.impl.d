@@ -1,0 +1,1 @@
+lib/xia/xid.ml: Bytes Char Dip_crypto Dip_stdext Format Hashtbl Int String

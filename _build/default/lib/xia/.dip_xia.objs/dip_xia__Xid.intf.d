@@ -1,0 +1,1 @@
+lib/xia/xid.mli: Format

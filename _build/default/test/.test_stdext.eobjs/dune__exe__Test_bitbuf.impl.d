@@ -1,0 +1,1 @@
+test/test_bitbuf.ml: Alcotest Array Bitbuf Bytes Char Dip_bitbuf Dip_stdext Field Int64 Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Control Dip_bitbuf Dip_core Dip_crypto Dip_ip Dip_netfence Dip_netsim Dip_opt Dip_tables Engine Env Errors Format Int64 List Opkey Ops Realize Registry String

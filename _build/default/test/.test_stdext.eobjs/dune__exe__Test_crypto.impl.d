@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes128 Alcotest Arx_perm Bytes Cbc_mac Char Dip_crypto Dip_stdext Even_mansour Int64 Prf Printf QCheck QCheck_alcotest Siphash String

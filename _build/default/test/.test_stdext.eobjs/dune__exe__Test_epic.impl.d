@@ -1,0 +1,1 @@
+test/test_epic.ml: Alcotest Dip_bitbuf Dip_core Dip_epic Dip_ip Dip_opt Dip_stdext Dip_tables Engine Env List Opkey Ops Packet Printf QCheck QCheck_alcotest Realize Registry Result String

@@ -1,0 +1,1 @@
+test/test_ip.ml: Alcotest Dip_bitbuf Dip_ip Dip_netsim Dip_tables Ipv4 Ipv6 List QCheck QCheck_alcotest String

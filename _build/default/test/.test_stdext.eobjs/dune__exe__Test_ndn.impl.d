@@ -1,0 +1,1 @@
+test/test_ndn.ml: Alcotest Dip_bitbuf Dip_ndn Dip_netsim Dip_tables Forwarder Gen List Map Option Packet Printf QCheck QCheck_alcotest String

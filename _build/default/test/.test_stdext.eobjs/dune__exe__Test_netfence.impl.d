@@ -1,0 +1,1 @@
+test/test_netfence.ml: Alcotest Dip_bitbuf Dip_core Dip_crypto Dip_ip Dip_netfence Dip_tables Engine Env Int32 List Ops Packet Printf QCheck QCheck_alcotest Realize Result String Telemetry

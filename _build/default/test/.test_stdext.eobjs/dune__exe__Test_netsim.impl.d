@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Dip_bitbuf Dip_netsim Dip_stdext Dip_tables Event_queue Float Format Fun List Printf Sim Stats String Topology Trace Workload

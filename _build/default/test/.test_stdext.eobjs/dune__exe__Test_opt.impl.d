@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Bytes Char Dip_bitbuf Dip_opt Dip_stdext Drkey Header List Protocol QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pisa.ml: Alcotest Compile Cost Dip_bitbuf Dip_core Dip_ip Dip_opt Dip_pisa Dip_program Dip_stdext Dip_tables Engine Env List Opkey Ops Parser Phv Pipeline Realize Registry String Table

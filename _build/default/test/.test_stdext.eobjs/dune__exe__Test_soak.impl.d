@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Dip_core Dip_ip Dip_netsim Dip_opt Dip_stdext Dip_tables Engine Env Int64 List Ops Printf Realize String

@@ -1,0 +1,1 @@
+test/test_stdext.ml: Alcotest Array Bytes Char Crc32 Dip_stdext Format Fun Hex Int64 Prng QCheck QCheck_alcotest String Tabular

@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Content_store Dip_stdext Dip_tables Fun Hashtbl Int32 Ipaddr List Lpm_trie Lru Name Name_fib Pit Printf QCheck QCheck_alcotest String

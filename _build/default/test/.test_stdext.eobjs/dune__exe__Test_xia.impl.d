@@ -1,0 +1,1 @@
+test/test_xia.ml: Alcotest Dag Dip_bitbuf Dip_netsim Dip_xia Fun List Printf QCheck QCheck_alcotest Router String Xid

@@ -1,0 +1,1087 @@
+(* Tests for the DIP core: FN triples, the header of Figure 1, packet
+   construction, Algorithm 1's engine, the five §3 realizations, the
+   §2.4 design concerns (guard, heterogeneous registries, F_pass,
+   compatibility) and the §2.3 bootstrap. *)
+
+open Dip_core
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+module Ipaddr = Dip_tables.Ipaddr
+module Name = Dip_tables.Name
+
+let v4 = Ipaddr.V4.of_string
+let v6 = Ipaddr.V6.of_string
+let reg = Ops.default_registry ()
+
+(* --- Opkey --- *)
+
+let test_opkey_table1 () =
+  (* Table 1's numbering must hold exactly. *)
+  let expect =
+    [
+      (1, "F_32_match", "32-bit address match");
+      (2, "F_128_match", "128-bit address match");
+      (3, "F_source", "source address");
+      (4, "F_FIB", "forwarding information base match");
+      (5, "F_PIT", "pending interest table match");
+      (6, "F_parm", "load parameters");
+      (7, "F_MAC", "calculate MAC");
+      (8, "F_mark", "mark update");
+      (9, "F_ver", "destination verification");
+      (10, "F_DAG", "parse the directed acyclic graph");
+      (11, "F_intent", "handle intent");
+    ]
+  in
+  List.iter
+    (fun (key, name, desc) ->
+      match Opkey.of_int key with
+      | None -> Alcotest.failf "key %d missing" key
+      | Some k ->
+          Alcotest.(check string) "notation" name (Opkey.name k);
+          Alcotest.(check string) "description" desc (Opkey.description k);
+          Alcotest.(check int) "roundtrip" key (Opkey.to_int k))
+    expect;
+  Alcotest.(check (option reject)) "key 0 unknown" None (Opkey.of_int 0);
+  (* Keys 13-15 are this repo's documented extensions (F_cc, F_tel,
+     F_hvf). *)
+  Alcotest.(check (option reject)) "key 16 unknown" None (Opkey.of_int 16)
+
+(* --- Fn --- *)
+
+let test_fn_wire_roundtrip () =
+  let fn = Fn.v ~loc:288 ~len:128 Opkey.F_mark in
+  let buf = Bitbuf.create 6 in
+  Fn.encode fn buf ~pos:0;
+  match Fn.decode buf ~pos:0 with
+  | Ok fn' -> Alcotest.(check bool) "equal" true (Fn.equal fn fn')
+  | Error e -> Alcotest.fail e
+
+let test_fn_size_is_6_bytes () =
+  (* 6-byte triples are what make Table 2 come out exactly. *)
+  Alcotest.(check int) "triple size" 6 Fn.size
+
+let test_fn_tag_bit () =
+  let fn = Fn.v ~tag:Fn.Host ~loc:0 ~len:544 Opkey.F_ver in
+  let buf = Bitbuf.create 6 in
+  Fn.encode fn buf ~pos:0;
+  (* Highest bit of the op-key word is the tag (§2.2). *)
+  Alcotest.(check bool) "tag bit set" true (Bitbuf.get_uint16 buf 4 land 0x8000 <> 0);
+  match Fn.decode buf ~pos:0 with
+  | Ok fn' -> Alcotest.(check bool) "host tag survives" true (fn'.Fn.tag = Fn.Host)
+  | Error e -> Alcotest.fail e
+
+let test_fn_decode_rejects () =
+  let buf = Bitbuf.create 6 in
+  Bitbuf.set_uint16 buf 2 8;
+  Bitbuf.set_uint16 buf 4 99 (* unknown key *);
+  (match Fn.decode buf ~pos:0 with
+  | Error e -> Alcotest.(check string) "unknown key" "unknown operation key 99" e
+  | Ok _ -> Alcotest.fail "accepted unknown key");
+  match Fn.decode (Bitbuf.create 4) ~pos:0 with
+  | Error e -> Alcotest.(check string) "truncated" "truncated FN triple" e
+  | Ok _ -> Alcotest.fail "accepted truncated triple"
+
+(* --- Header --- *)
+
+let test_header_roundtrip () =
+  let h =
+    { Header.next_header = 17; fn_num = 5; hop_limit = 64; parallel = true;
+      fn_loc_len = 72 }
+  in
+  let buf = Bitbuf.create (Header.header_length h) in
+  Header.encode h buf;
+  match Header.decode buf with
+  | Ok h' -> Alcotest.(check bool) "roundtrip" true (h = h')
+  | Error e -> Alcotest.fail e
+
+let test_header_basic_size () =
+  (* Table 2: "The basic DIP header occupies 6 bytes." *)
+  Alcotest.(check int) "basic header" 6 Header.basic_size
+
+let test_header_length_derivation () =
+  (* §2.2: header length = basic + FN_Num * 6 + FN_LocLen. *)
+  let h =
+    { Header.next_header = 0; fn_num = 4; hop_limit = 1; parallel = false;
+      fn_loc_len = 68 }
+  in
+  Alcotest.(check int) "OPT header length" 98 (Header.header_length h)
+
+let test_header_loc_len_limit () =
+  Alcotest.(check bool) "10-bit limit" true
+    (try
+       Header.encode
+         { Header.next_header = 0; fn_num = 0; hop_limit = 1; parallel = false;
+           fn_loc_len = 1024 }
+         (Bitbuf.create 8);
+       false
+     with Invalid_argument _ -> true)
+
+let test_header_hop_limit () =
+  let h =
+    { Header.next_header = 0; fn_num = 0; hop_limit = 2; parallel = false;
+      fn_loc_len = 0 }
+  in
+  let buf = Bitbuf.create 6 in
+  Header.encode h buf;
+  Alcotest.(check bool) "first decrement" true (Header.decrement_hop_limit buf);
+  Alcotest.(check bool) "second refused" false (Header.decrement_hop_limit buf)
+
+(* --- Packet --- *)
+
+let test_packet_build_parse () =
+  let fns = [ Fn.v ~loc:0 ~len:32 Opkey.F_fib ] in
+  let buf = Packet.build ~fns ~locations:"abcd" ~payload:"payload" () in
+  match Packet.parse buf with
+  | Ok view ->
+      Alcotest.(check int) "fn count" 1 (Array.length view.Packet.fns);
+      Alcotest.(check int) "loc base" 12 view.Packet.loc_base;
+      Alcotest.(check string) "target" "abcd"
+        (Packet.get_target view view.Packet.fns.(0));
+      Alcotest.(check string) "payload" "payload" (Packet.payload view)
+  | Error e -> Alcotest.fail e
+
+let test_packet_rejects_fn_out_of_bounds () =
+  Alcotest.(check bool) "FN beyond locations" true
+    (try
+       ignore
+         (Packet.build
+            ~fns:[ Fn.v ~loc:0 ~len:64 Opkey.F_fib ]
+            ~locations:"abcd" ~payload:"" ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_packet_parse_rejects_corrupt_fn () =
+  let buf = Packet.build ~fns:[ Fn.v ~loc:0 ~len:32 Opkey.F_fib ] ~locations:"abcd" ~payload:"" () in
+  (* Corrupt the FN length so the target exceeds the region. *)
+  Bitbuf.set_uint16 buf 8 999;
+  match Packet.parse buf with
+  | Error e ->
+      Alcotest.(check string) "bounds check" "FN 1: target exceeds locations region" e
+  | Ok _ -> Alcotest.fail "accepted out-of-bounds FN"
+
+let test_packet_set_target () =
+  let buf = Packet.build ~fns:[ Fn.v ~loc:8 ~len:16 Opkey.F_source ] ~locations:"abcd" ~payload:"" () in
+  match Packet.parse buf with
+  | Ok view ->
+      Packet.set_target view view.Packet.fns.(0) "XY";
+      Alcotest.(check string) "updated" "XY"
+        (Packet.get_target view view.Packet.fns.(0))
+  | Error e -> Alcotest.fail e
+
+(* --- Table 2: exact reproduction --- *)
+
+let test_table2_exact () =
+  let expect =
+    [
+      (Realize.P_ipv6_native, 40);
+      (Realize.P_ipv4_native, 20);
+      (Realize.P_dip128, 50);
+      (Realize.P_dip32, 26);
+      (Realize.P_ndn, 16);
+      (Realize.P_opt, 98);
+      (Realize.P_ndn_opt, 108);
+    ]
+  in
+  List.iter
+    (fun (p, bytes) ->
+      Alcotest.(check int) (Realize.protocol_name p) bytes
+        (Realize.header_overhead p))
+    expect
+
+(* --- Engine: DIP IP forwarding --- *)
+
+let env_with_v4_routes () =
+  let env = Env.create ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 3;
+  env
+
+let test_engine_dip32_forward () =
+  let env = env_with_v4_routes () in
+  let pkt = Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.1.2.3") ~payload:"x" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 3 ], info ->
+      Alcotest.(check int) "two router FNs ran" 2 info.Engine.ops_run
+  | v, _ -> Alcotest.failf "unexpected verdict %s"
+              (match v with Engine.Dropped r -> r | _ -> "?")
+
+let test_engine_dip32_no_route () =
+  let env = env_with_v4_routes () in
+  let pkt = Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "203.0.113.9") ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped "no-route", _ -> ()
+  | _ -> Alcotest.fail "expected no-route drop"
+
+let test_engine_dip32_local_delivery () =
+  let env = env_with_v4_routes () in
+  env.Env.local_v4 <- Some (v4 "10.1.2.3");
+  let pkt = Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.1.2.3") ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Delivered, _ -> ()
+  | _ -> Alcotest.fail "expected local delivery"
+
+let test_engine_dip128_forward () =
+  let env = Env.create ~name:"r" () in
+  Dip_ip.Ipv6.add_route env.Env.v6_routes (Ipaddr.Prefix.of_string "2001:db8::/32") 5;
+  let pkt =
+    Realize.ipv6 ~src:(v6 "2001:db8::1") ~dst:(v6 "2001:db8::99") ~payload:"" ()
+  in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 5 ], _ -> ()
+  | _ -> Alcotest.fail "expected v6 forward"
+
+let test_engine_hop_limit_decrement () =
+  let env = env_with_v4_routes () in
+  let pkt =
+    Realize.ipv4 ~hop_limit:2 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.0.0.1") ~payload:"" ()
+  in
+  (match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded _, _ -> ()
+  | _ -> Alcotest.fail "first hop forwards");
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped "hop-limit-expired", _ -> ()
+  | _ -> Alcotest.fail "second hop must expire"
+
+let test_engine_first_decision_wins () =
+  (* Two route-proposing FNs over different address fields: Algorithm 1
+     runs both, the first proposal sticks. *)
+  let env = Env.create ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "20.0.0.0/8") 2;
+  let locations =
+    Ipaddr.V4.to_wire (v4 "10.1.1.1") ^ Ipaddr.V4.to_wire (v4 "20.1.1.1")
+  in
+  let pkt =
+    Packet.build
+      ~fns:
+        [
+          Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+          Fn.v ~loc:32 ~len:32 Opkey.F_32_match;
+        ]
+      ~locations ~payload:"" ()
+  in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 1 ], info ->
+      Alcotest.(check int) "both FNs still ran" 2 info.Engine.ops_run
+  | _ -> Alcotest.fail "first route proposal must win"
+
+let test_engine_local_beats_later_route () =
+  let env = Env.create ~name:"r" () in
+  env.Env.local_v4 <- Some (v4 "10.1.1.1");
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "20.0.0.0/8") 2;
+  let locations =
+    Ipaddr.V4.to_wire (v4 "10.1.1.1") ^ Ipaddr.V4.to_wire (v4 "20.1.1.1")
+  in
+  let pkt =
+    Packet.build
+      ~fns:
+        [
+          Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+          Fn.v ~loc:32 ~len:32 Opkey.F_32_match;
+        ]
+      ~locations ~payload:"" ()
+  in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Delivered, _ -> ()
+  | _ -> Alcotest.fail "first (local-delivery) decision must win"
+
+let prop_opt_random_hops_verify =
+  (* The OPT chain must verify for any path length and payload. *)
+  QCheck.Test.make ~name:"opt over dip: random hop counts verify" ~count:60
+    QCheck.(pair (int_range 1 6) small_string)
+    (fun (hops, payload) ->
+      let g = Dip_stdext.Prng.create (Int64.of_int (hops * 1009)) in
+      let secrets = List.init hops (fun _ -> Dip_opt.Drkey.secret_gen g) in
+      let dst_secret = Dip_opt.Drkey.secret_gen g in
+      let session_id = Int64.of_int (hops * 31337) in
+      let session_keys = Dip_opt.Drkey.session_keys secrets ~session_id in
+      let dest_key = Dip_opt.Drkey.derive dst_secret ~session_id in
+      let pkt =
+        Realize.opt ~hops ~session_id ~timestamp:1l ~dest_key ~payload ()
+      in
+      List.iteri
+        (fun i secret ->
+          let env = Env.create ~name:"r" () in
+          Env.set_opt_identity env ~secret ~hop:(i + 1);
+          ignore (Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt))
+        secrets;
+      let host = Env.create ~name:"h" () in
+      Env.register_opt_session host ~session_id ~session_keys ~dest_key;
+      match Engine.host_process ~registry:reg host ~now:0.0 ~ingress:0 pkt with
+      | Engine.Delivered, _ -> true
+      | _ -> false)
+
+(* --- Engine: DIP NDN --- *)
+
+let ndn_env ?cache_capacity () =
+  let env = Env.create ?cache_capacity ~name:"r" () in
+  Dip_tables.Name_fib.insert env.Env.fib (Name.of_string "/video/intro.mp4") 2;
+  env
+
+let test_engine_ndn_interest_then_data () =
+  let env = ndn_env () in
+  let name = Name.of_string "/video/intro.mp4" in
+  let interest = Realize.ndn_interest ~name ~payload:"" () in
+  (match Engine.process ~registry:reg env ~now:0.0 ~ingress:7 interest with
+  | Engine.Forwarded [ 2 ], _ -> ()
+  | Engine.Dropped r, _ -> Alcotest.failf "interest dropped: %s" r
+  | _ -> Alcotest.fail "interest must forward via FIB");
+  (* Aggregation: same name from another port is Quiet. *)
+  (match Engine.process ~registry:reg env ~now:0.1 ~ingress:8 interest with
+  | Engine.Quiet, _ -> ()
+  | _ -> Alcotest.fail "second interest must aggregate");
+  (* Data follows the PIT back to both ports. *)
+  let data = Realize.ndn_data ~name ~content:"body" () in
+  (match Engine.process ~registry:reg env ~now:0.2 ~ingress:2 data with
+  | Engine.Forwarded ports, _ ->
+      Alcotest.(check (list int)) "both requesters" [ 7; 8 ]
+        (List.sort compare ports)
+  | _ -> Alcotest.fail "data must follow PIT");
+  (* Consumed entry: replay is unsolicited. *)
+  match Engine.process ~registry:reg env ~now:0.3 ~ingress:2 data with
+  | Engine.Dropped "unsolicited-data", _ -> ()
+  | _ -> Alcotest.fail "replayed data must drop"
+
+let test_engine_ndn_cache_responds () =
+  let env = ndn_env ~cache_capacity:16 () in
+  let name = Name.of_string "/video/intro.mp4" in
+  let interest = Realize.ndn_interest ~name ~payload:"" () in
+  ignore (Engine.process ~registry:reg env ~now:0.0 ~ingress:7 interest);
+  let data = Realize.ndn_data ~name ~content:"cached!" () in
+  ignore (Engine.process ~registry:reg env ~now:0.1 ~ingress:2 data);
+  (* A later interest is answered from the content store (§4.1 fn 2). *)
+  match Engine.process ~registry:reg env ~now:0.5 ~ingress:9 interest with
+  | Engine.Responded reply, _ -> (
+      match Packet.parse reply with
+      | Ok view ->
+          Alcotest.(check string) "cached body" "cached!" (Packet.payload view);
+          Alcotest.(check int) "reply carries F_PIT" 5
+            (Opkey.to_int view.Packet.fns.(0).Fn.key)
+      | Error e -> Alcotest.fail e)
+  | _ -> Alcotest.fail "expected a cache response"
+
+let test_engine_ndn_no_fib () =
+  let env = Env.create ~name:"r" () in
+  let interest = Realize.ndn_interest ~name:(Name.of_string "/nowhere") ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 interest with
+  | Engine.Dropped "no-fib-entry", _ -> ()
+  | _ -> Alcotest.fail "expected FIB miss"
+
+(* --- Engine: OPT over DIP, full 3-hop chain --- *)
+
+let opt_setup hops =
+  let g = Dip_stdext.Prng.create 77L in
+  let secrets = List.init hops (fun _ -> Dip_opt.Drkey.secret_gen g) in
+  let dst_secret = Dip_opt.Drkey.secret_gen g in
+  let session_id = 0xABCDEFL in
+  let session_keys = Dip_opt.Drkey.session_keys secrets ~session_id in
+  let dest_key = Dip_opt.Drkey.derive dst_secret ~session_id in
+  let routers =
+    List.mapi
+      (fun i secret ->
+        let env = Env.create ~name:(Printf.sprintf "r%d" (i + 1)) () in
+        Env.set_opt_identity env ~secret ~hop:(i + 1);
+        (* every router also forwards the packet somewhere *)
+        Dip_ip.Ipv4.add_route env.Env.v4_routes
+          (Ipaddr.Prefix.of_string "0.0.0.0/0") 1;
+        env)
+      secrets
+  in
+  let host = Env.create ~name:"dst" () in
+  Env.register_opt_session host ~session_id ~session_keys ~dest_key;
+  (session_id, session_keys, dest_key, routers, host)
+
+(* OPT alone has no forwarding FN; pair it with the default route by
+   processing through routers that only run the OPT FNs and treat
+   "no-forwarding-decision" as pass-through in this unit test. *)
+let run_opt_chain pkt routers =
+  List.iter
+    (fun env ->
+      match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+      | Engine.Dropped "no-forwarding-decision", _ -> ()
+      | Engine.Dropped r, _ -> Alcotest.failf "router dropped: %s" r
+      | _ -> ())
+    routers
+
+let test_engine_opt_end_to_end () =
+  let hops = 3 in
+  let session_id, _, dest_key, routers, host = opt_setup hops in
+  let payload = "secret content" in
+  let pkt =
+    Realize.opt ~hops ~session_id ~timestamp:5l ~dest_key ~payload ()
+  in
+  run_opt_chain pkt routers;
+  match Engine.host_process ~registry:reg host ~now:0.0 ~ingress:0 pkt with
+  | Engine.Delivered, info ->
+      Alcotest.(check int) "host ran F_ver only" 1 info.Engine.ops_run
+  | Engine.Dropped r, _ -> Alcotest.failf "verification failed: %s" r
+  | _ -> Alcotest.fail "expected delivery"
+
+let test_engine_opt_detects_missing_hop () =
+  let hops = 3 in
+  let session_id, _, dest_key, routers, host = opt_setup hops in
+  let pkt = Realize.opt ~hops ~session_id ~timestamp:5l ~dest_key ~payload:"p" () in
+  (* Skip router 2. *)
+  run_opt_chain pkt [ List.nth routers 0; List.nth routers 2 ];
+  match Engine.host_process ~registry:reg host ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped r, _ ->
+      Alcotest.(check bool) "names OPV 2" true
+        (String.length r > 0 && r <> "no-forwarding-decision")
+  | _ -> Alcotest.fail "must detect the skipped hop"
+
+let test_engine_opt_detects_payload_tamper () =
+  let hops = 2 in
+  let session_id, _, dest_key, routers, host = opt_setup hops in
+  let pkt = Realize.opt ~hops ~session_id ~timestamp:5l ~dest_key ~payload:"AAAA" () in
+  run_opt_chain pkt routers;
+  (* Corrupt the payload after the tags were computed. *)
+  let last = Bitbuf.length pkt - 1 in
+  Bitbuf.set_uint8 pkt last (Bitbuf.get_uint8 pkt last lxor 0xFF);
+  match Engine.host_process ~registry:reg host ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped _, _ -> ()
+  | _ -> Alcotest.fail "tampered payload must be rejected"
+
+let test_engine_opt_unknown_session () =
+  let hops = 1 in
+  let session_id, _, dest_key, routers, _ = opt_setup hops in
+  let host = Env.create ~name:"stranger" () in
+  let pkt = Realize.opt ~hops ~session_id ~timestamp:0l ~dest_key ~payload:"" () in
+  run_opt_chain pkt routers;
+  match Engine.host_process ~registry:reg host ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped "unknown-session", _ -> ()
+  | _ -> Alcotest.fail "unknown session must be rejected"
+
+(* --- Engine: NDN+OPT (the derived protocol) --- *)
+
+let test_engine_ndn_opt_data_path () =
+  (* One router that is both an NDN forwarder and an OPT hop: the
+     data packet must follow the PIT *and* update the tags, then
+     verify at the consumer. *)
+  let name = Name.of_string "/secure/file" in
+  let g = Dip_stdext.Prng.create 99L in
+  let secret = Dip_opt.Drkey.secret_gen g in
+  let dst_secret = Dip_opt.Drkey.secret_gen g in
+  let session_id = 0x55AAL in
+  let session_keys = Dip_opt.Drkey.session_keys [ secret ] ~session_id in
+  let dest_key = Dip_opt.Drkey.derive dst_secret ~session_id in
+  let router = Env.create ~name:"r" () in
+  Env.set_opt_identity router ~secret ~hop:1;
+  Dip_tables.Name_fib.insert router.Env.fib name 2;
+  let consumer = Env.create ~name:"consumer" () in
+  Env.register_opt_session consumer ~session_id ~session_keys ~dest_key;
+  (* Interest up. *)
+  let interest = Realize.ndn_opt_interest ~name ~payload:"" () in
+  (match Engine.process ~registry:reg router ~now:0.0 ~ingress:6 interest with
+  | Engine.Forwarded [ 2 ], _ -> ()
+  | _ -> Alcotest.fail "interest must forward");
+  (* Data back, with OPT tags. *)
+  let data =
+    Realize.ndn_opt_data ~hops:1 ~session_id ~timestamp:9l ~dest_key ~name
+      ~content:"secure bytes" ()
+  in
+  (match Engine.process ~registry:reg router ~now:0.1 ~ingress:2 data with
+  | Engine.Forwarded [ 6 ], info ->
+      (* F_PIT + F_parm + F_MAC + F_mark ran; F_ver skipped (host). *)
+      Alcotest.(check int) "4 router FNs" 4 info.Engine.ops_run;
+      Alcotest.(check int) "1 host FN skipped" 1 info.Engine.ops_skipped
+  | Engine.Dropped r, _ -> Alcotest.failf "router dropped data: %s" r
+  | _ -> Alcotest.fail "data must follow the PIT");
+  match Engine.host_process ~registry:reg consumer ~now:0.2 ~ingress:0 data with
+  | Engine.Delivered, _ -> ()
+  | Engine.Dropped r, _ -> Alcotest.failf "consumer rejected: %s" r
+  | _ -> Alcotest.fail "expected verified delivery"
+
+(* --- Engine: XIA over DIP --- *)
+
+let test_engine_xia_forward_and_deliver () =
+  let open Dip_xia in
+  let svc = Xid.of_name Xid.SID "svc" in
+  let dag = Dag.fallback ~intent:svc ~via:[ Xid.of_name Xid.AD "ad1" ] in
+  let transit = Env.create ~name:"transit" () in
+  Router.add_route transit.Env.xia (Xid.of_name Xid.AD "ad1") 4;
+  let pkt = Realize.xia ~dag ~payload:"req" () in
+  (match Engine.process ~registry:reg transit ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 4 ], _ -> ()
+  | Engine.Dropped r, _ -> Alcotest.failf "transit dropped: %s" r
+  | _ -> Alcotest.fail "transit must forward by fallback");
+  let owner = Env.create ~name:"owner" () in
+  Router.add_local owner.Env.xia (Xid.of_name Xid.AD "ad1");
+  Router.add_local owner.Env.xia svc;
+  match Engine.process ~registry:reg owner ~now:0.0 ~ingress:0 pkt with
+  | Engine.Delivered, _ -> ()
+  | Engine.Dropped r, _ -> Alcotest.failf "owner dropped: %s" r
+  | _ -> Alcotest.fail "intent owner must deliver"
+
+let test_engine_xia_dead_end () =
+  let open Dip_xia in
+  let dag = Dag.direct (Xid.of_name Xid.SID "nowhere") in
+  let env = Env.create ~name:"r" () in
+  let pkt = Realize.xia ~dag ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped r, _ ->
+      Alcotest.(check string) "dead end" "dag: dead-end" r
+  | _ -> Alcotest.fail "unroutable DAG must drop"
+
+(* --- §2.4: guard --- *)
+
+let test_engine_guard_ops_limit () =
+  let env = Env.create ~guard:(Guard.create ~max_ops:1 ()) ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "0.0.0.0/0") 1;
+  let pkt = Realize.ipv4 ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8") ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped "guard-ops-exhausted", _ -> ()
+  | _ -> Alcotest.fail "2-FN packet must exceed a 1-op budget"
+
+let test_engine_guard_state_limit () =
+  let env = Env.create ~guard:(Guard.create ~max_state_bytes:8 ()) ~name:"r" () in
+  Dip_tables.Name_fib.insert env.Env.fib (Name.of_string "/a") 1;
+  let pkt = Realize.ndn_interest ~name:(Name.of_string "/a") ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped "guard-state-exhausted", _ -> ()
+  | _ -> Alcotest.fail "PIT insert must exceed an 8-byte state budget"
+
+(* --- §2.4: heterogeneous configuration --- *)
+
+let test_engine_unsupported_mandatory_fn () =
+  (* An AS without the OPT modules receives an OPT packet: it must
+     return an FN-unsupported notification. *)
+  let limited =
+    Registry.restrict reg [ Opkey.F_32_match; Opkey.F_128_match; Opkey.F_source ]
+  in
+  let env = Env.create ~name:"legacy-as" () in
+  let pkt =
+    Realize.opt ~hops:1 ~session_id:1L ~timestamp:0l
+      ~dest_key:(String.make 16 'k') ~payload:"" ()
+  in
+  match Engine.process ~registry:limited env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Unsupported key, _ ->
+      Alcotest.(check string) "names the key" "F_parm" (Opkey.name key)
+  | _ -> Alcotest.fail "mandatory unsupported FN must be reported"
+
+let test_engine_ignorable_unsupported_fn () =
+  (* F_pass is ignorable: a node without it just skips (§2.4). *)
+  let no_pass = Registry.restrict reg [ Opkey.F_fib ] in
+  let env = Env.create ~name:"r" () in
+  Dip_tables.Name_fib.insert env.Env.fib (Name.of_string "/a") 1;
+  let pkt =
+    Realize.ndn_interest ~pass:Dip_crypto.Siphash.default_key
+      ~name:(Name.of_string "/a") ~payload:"" ()
+  in
+  match Engine.process ~registry:no_pass env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 1 ], info ->
+      Alcotest.(check int) "pass skipped" 1 info.Engine.ops_skipped
+  | _ -> Alcotest.fail "ignorable FN must be skipped"
+
+let test_errors_echo_truncated () =
+  (* Long rejected packets are echoed only up to the 64-byte limit. *)
+  let rejected =
+    Realize.ipv4 ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8")
+      ~payload:(String.make 500 'z') ()
+  in
+  let note = Errors.fn_unsupported ~key:Opkey.F_parm ~rejected in
+  match Errors.parse note with
+  | Ok { Errors.echo; _ } ->
+      Alcotest.(check int) "echo capped at 64" 64 (String.length echo)
+  | Error e -> Alcotest.fail e
+
+let test_errors_rejects_noncontrol () =
+  let data = Realize.ipv4 ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8") ~payload:"" () in
+  match Errors.parse data with
+  | Error "not a control packet" -> ()
+  | _ -> Alcotest.fail "data packets must not parse as notifications"
+
+let test_errors_roundtrip () =
+  let rejected =
+    Realize.ipv4 ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8") ~payload:"xyz" ()
+  in
+  let note = Errors.fn_unsupported ~key:Opkey.F_mac ~rejected in
+  Alcotest.(check bool) "is control" true (Errors.is_control note);
+  Alcotest.(check bool) "data packet is not control" false
+    (Errors.is_control rejected);
+  match Errors.parse note with
+  | Ok { Errors.key; echo } ->
+      Alcotest.(check string) "key" "F_MAC" (Opkey.name key);
+      Alcotest.(check bool) "echo prefix" true
+        (String.length echo > 0
+        && String.sub (Bitbuf.to_string rejected) 0 (String.length echo) = echo)
+  | Error e -> Alcotest.fail e
+
+(* --- §2.4: F_pass --- *)
+
+let pass_key = Dip_crypto.Siphash.default_key
+
+let test_fpass_accepts_genuine () =
+  let env = Env.create ~name:"r" () in
+  Env.enable_pass env ~key:pass_key;
+  Dip_tables.Name_fib.insert env.Env.fib (Name.of_string "/a") 1;
+  let pkt = Realize.ndn_interest ~pass:pass_key ~name:(Name.of_string "/a") ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 1 ], _ -> ()
+  | Engine.Dropped r, _ -> Alcotest.failf "genuine dropped: %s" r
+  | _ -> Alcotest.fail "genuine labelled packet must pass"
+
+let test_fpass_rejects_forged () =
+  let env = Env.create ~name:"r" () in
+  Env.enable_pass env ~key:pass_key;
+  Dip_tables.Name_fib.insert env.Env.fib (Name.of_string "/a") 1;
+  (* Label computed with the wrong key → forgery. *)
+  let wrong = Dip_crypto.Siphash.key_of_string "attacker-key-16b" in
+  let pkt = Realize.ndn_interest ~pass:wrong ~name:(Name.of_string "/a") ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Dropped "pass-verify-failed", _ -> ()
+  | _ -> Alcotest.fail "forged label must be dropped"
+
+let test_fpass_disabled_is_free () =
+  (* §2.4: "DIP allows the network operators to dynamically adjust
+     security policies" — disabled F_pass costs nothing and drops
+     nothing. *)
+  let env = Env.create ~name:"r" () in
+  Dip_tables.Name_fib.insert env.Env.fib (Name.of_string "/a") 1;
+  let wrong = Dip_crypto.Siphash.key_of_string "attacker-key-16b" in
+  let pkt = Realize.ndn_interest ~pass:wrong ~name:(Name.of_string "/a") ~payload:"" () in
+  match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 1 ], _ -> ()
+  | _ -> Alcotest.fail "disabled F_pass must not filter"
+
+(* --- parallel flag --- *)
+
+let test_parallel_depth () =
+  (* NDN+OPT: FIB (name) is independent of the OPT chain, but the
+     OPT FNs overlap each other, so the critical path is shorter
+     than the op count. *)
+  let data =
+    Realize.ndn_opt_data ~hops:1 ~session_id:1L ~timestamp:0l
+      ~dest_key:(String.make 16 'k') ~name:(Name.of_string "/a") ~content:"" ()
+  in
+  (* Rebuild with the parallel bit set. *)
+  let view = match Packet.parse data with Ok v -> v | Error e -> Alcotest.fail e in
+  let fns = Array.to_list view.Packet.fns in
+  let locations =
+    Bitbuf.get_field data
+      (Field.v ~off_bits:(8 * view.Packet.loc_base)
+         ~len_bits:(8 * view.Packet.header.Header.fn_loc_len))
+  in
+  let par = Packet.build ~parallel:true ~fns ~locations ~payload:"" () in
+  let env = Env.create ~name:"r" () in
+  Env.set_opt_identity env ~secret:(Dip_opt.Drkey.secret_of_string "0123456789abcdef") ~hop:1;
+  ignore (Engine.process ~registry:reg env ~now:0.0 ~ingress:0 par);
+  let _, info = Engine.process ~registry:reg env ~now:0.0 ~ingress:1 par in
+  Alcotest.(check bool)
+    (Printf.sprintf "depth %d < 5 FNs" info.Engine.parallel_depth)
+    true
+    (info.Engine.parallel_depth < 5 && info.Engine.parallel_depth >= 1)
+
+(* --- bootstrap --- *)
+
+let test_bootstrap_local_offer () =
+  let b = Bootstrap.create () in
+  Bootstrap.add_as b 100 [ Opkey.F_32_match; Opkey.F_fib ];
+  Alcotest.(check (list string)) "offer"
+    [ "F_32_match"; "F_FIB" ]
+    (List.map Opkey.name (Bootstrap.local_offer b 100))
+
+let test_bootstrap_path_intersection () =
+  let b = Bootstrap.create () in
+  Bootstrap.add_as b 1 [ Opkey.F_32_match; Opkey.F_parm; Opkey.F_mac; Opkey.F_mark ];
+  Bootstrap.add_as b 2 [ Opkey.F_32_match; Opkey.F_parm ];
+  Bootstrap.add_as b 3 [ Opkey.F_32_match; Opkey.F_parm; Opkey.F_mac; Opkey.F_mark ];
+  Bootstrap.link b 1 2;
+  Bootstrap.link b 2 3;
+  match Bootstrap.path_supported b ~src:1 ~dst:3 with
+  | Some keys ->
+      (* AS 2 lacks F_MAC/F_mark, so the path cannot do OPT. *)
+      Alcotest.(check (list string)) "intersection"
+        [ "F_32_match"; "F_parm" ]
+        (List.map Opkey.name keys)
+  | None -> Alcotest.fail "path exists"
+
+let test_bootstrap_unreachable () =
+  let b = Bootstrap.create () in
+  Bootstrap.add_as b 1 [ Opkey.F_32_match ];
+  Bootstrap.add_as b 2 [ Opkey.F_32_match ];
+  Alcotest.(check bool) "unreachable" true
+    (Bootstrap.path_supported b ~src:1 ~dst:2 = None)
+
+let test_bootstrap_plan () =
+  Alcotest.(check bool) "satisfied" true
+    (Bootstrap.plan ~required:[ Opkey.F_fib ] ~offered:[ Opkey.F_fib; Opkey.F_pit ]
+    = Ok ());
+  match Bootstrap.plan ~required:[ Opkey.F_mac; Opkey.F_fib ] ~offered:[ Opkey.F_fib ] with
+  | Error [ Opkey.F_mac ] -> ()
+  | _ -> Alcotest.fail "must report the missing key"
+
+(* --- compat --- *)
+
+let test_compat_tunnel_roundtrip () =
+  let dip = Realize.ipv4 ~src:(v4 "10.0.0.1") ~dst:(v4 "10.0.0.2") ~payload:"pp" () in
+  let tunneled =
+    Compat.encapsulate_ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "198.51.100.1") dip
+  in
+  (* The tunnel packet is a legacy IPv4 packet that legacy routers
+     can forward. *)
+  (match Dip_ip.Ipv4.decode tunneled with
+  | Ok h ->
+      Alcotest.(check int) "DIP protocol number" Compat.dip_protocol_number
+        h.Dip_ip.Ipv4.protocol
+  | Error e -> Alcotest.fail e);
+  match Compat.decapsulate_ipv4 tunneled with
+  | Ok inner -> Alcotest.(check bool) "identical" true (Bitbuf.equal inner dip)
+  | Error e -> Alcotest.fail e
+
+let test_compat_decapsulate_rejects () =
+  let plain =
+    Dip_ip.Ipv4.encode
+      { Dip_ip.Ipv4.src = v4 "1.2.3.4"; dst = v4 "5.6.7.8"; ttl = 4;
+        protocol = 6; payload_len = 0 }
+      ~payload:""
+  in
+  match Compat.decapsulate_ipv4 plain with
+  | Error "tunnel: not a DIP tunnel packet" -> ()
+  | _ -> Alcotest.fail "non-tunnel packets must be rejected"
+
+let test_compat_strip_restore () =
+  let dip = Realize.ipv4 ~src:(v4 "10.0.0.1") ~dst:(v4 "10.0.0.2") ~payload:"data" () in
+  match Compat.strip dip with
+  | Error e -> Alcotest.fail e
+  | Ok legacy -> (
+      (* The stripped packet is locations ∥ payload: 8 + 4 bytes. *)
+      Alcotest.(check int) "stripped size" 12 (Bitbuf.length legacy);
+      let fns =
+        [ Fn.v ~loc:0 ~len:32 Opkey.F_32_match; Fn.v ~loc:32 ~len:32 Opkey.F_source ]
+      in
+      match Compat.restore ~fns ~loc_len:8 legacy with
+      | Error e -> Alcotest.fail e
+      | Ok restored -> (
+          match Packet.parse restored with
+          | Ok view ->
+              Alcotest.(check string) "payload back" "data" (Packet.payload view);
+              Alcotest.(check int) "2 FNs" 2 (Array.length view.Packet.fns)
+          | Error e -> Alcotest.fail e))
+
+let test_compat_restore_preserves_parallel () =
+  let legacy = Bitbuf.of_string "ABCDxyz" in
+  match
+    Compat.restore ~fns:[ Fn.v ~loc:0 ~len:32 Opkey.F_32_match ] ~parallel:true
+      ~hop_limit:9 ~loc_len:4 legacy
+  with
+  | Error e -> Alcotest.fail e
+  | Ok pkt -> (
+      match Packet.parse pkt with
+      | Ok view ->
+          Alcotest.(check bool) "parallel bit" true view.Packet.header.Header.parallel;
+          Alcotest.(check int) "hop limit" 9 view.Packet.header.Header.hop_limit;
+          Alcotest.(check string) "payload split" "xyz" (Packet.payload view)
+      | Error e -> Alcotest.fail e)
+
+let test_compat_restore_short () =
+  match Compat.restore ~fns:[] ~loc_len:10 (Bitbuf.of_string "short") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short packet must be rejected"
+
+(* --- registry --- *)
+
+let test_registry_restrict_and_supported () =
+  let r = Ops.default_registry () in
+  Alcotest.(check int) "all 15 installed" 15 (List.length (Registry.supported r));
+  let limited = Registry.restrict r [ Opkey.F_fib; Opkey.F_pit ] in
+  Alcotest.(check (list string)) "restricted" [ "F_FIB"; "F_PIT" ]
+    (List.map Opkey.name (Registry.supported limited));
+  Registry.uninstall limited Opkey.F_pit;
+  Alcotest.(check bool) "uninstalled" false (Registry.supports limited Opkey.F_pit)
+
+
+(* --- Host constructions (§2.3 API) --- *)
+
+let test_host_unrestricted () =
+  let h = Host.create ~name:"h" () in
+  match Host.send_ipv4 h ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8") ~payload:"" () with
+  | Ok pkt ->
+      Alcotest.(check int) "dip32 header" 26
+        (Result.get_ok (Packet.header_size pkt))
+  | Error _ -> Alcotest.fail "unrestricted host must construct"
+
+let test_host_checks_offer () =
+  let h = Host.create ~offer:[ Opkey.F_32_match; Opkey.F_source ] ~name:"h" () in
+  (match Host.send_ipv4 h ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8") ~payload:"" () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "offered keys must work");
+  match Host.send_interest h ~name:(Name.of_string "/a") ~payload:"" () with
+  | Error [ Opkey.F_fib ] -> ()
+  | _ -> Alcotest.fail "missing F_FIB must be reported"
+
+let test_host_attach_bootstrap () =
+  let world = Bootstrap.create () in
+  Bootstrap.add_as world 1 [ Opkey.F_fib; Opkey.F_pit ];
+  let h = Host.create ~name:"h" () in
+  Host.attach h world ~as_id:1;
+  Alcotest.(check bool) "interest ok" true
+    (Result.is_ok (Host.send_interest h ~name:(Name.of_string "/a") ~payload:"" ()));
+  Alcotest.(check bool) "ip refused" true
+    (Result.is_error (Host.send_ipv4 h ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8") ~payload:"" ()))
+
+let test_host_attach_path_intersection () =
+  let world = Bootstrap.create () in
+  let full = Registry.supported reg in
+  Bootstrap.add_as world 1 full;
+  Bootstrap.add_as world 2 [ Opkey.F_32_match; Opkey.F_source ];
+  Bootstrap.link world 1 2;
+  let h = Host.create ~name:"h" () in
+  (match Host.attach_path h world ~src:1 ~dst:2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* OPT needs all-path support; AS 2 lacks it. *)
+  let g = Dip_stdext.Prng.create 55L in
+  Host.open_opt_session h ~session_id:9L
+    ~path_secrets:[ Dip_opt.Drkey.secret_gen g ]
+    ~dst_secret:(Dip_opt.Drkey.secret_gen g);
+  match Host.send_opt h ~session_id:9L ~timestamp:0l ~payload:"" () with
+  | Error missing ->
+      Alcotest.(check bool) "names OPT keys" true
+        (List.mem Opkey.F_parm missing)
+  | Ok _ -> Alcotest.fail "path without OPT support must refuse"
+
+let test_host_opt_roundtrip () =
+  let g = Dip_stdext.Prng.create 56L in
+  let path_secrets = List.init 2 (fun _ -> Dip_opt.Drkey.secret_gen g) in
+  let dst_secret = Dip_opt.Drkey.secret_gen g in
+  let sender = Host.create ~name:"sender" () in
+  Host.open_opt_session sender ~session_id:11L ~path_secrets ~dst_secret;
+  let pkt =
+    match Host.send_opt sender ~session_id:11L ~timestamp:4l ~payload:"data" () with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "construction failed"
+  in
+  (* Run the two on-path routers. *)
+  List.iteri
+    (fun i secret ->
+      let renv = Env.create ~name:(Printf.sprintf "r%d" (i + 1)) () in
+      Env.set_opt_identity renv ~secret ~hop:(i + 1);
+      ignore (Engine.process ~registry:reg renv ~now:0.0 ~ingress:0 pkt))
+    path_secrets;
+  (* The destination (same session knowledge) verifies. *)
+  let receiver = Host.create ~name:"receiver" () in
+  Host.open_opt_session receiver ~session_id:11L ~path_secrets ~dst_secret;
+  match Host.receive receiver ~registry:reg ~now:0.0 pkt with
+  | Engine.Delivered -> ()
+  | Engine.Dropped r -> Alcotest.failf "receiver rejected: %s" r
+  | _ -> Alcotest.fail "expected delivery"
+
+let test_host_remaining_constructors () =
+  let h = Host.create ~name:"h" () in
+  let name = Name.of_string "/a/b" in
+  Alcotest.(check bool) "data" true
+    (Result.is_ok (Host.send_data h ~name ~content:"c" ()));
+  let dag = Dip_xia.Dag.direct (Dip_xia.Xid.of_name Dip_xia.Xid.SID "s") in
+  Alcotest.(check bool) "xia" true
+    (Result.is_ok (Host.send_xia h ~dag ~payload:"p" ()));
+  let g = Dip_stdext.Prng.create 66L in
+  let secrets = [ Dip_opt.Drkey.secret_gen g; Dip_opt.Drkey.secret_gen g ] in
+  (match
+     Host.send_epic h ~src_id:1l ~timestamp:2l ~path_secrets:secrets
+       ~src:(v4 "192.0.2.1") ~dst:(v4 "10.0.0.1") ~payload:"e" ()
+   with
+  | Ok pkt ->
+      (* The constructed packet passes both routers. *)
+      List.iteri
+        (fun i secret ->
+          let env = Env.create ~name:"r" () in
+          Env.set_opt_identity env ~secret ~hop:(i + 1);
+          Dip_ip.Ipv4.add_route env.Env.v4_routes
+            (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+          match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+          | Engine.Forwarded _, _ -> ()
+          | Engine.Dropped r, _ -> Alcotest.failf "hop %d dropped: %s" (i + 1) r
+          | _ -> Alcotest.fail "expected forward")
+        secrets
+  | Error _ -> Alcotest.fail "epic construction failed");
+  (* A restricted host refuses what the network lacks. *)
+  let limited = Host.create ~offer:[ Opkey.F_fib ] ~name:"l" () in
+  Alcotest.(check bool) "xia refused" true
+    (Result.is_error (Host.send_xia limited ~dag ~payload:"p" ()))
+
+let test_host_unknown_session () =
+  let h = Host.create ~name:"h" () in
+  Alcotest.(check bool) "unknown session raises" true
+    (try ignore (Host.send_opt h ~session_id:99L ~timestamp:0l ~payload:"" ()); false
+     with Not_found -> true)
+
+(* --- QCheck --- *)
+
+let prop_fn_wire_roundtrip =
+  QCheck.Test.make ~name:"fn: wire roundtrip" ~count:500
+    QCheck.(triple (int_range 0 0xFFFF) (int_range 1 0xFFFF) (pair (int_range 1 12) bool))
+    (fun (loc, len, (key, host)) ->
+      let key = Option.get (Opkey.of_int key) in
+      let fn = Fn.v ~tag:(if host then Fn.Host else Fn.Router) ~loc ~len key in
+      let buf = Bitbuf.create 6 in
+      Fn.encode fn buf ~pos:0;
+      match Fn.decode buf ~pos:0 with Ok fn' -> Fn.equal fn fn' | Error _ -> false)
+
+let prop_packet_roundtrip =
+  QCheck.Test.make ~name:"packet: build/parse roundtrip" ~count:300
+    QCheck.(pair (int_range 0 64) small_string)
+    (fun (loc_len, payload) ->
+      let locations = String.make loc_len 'L' in
+      let fns =
+        if loc_len >= 4 then [ Fn.v ~loc:0 ~len:32 Opkey.F_fib ] else []
+      in
+      let buf = Packet.build ~fns ~locations ~payload () in
+      match Packet.parse buf with
+      | Ok view ->
+          Packet.payload view = payload
+          && view.Packet.header.Header.fn_loc_len = loc_len
+          && Array.length view.Packet.fns = List.length fns
+      | Error _ -> false)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine: same input, same verdict" ~count:200
+    QCheck.(pair int32 small_string)
+    (fun (dst, payload) ->
+      let run () =
+        let env = Env.create ~name:"d" () in
+        Dip_ip.Ipv4.add_route env.Env.v4_routes
+          (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+        let pkt = Realize.ipv4 ~src:(v4 "9.9.9.9") ~dst ~payload () in
+        fst (Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt)
+      in
+      run () = run ())
+
+let prop_realize_always_parses =
+  (* Every realization must produce a packet its own parser accepts,
+     with FN fields inside the locations region. *)
+  QCheck.Test.make ~name:"realize: constructions always parse" ~count:200
+    QCheck.(pair (int_range 0 5) (int_range 1 4))
+    (fun (which, hops) ->
+      let dest_key = String.make 16 'k' in
+      let name = Name.of_string "/p/q" in
+      let pkt =
+        match which with
+        | 0 -> Realize.ipv4 ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8") ~payload:"x" ()
+        | 1 -> Realize.ipv6 ~src:(v6 "::1") ~dst:(v6 "::2") ~payload:"x" ()
+        | 2 -> Realize.ndn_interest ~name ~payload:"x" ()
+        | 3 -> Realize.opt ~hops ~session_id:1L ~timestamp:0l ~dest_key ~payload:"x" ()
+        | 4 ->
+            Realize.ndn_opt_data ~hops ~session_id:1L ~timestamp:0l ~dest_key
+              ~name ~content:"x" ()
+        | _ ->
+            Realize.xia
+              ~dag:(Dip_xia.Dag.direct (Dip_xia.Xid.of_name Dip_xia.Xid.SID "s"))
+              ~payload:"x" ()
+      in
+      match Packet.parse pkt with Ok _ -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "dip-core"
+    [
+      ( "opkey",
+        [ Alcotest.test_case "Table 1" `Quick test_opkey_table1 ] );
+      ( "fn",
+        [
+          Alcotest.test_case "wire roundtrip" `Quick test_fn_wire_roundtrip;
+          Alcotest.test_case "6-byte triples" `Quick test_fn_size_is_6_bytes;
+          Alcotest.test_case "tag bit" `Quick test_fn_tag_bit;
+          Alcotest.test_case "decode rejects" `Quick test_fn_decode_rejects;
+          QCheck_alcotest.to_alcotest prop_fn_wire_roundtrip;
+        ] );
+      ( "header",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_header_roundtrip;
+          Alcotest.test_case "basic size" `Quick test_header_basic_size;
+          Alcotest.test_case "length derivation" `Quick test_header_length_derivation;
+          Alcotest.test_case "loc_len limit" `Quick test_header_loc_len_limit;
+          Alcotest.test_case "hop limit" `Quick test_header_hop_limit;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "build/parse" `Quick test_packet_build_parse;
+          Alcotest.test_case "FN bounds" `Quick test_packet_rejects_fn_out_of_bounds;
+          Alcotest.test_case "corrupt FN" `Quick test_packet_parse_rejects_corrupt_fn;
+          Alcotest.test_case "set target" `Quick test_packet_set_target;
+          QCheck_alcotest.to_alcotest prop_packet_roundtrip;
+        ] );
+      ( "table2",
+        [ Alcotest.test_case "exact reproduction" `Quick test_table2_exact ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_engine_deterministic;
+          QCheck_alcotest.to_alcotest prop_realize_always_parses;
+        ] );
+      ( "engine-ip",
+        [
+          Alcotest.test_case "dip32 forward" `Quick test_engine_dip32_forward;
+          Alcotest.test_case "dip32 no route" `Quick test_engine_dip32_no_route;
+          Alcotest.test_case "dip32 local" `Quick test_engine_dip32_local_delivery;
+          Alcotest.test_case "dip128 forward" `Quick test_engine_dip128_forward;
+          Alcotest.test_case "hop limit" `Quick test_engine_hop_limit_decrement;
+          Alcotest.test_case "first decision wins" `Quick test_engine_first_decision_wins;
+          Alcotest.test_case "local beats later route" `Quick test_engine_local_beats_later_route;
+        ] );
+      ( "engine-ndn",
+        [
+          Alcotest.test_case "interest/data" `Quick test_engine_ndn_interest_then_data;
+          Alcotest.test_case "cache responds" `Quick test_engine_ndn_cache_responds;
+          Alcotest.test_case "no fib" `Quick test_engine_ndn_no_fib;
+        ] );
+      ( "engine-opt",
+        [
+          Alcotest.test_case "end to end" `Quick test_engine_opt_end_to_end;
+          Alcotest.test_case "missing hop" `Quick test_engine_opt_detects_missing_hop;
+          Alcotest.test_case "payload tamper" `Quick test_engine_opt_detects_payload_tamper;
+          Alcotest.test_case "unknown session" `Quick test_engine_opt_unknown_session;
+          QCheck_alcotest.to_alcotest prop_opt_random_hops_verify;
+        ] );
+      ( "engine-ndn-opt",
+        [ Alcotest.test_case "data path" `Quick test_engine_ndn_opt_data_path ] );
+      ( "engine-xia",
+        [
+          Alcotest.test_case "forward and deliver" `Quick test_engine_xia_forward_and_deliver;
+          Alcotest.test_case "dead end" `Quick test_engine_xia_dead_end;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "ops limit" `Quick test_engine_guard_ops_limit;
+          Alcotest.test_case "state limit" `Quick test_engine_guard_state_limit;
+        ] );
+      ( "heterogeneous",
+        [
+          Alcotest.test_case "unsupported mandatory" `Quick test_engine_unsupported_mandatory_fn;
+          Alcotest.test_case "ignorable skipped" `Quick test_engine_ignorable_unsupported_fn;
+          Alcotest.test_case "error message roundtrip" `Quick test_errors_roundtrip;
+          Alcotest.test_case "error echo truncated" `Quick test_errors_echo_truncated;
+          Alcotest.test_case "error rejects non-control" `Quick test_errors_rejects_noncontrol;
+        ] );
+      ( "f-pass",
+        [
+          Alcotest.test_case "accepts genuine" `Quick test_fpass_accepts_genuine;
+          Alcotest.test_case "rejects forged" `Quick test_fpass_rejects_forged;
+          Alcotest.test_case "disabled is free" `Quick test_fpass_disabled_is_free;
+        ] );
+      ( "parallel",
+        [ Alcotest.test_case "critical path" `Quick test_parallel_depth ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "local offer" `Quick test_bootstrap_local_offer;
+          Alcotest.test_case "path intersection" `Quick test_bootstrap_path_intersection;
+          Alcotest.test_case "unreachable" `Quick test_bootstrap_unreachable;
+          Alcotest.test_case "plan" `Quick test_bootstrap_plan;
+        ] );
+      ( "compat",
+        [
+          Alcotest.test_case "tunnel roundtrip" `Quick test_compat_tunnel_roundtrip;
+          Alcotest.test_case "decapsulate rejects" `Quick test_compat_decapsulate_rejects;
+          Alcotest.test_case "strip/restore" `Quick test_compat_strip_restore;
+          Alcotest.test_case "restore short" `Quick test_compat_restore_short;
+          Alcotest.test_case "restore preserves flags" `Quick test_compat_restore_preserves_parallel;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "unrestricted" `Quick test_host_unrestricted;
+          Alcotest.test_case "checks offer" `Quick test_host_checks_offer;
+          Alcotest.test_case "attach bootstrap" `Quick test_host_attach_bootstrap;
+          Alcotest.test_case "path intersection" `Quick test_host_attach_path_intersection;
+          Alcotest.test_case "OPT roundtrip" `Quick test_host_opt_roundtrip;
+          Alcotest.test_case "unknown session" `Quick test_host_unknown_session;
+          Alcotest.test_case "remaining constructors" `Quick test_host_remaining_constructors;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "restrict/supported" `Quick test_registry_restrict_and_supported ] );
+    ]

@@ -1,0 +1,455 @@
+(* Integration tests: whole-network scenarios that exercise several
+   libraries at once, plus fuzzing of the packet-facing surfaces. *)
+
+open Dip_core
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Sim = Dip_netsim.Sim
+module Ipaddr = Dip_tables.Ipaddr
+module Name = Dip_tables.Name
+
+let registry = Ops.default_registry ()
+let v4 = Ipaddr.V4.of_string
+let v6 = Ipaddr.V6.of_string
+
+(* --- 1. One router, all five protocols interleaved --- *)
+
+let test_mixed_traffic_single_router () =
+  let env = Env.create ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  Dip_ip.Ipv6.add_route env.Env.v6_routes (Ipaddr.Prefix.of_string "2001:db8::/32") 2;
+  let name = Name.of_string "/mixed/content" in
+  Dip_tables.Name_fib.insert env.Env.fib name 3;
+  Env.set_opt_identity env ~secret:(Dip_opt.Drkey.secret_of_string "mixed-router-sec") ~hop:1;
+  Dip_xia.Router.add_route env.Env.xia (Dip_xia.Xid.of_name Dip_xia.Xid.AD "as9") 4;
+  let dag =
+    Dip_xia.Dag.fallback
+      ~intent:(Dip_xia.Xid.of_name Dip_xia.Xid.SID "s")
+      ~via:[ Dip_xia.Xid.of_name Dip_xia.Xid.AD "as9" ]
+  in
+  let cases =
+    [
+      ( "dip32",
+        Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.1.1.1") ~payload:"a" (),
+        1 );
+      ( "dip128",
+        Realize.ipv6 ~src:(v6 "2001:db8::1") ~dst:(v6 "2001:db8::2") ~payload:"b" (),
+        2 );
+      ("ndn", Realize.ndn_interest ~name ~payload:"c" (), 3);
+      ("xia", Realize.xia ~dag ~payload:"d" (), 4);
+    ]
+  in
+  (* Interleave the protocols several times over the same router. *)
+  for round = 1 to 5 do
+    List.iter
+      (fun (label, pkt_template, expect_port) ->
+        let pkt = Bitbuf.copy pkt_template in
+        match Engine.process ~registry env ~now:(float_of_int round) ~ingress:9 pkt with
+        | Engine.Forwarded [ p ], _ ->
+            Alcotest.(check int) (label ^ " port") expect_port p
+        | Engine.Quiet, _ when label = "ndn" && round > 1 ->
+            (* later rounds of the same interest aggregate in the PIT *)
+            ()
+        | Engine.Dropped r, _ -> Alcotest.failf "%s dropped: %s" label r
+        | _ -> Alcotest.failf "%s: unexpected verdict" label)
+      cases
+  done;
+  (* The derived NDN+OPT data packet also traverses the same node. *)
+  ignore
+    (Dip_tables.Pit.insert env.Env.pit ~key:(Name.hash32 name) ~port:7 ~now:9.0
+       ~lifetime:10.0);
+  let data =
+    Realize.ndn_opt_data ~hops:1 ~session_id:3L ~timestamp:0l
+      ~dest_key:(String.make 16 'k') ~name ~content:"x" ()
+  in
+  match Engine.process ~registry env ~now:9.1 ~ingress:3 data with
+  | Engine.Forwarded [ 7 ], _ -> ()
+  | Engine.Dropped r, _ -> Alcotest.failf "ndn+opt dropped: %s" r
+  | _ -> Alcotest.fail "ndn+opt must follow the PIT"
+
+(* --- 2. Heterogeneous deployment: the FN-unsupported notification
+   travels back to the source over the simulator --- *)
+
+let test_unsupported_notification_returns_to_source () =
+  let sim = Sim.create () in
+  (* Source host records control messages it receives. *)
+  let notifications = ref [] in
+  let source _sim ~now:_ ~ingress:_ pkt =
+    if Errors.is_control pkt then begin
+      (match Errors.parse pkt with
+      | Ok { Errors.key; _ } -> notifications := Opkey.name key :: !notifications
+      | Error _ -> ());
+      [ Sim.Consume ]
+    end
+    else [ Sim.Drop "unexpected" ]
+  in
+  (* A legacy AS router that supports only IP FNs. *)
+  let limited = Registry.restrict registry [ Opkey.F_32_match; Opkey.F_source ] in
+  let env = Env.create ~name:"legacy" () in
+  let s = Sim.add_node sim ~name:"source" source in
+  let r = Sim.add_node sim ~name:"legacy" (Engine.handler ~registry:limited env) in
+  Sim.connect sim (s, 0) (r, 0);
+  (* The source sends an OPT packet that AS cannot serve. *)
+  let pkt =
+    Realize.opt ~hops:1 ~session_id:1L ~timestamp:0l
+      ~dest_key:(String.make 16 'k') ~payload:"" ()
+  in
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 pkt;
+  Sim.run sim;
+  Alcotest.(check (list string)) "source notified about F_parm" [ "F_parm" ]
+    !notifications;
+  Alcotest.(check int) "unsupported counted" 1
+    (Dip_netsim.Stats.Counters.get env.Env.counters "dip.unsupported.F_parm")
+
+(* --- 3. Tunnel across a legacy IPv4 core --- *)
+
+let test_tunnel_across_legacy_core () =
+  let sim = Sim.create () in
+  let left _sim ~now:_ ~ingress:_ pkt =
+    [ Sim.Forward
+        (1, Compat.encapsulate_ipv4 ~src:(v4 "198.51.100.1") ~dst:(v4 "198.51.100.2") pkt);
+    ]
+  in
+  let legacy_table = Dip_tables.Lpm_trie.create () in
+  Dip_ip.Ipv4.add_route legacy_table (Ipaddr.Prefix.of_string "198.51.100.2/32") 1;
+  let renv = Env.create ~name:"right" () in
+  Dip_ip.Ipv4.add_route renv.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  let right sim_ ~now ~ingress pkt =
+    match Compat.decapsulate_ipv4 pkt with
+    | Error e -> [ Sim.Drop e ]
+    | Ok inner -> Engine.handler ~registry renv sim_ ~now ~ingress inner
+  in
+  let henv = Env.create ~name:"server" () in
+  henv.Env.local_v4 <- Some (v4 "10.7.7.7");
+  let lb = Sim.add_node sim ~name:"left" left in
+  let core = Sim.add_node sim ~name:"core" (Dip_ip.Ipv4.handler legacy_table) in
+  let rb = Sim.add_node sim ~name:"right" right in
+  let server = Sim.add_node sim ~name:"server" (Engine.handler ~registry henv) in
+  Sim.connect sim (lb, 1) (core, 0);
+  Sim.connect sim (core, 1) (rb, 0);
+  Sim.connect sim (rb, 1) (server, 0);
+  Sim.inject sim ~at:0.0 ~node:lb ~port:0
+    (Realize.ipv4 ~src:(v4 "10.1.0.1") ~dst:(v4 "10.7.7.7") ~payload:"tunneled" ());
+  Sim.run sim;
+  match Sim.consumed sim with
+  | [ (node, _, pkt) ] ->
+      Alcotest.(check int) "server got it" server node;
+      Alcotest.(check string) "payload survives both hops" "tunneled"
+        (Packet.payload (Result.get_ok (Packet.parse pkt)))
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
+(* --- 4. Content poisoning, then F_pass enabled on the fly (§2.4) --- *)
+
+let test_fpass_enabled_on_the_fly () =
+  let key = Dip_crypto.Siphash.default_key in
+  let wrong = Dip_crypto.Siphash.key_of_string "poison-key-16byt" in
+  let name = Name.of_string "/popular/item" in
+  let env = Env.create ~cache_capacity:8 ~name:"edge" () in
+  Dip_tables.Name_fib.insert env.Env.fib name 1;
+  let forged_interest = Realize.ndn_interest ~pass:wrong ~name ~payload:"" () in
+  (* Phase 1: F_pass disabled — the forged interest gets through and
+     the attacker's data poisons the cache. *)
+  (match Engine.process ~registry env ~now:0.0 ~ingress:5 (Bitbuf.copy forged_interest) with
+  | Engine.Forwarded _, _ -> ()
+  | _ -> Alcotest.fail "phase 1: forged interest should pass while disabled");
+  let poison = Realize.ndn_data ~name ~content:"POISON" () in
+  (match Engine.process ~registry env ~now:0.1 ~ingress:1 poison with
+  | Engine.Forwarded _, _ -> ()
+  | _ -> Alcotest.fail "phase 1: poison data follows the PIT");
+  Alcotest.(check (option string)) "cache now poisoned" (Some "POISON")
+    (Env.cache_find env (Name.hash32 name));
+  (* Phase 2: the operator detects the attack and enables F_pass. *)
+  Env.enable_pass env ~key;
+  (match Engine.process ~registry env ~now:1.0 ~ingress:5 (Bitbuf.copy forged_interest) with
+  | Engine.Dropped "pass-verify-failed", _ -> ()
+  | _ -> Alcotest.fail "phase 2: forged interest must now be dropped");
+  (* Genuine clients keep working. *)
+  let genuine = Realize.ndn_interest ~pass:key ~name ~payload:"" () in
+  match Engine.process ~registry env ~now:1.1 ~ingress:6 genuine with
+  | Engine.Responded _, _ -> () (* answered from (poisoned) cache *)
+  | Engine.Forwarded _, _ -> ()
+  | _ -> Alcotest.fail "phase 2: genuine traffic must still flow"
+
+(* --- 5. OPT end-to-end over the simulator, 3 hops --- *)
+
+let test_opt_three_hop_simulation () =
+  let hops = 3 in
+  let g = Dip_stdext.Prng.create 404L in
+  let secrets = List.init hops (fun _ -> Dip_opt.Drkey.secret_gen g) in
+  let dst_secret = Dip_opt.Drkey.secret_gen g in
+  let session_id = 0xFEEDL in
+  let session_keys = Dip_opt.Drkey.session_keys secrets ~session_id in
+  let dest_key = Dip_opt.Drkey.derive dst_secret ~session_id in
+  let sim = Sim.create () in
+  let mk_router i secret =
+    let env = Env.create ~name:(Printf.sprintf "r%d" i) () in
+    Env.set_opt_identity env ~secret ~hop:i;
+    Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+    Engine.handler ~registry env
+  in
+  let henv = Env.create ~name:"dst" () in
+  Env.register_opt_session henv ~session_id ~session_keys ~dest_key;
+  let accept = ref None in
+  let host sim_ ~now ~ingress pkt =
+    (match Engine.host_process ~registry henv ~now ~ingress pkt with
+    | Engine.Delivered, _ -> accept := Some true
+    | _ -> accept := Some false);
+    ignore sim_;
+    [ Sim.Consume ]
+  in
+  let rs = List.mapi (fun i s -> Sim.add_node sim ~name:(Printf.sprintf "r%d" (i + 1)) (mk_router (i + 1) s)) secrets in
+  let h = Sim.add_node sim ~name:"dst" host in
+  let rec wire = function
+    | a :: (b :: _ as rest) ->
+        Sim.connect sim (a, 1) (b, 0);
+        wire rest
+    | [ last ] -> Sim.connect sim (last, 1) (h, 0)
+    | [] -> ()
+  in
+  wire rs;
+  (* OPT composed with DIP-32 so the chain can route it. *)
+  let opt_bits = Dip_opt.Header.size_bits ~hops in
+  let region = Bitbuf.create ((opt_bits / 8) + 8) in
+  Dip_opt.Protocol.source_init region ~base:0 ~hops ~session_id ~timestamp:2l
+    ~dest_key ~payload:"simulated";
+  Bitbuf.blit
+    ~src:(Bitbuf.of_string (Ipaddr.V4.to_wire (v4 "10.0.0.9") ^ Ipaddr.V4.to_wire (v4 "192.0.2.3")))
+    ~src_off:0 ~dst:region ~dst_off:(opt_bits / 8) ~len:8;
+  let pkt =
+    Packet.build
+      ~fns:
+        [
+          Fn.v ~loc:128 ~len:128 Opkey.F_parm;
+          Fn.v ~loc:0 ~len:416 Opkey.F_mac;
+          Fn.v ~loc:288 ~len:128 Opkey.F_mark;
+          Fn.v ~tag:Fn.Host ~loc:0 ~len:opt_bits Opkey.F_ver;
+          Fn.v ~loc:opt_bits ~len:32 Opkey.F_32_match;
+          Fn.v ~loc:(opt_bits + 32) ~len:32 Opkey.F_source;
+        ]
+      ~locations:(Bitbuf.to_string region) ~payload:"simulated" ()
+  in
+  Sim.inject sim ~at:0.0 ~node:(List.hd rs) ~port:0 pkt;
+  Sim.run sim;
+  Alcotest.(check (option bool)) "verified after 3 simulated hops" (Some true)
+    !accept
+
+
+(* --- 5b. Telemetry reads real queue state (F_tel + link queues) --- *)
+
+let test_telemetry_reports_real_queue () =
+  let sim = Sim.create () in
+  let env = Env.create ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  let r_id = ref (-1) in
+  Env.set_telemetry_identity env ~node_id:42 ~queue_depth:(fun () ->
+      Sim.queue_depth sim !r_id 1);
+  let registry = Ops.default_registry () in
+  let r = Sim.add_node sim ~name:"r" (Engine.handler ~registry env) in
+  r_id := r;
+  let sink = Sim.add_node sim ~name:"sink" (fun _ ~now:_ ~ingress:_ _ -> [ Sim.Consume ]) in
+  (* Slow egress link: a burst builds a real queue. *)
+  Sim.connect sim ~latency:0.0 ~bandwidth:10_000.0 (r, 1) (sink, 0);
+  for i = 0 to 19 do
+    Sim.inject sim
+      ~at:(1e-6 *. float_of_int i)
+      ~node:r ~port:0
+      (Realize.ipv4_telemetry ~max_hops:2 ~src:(v4 "192.0.2.1")
+         ~dst:(v4 "10.0.0.1") ~payload:(String.make 400 'q') ())
+  done;
+  Sim.run sim;
+  (* The last packets of the burst saw a deep queue. *)
+  let depths =
+    List.filter_map
+      (fun (_, _, pkt) ->
+        match Packet.parse pkt with
+        | Ok view -> (
+            match
+              Telemetry.read pkt ~base:view.Packet.loc_base
+                ~region_bytes:(Telemetry.region_size ~max_hops:2)
+            with
+            | [ rec1 ], _ -> Some rec1.Telemetry.queue_depth
+            | _ -> None)
+        | Error _ -> None)
+      (Sim.consumed sim)
+  in
+  Alcotest.(check int) "all delivered with telemetry" 20 (List.length depths);
+  Alcotest.(check bool)
+    (Printf.sprintf "max observed depth %d > 5"
+       (List.fold_left max 0 depths))
+    true
+    (List.fold_left max 0 depths > 5)
+
+(* --- 6. Fuzzing --- *)
+
+let prop_parse_never_raises =
+  QCheck.Test.make ~name:"fuzz: Packet.parse total on random bytes" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
+    (fun s ->
+      match Packet.parse (Bitbuf.of_string s) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let prop_engine_never_raises_on_corruption =
+  (* Take a valid packet of each protocol, corrupt one random byte,
+     and require a clean verdict (never an exception). *)
+  let mk_env () =
+    let env = Env.create ~name:"fz" () in
+    Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "0.0.0.0/0") 1;
+    Dip_ip.Ipv6.add_route env.Env.v6_routes (Ipaddr.Prefix.of_string "::/0") 1;
+    Dip_tables.Name_fib.insert env.Env.fib (Name.of_string "/f") 1;
+    Env.set_opt_identity env ~secret:(Dip_opt.Drkey.secret_of_string "fuzz-router-sec!") ~hop:1;
+    env
+  in
+  let templates =
+    [
+      Realize.ipv4 ~src:(v4 "1.2.3.4") ~dst:(v4 "5.6.7.8") ~payload:"pl" ();
+      Realize.ipv6 ~src:(v6 "::1") ~dst:(v6 "::2") ~payload:"pl" ();
+      Realize.ndn_interest ~name:(Name.of_string "/f") ~payload:"pl" ();
+      Realize.opt ~hops:1 ~session_id:1L ~timestamp:0l
+        ~dest_key:(String.make 16 'k') ~payload:"pl" ();
+      Realize.xia
+        ~dag:(Dip_xia.Dag.direct (Dip_xia.Xid.of_name Dip_xia.Xid.SID "s"))
+        ~payload:"pl" ();
+    ]
+  in
+  QCheck.Test.make ~name:"fuzz: engine total under single-byte corruption"
+    ~count:2000
+    QCheck.(pair (int_range 0 4) (pair small_nat (int_range 0 255)))
+    (fun (ti, (pos, value)) ->
+      let env = mk_env () in
+      let pkt = Bitbuf.copy (List.nth templates ti) in
+      let pos = pos mod Bitbuf.length pkt in
+      Bitbuf.set_uint8 pkt pos value;
+      match Engine.process ~registry env ~now:0.0 ~ingress:0 pkt with
+      | _, _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "engine raised %s (template %d, byte %d=%02x)"
+            (Printexc.to_string e) ti pos value)
+
+let prop_host_engine_never_raises =
+  QCheck.Test.make ~name:"fuzz: host engine total on random bytes" ~count:1000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun s ->
+      let env = Env.create ~name:"h" () in
+      match
+        Engine.host_process ~registry env ~now:0.0 ~ingress:0 (Bitbuf.of_string s)
+      with
+      | _, _ -> true
+      | exception _ -> false)
+
+let prop_ndn_decode_never_raises =
+  QCheck.Test.make ~name:"fuzz: NDN packet decode total" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
+    (fun s ->
+      match Dip_ndn.Packet.decode (Bitbuf.of_string s) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let prop_xia_decode_never_raises =
+  QCheck.Test.make ~name:"fuzz: XIA packet decode total" ~count:2000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 128))
+    (fun s ->
+      match Dip_xia.Router.decode_packet (Bitbuf.of_string s) with
+      | Ok _ | Error _ -> true
+      | exception _ -> false)
+
+let prop_engine_total_on_random_constructions =
+  (* Arbitrary *well-formed* packets: random FN triples with random
+     keys over a random locations region. Whatever nonsense the host
+     asks for, Algorithm 1 must return a verdict, never raise. *)
+  let arb =
+    QCheck.make
+      ~print:(fun (fns, loc_len, _) ->
+        Printf.sprintf "%d FNs over %d bytes" (List.length fns) loc_len)
+      QCheck.Gen.(
+        let* loc_len = int_range 1 96 in
+        let* nfns = int_range 0 6 in
+        let* fns =
+          list_repeat nfns
+            (let* key = int_range 1 15 in
+             let* len = int_range 1 (8 * loc_len) in
+             let* loc = int_range 0 ((8 * loc_len) - len) in
+             let* host = bool in
+             return (loc, len, key, host))
+        in
+        let* seed = int_range 0 10000 in
+        return (fns, loc_len, seed))
+  in
+  QCheck.Test.make ~name:"fuzz: engine total on random well-formed packets"
+    ~count:1500 arb
+    (fun (fns, loc_len, seed) ->
+      let fns =
+        List.map
+          (fun (loc, len, key, host) ->
+            Dip_core.Fn.v
+              ~tag:(if host then Dip_core.Fn.Host else Dip_core.Fn.Router)
+              ~loc ~len
+              (Option.get (Dip_core.Opkey.of_int key)))
+          fns
+      in
+      let g = Dip_stdext.Prng.create (Int64.of_int seed) in
+      let locations = Bytes.to_string (Dip_stdext.Prng.bytes g loc_len) in
+      let pkt = Packet.build ~fns ~locations ~payload:"fz" () in
+      let env = Env.create ~cache_capacity:4 ~name:"fz" () in
+      Env.set_opt_identity env
+        ~secret:(Dip_opt.Drkey.secret_of_string "fuzz-router-sec!")
+        ~hop:1;
+      Env.enable_pass env ~key:Dip_crypto.Siphash.default_key;
+      match Engine.process ~registry env ~now:0.0 ~ingress:0 pkt with
+      | _, _ -> (
+          match Engine.host_process ~registry env ~now:0.0 ~ingress:0 pkt with
+          | _, _ -> true
+          | exception e ->
+              QCheck.Test.fail_reportf "host engine raised %s"
+                (Printexc.to_string e))
+      | exception e ->
+          QCheck.Test.fail_reportf "engine raised %s" (Printexc.to_string e))
+
+let prop_compiled_interpreter_parity =
+  (* Randomized destinations through both engines must agree. *)
+  let env = Env.create ~name:"par" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.32.0.0/11") 2;
+  let template = Realize.ipv4 ~src:(v4 "9.9.9.9") ~dst:(v4 "10.0.0.1") ~payload:"" () in
+  let prog =
+    match Dip_pisa.Compile.compile ~registry ~template with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  QCheck.Test.make ~name:"fuzz: compiled/interpreter parity on DIP-32" ~count:500
+    QCheck.int32
+    (fun dst ->
+      let a = Realize.ipv4 ~src:(v4 "9.9.9.9") ~dst ~payload:"" () in
+      let b = Bitbuf.copy a in
+      let vi, _ = Engine.process ~registry env ~now:0.0 ~ingress:0 a in
+      let vc = Dip_pisa.Compile.run prog env ~now:0.0 ~ingress:0 b in
+      vi = vc)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "mixed traffic, one router" `Quick
+            test_mixed_traffic_single_router;
+          Alcotest.test_case "unsupported-FN notification" `Quick
+            test_unsupported_notification_returns_to_source;
+          Alcotest.test_case "tunnel across legacy core" `Quick
+            test_tunnel_across_legacy_core;
+          Alcotest.test_case "F_pass enabled on the fly" `Quick
+            test_fpass_enabled_on_the_fly;
+          Alcotest.test_case "OPT over 3 simulated hops" `Quick
+            test_opt_three_hop_simulation;
+          Alcotest.test_case "telemetry reads real queues" `Quick
+            test_telemetry_reports_real_queue;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_parse_never_raises;
+          QCheck_alcotest.to_alcotest prop_engine_never_raises_on_corruption;
+          QCheck_alcotest.to_alcotest prop_host_engine_never_raises;
+          QCheck_alcotest.to_alcotest prop_ndn_decode_never_raises;
+          QCheck_alcotest.to_alcotest prop_xia_decode_never_raises;
+          QCheck_alcotest.to_alcotest prop_engine_total_on_random_constructions;
+          QCheck_alcotest.to_alcotest prop_compiled_interpreter_parity;
+        ] );
+    ]

@@ -1,0 +1,445 @@
+(* Tests for the discrete-event simulator: the event queue, the
+   simulation core, topology builders and workload generators. *)
+
+open Dip_netsim
+module Bitbuf = Dip_bitbuf.Bitbuf
+
+(* --- Event queue --- *)
+
+let test_eq_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  let pop () = match Event_queue.pop q with Some (_, x) -> x | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    [ first; second; third ];
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:1.0 i
+  done;
+  let order = List.init 10 (fun _ ->
+      match Event_queue.pop q with Some (_, x) -> x | None -> -1)
+  in
+  Alcotest.(check (list int)) "insertion order on ties" (List.init 10 Fun.id) order
+
+let test_eq_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "empty" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:5.0 ();
+  Alcotest.(check (option (float 0.0))) "peek" (Some 5.0) (Event_queue.peek_time q);
+  Alcotest.(check int) "size" 1 (Event_queue.size q)
+
+let test_eq_invalid_times () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "nan rejected" true
+    (try Event_queue.push q ~time:Float.nan (); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative rejected" true
+    (try Event_queue.push q ~time:(-1.0) (); false
+     with Invalid_argument _ -> true)
+
+let test_eq_many_random () =
+  let q = Event_queue.create () in
+  let g = Dip_stdext.Prng.create 3L in
+  let times = List.init 1000 (fun _ -> Dip_stdext.Prng.float g 100.0) in
+  List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+  let rec drain last acc =
+    match Event_queue.pop q with
+    | None -> acc
+    | Some (t, ()) ->
+        Alcotest.(check bool) "monotone" true (t >= last);
+        drain t (acc + 1)
+  in
+  Alcotest.(check int) "all popped" 1000 (drain 0.0 0)
+
+(* --- Sim core --- *)
+
+let packet s = Bitbuf.of_string s
+
+(* A node that forwards everything from port 0 to port 1 and vice
+   versa; endpoints consume. *)
+let relay_handler _sim ~now:_ ~ingress pkt =
+  [ Sim.Forward ((if ingress = 0 then 1 else 0), pkt) ]
+
+let consume_handler _sim ~now:_ ~ingress:_ _pkt = [ Sim.Consume ]
+
+let test_sim_linear_delivery () =
+  let sim = Sim.create () in
+  let a = Sim.add_node sim ~name:"a" consume_handler in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  Sim.connect sim ~latency:1e-3 (a, 0) (r, 0);
+  Sim.connect sim ~latency:1e-3 (r, 1) (b, 0);
+  (* Inject at r as if coming from a: r must relay to b. *)
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 (packet "hello");
+  Sim.run sim;
+  match Sim.consumed sim with
+  | [ (node, time, pkt) ] ->
+      Alcotest.(check int) "delivered to b" b node;
+      Alcotest.(check bool) "after one link latency" true (time >= 1e-3);
+      Alcotest.(check string) "payload intact" "hello" (Bitbuf.to_string pkt)
+  | l -> Alcotest.failf "expected one delivery, got %d" (List.length l)
+
+let test_sim_counters () =
+  let sim = Sim.create () in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  Sim.connect sim (r, 1) (b, 0);
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 (packet "x");
+  Sim.run sim;
+  let c = Sim.counters sim in
+  Alcotest.(check int) "r.rx" 1 (Stats.Counters.get c "r.rx");
+  Alcotest.(check int) "r.tx" 1 (Stats.Counters.get c "r.tx");
+  Alcotest.(check int) "b.consumed" 1 (Stats.Counters.get c "b.consumed")
+
+let test_sim_drop_counted () =
+  let sim = Sim.create () in
+  let d =
+    Sim.add_node sim ~name:"d" (fun _ ~now:_ ~ingress:_ _ -> [ Sim.Drop "no-route" ])
+  in
+  Sim.inject sim ~at:0.0 ~node:d ~port:0 (packet "x");
+  Sim.run sim;
+  Alcotest.(check int) "drop reason counted" 1
+    (Stats.Counters.get (Sim.counters sim) "d.drop.no-route")
+
+let test_sim_unwired_port () =
+  let sim = Sim.create () in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 (packet "x");
+  Sim.run sim;
+  Alcotest.(check int) "unwired drop" 1
+    (Stats.Counters.get (Sim.counters sim) "r.drop.unwired-port")
+
+let test_sim_bandwidth_delay () =
+  let sim = Sim.create () in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  (* 1000 B/s: a 100-byte packet takes 0.1 s of serialization. *)
+  Sim.connect sim ~latency:0.0 ~bandwidth:1000.0 (r, 1) (b, 0);
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 (Bitbuf.create 100);
+  Sim.run sim;
+  match Sim.consumed sim with
+  | [ (_, time, _) ] ->
+      Alcotest.(check (float 1e-9)) "serialization delay" 0.1 time
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_sim_double_wire_rejected () =
+  let sim = Sim.create () in
+  let a = Sim.add_node sim ~name:"a" consume_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  let c = Sim.add_node sim ~name:"c" consume_handler in
+  Sim.connect sim (a, 0) (b, 0);
+  Alcotest.(check bool) "rewiring rejected" true
+    (try Sim.connect sim (a, 0) (c, 0); false with Invalid_argument _ -> true)
+
+let test_sim_timer () =
+  let sim = Sim.create () in
+  let fired = ref (-1.0) in
+  Sim.schedule sim ~at:2.5 (fun s -> fired := Sim.now s);
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "timer fired at its time" 2.5 !fired
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~at:1.0 (fun _ -> incr fired);
+  Sim.schedule sim ~at:10.0 (fun _ -> incr fired);
+  Sim.run ~until:5.0 sim;
+  Alcotest.(check int) "only early event ran" 1 !fired;
+  Sim.run sim;
+  Alcotest.(check int) "rest runs later" 2 !fired
+
+let test_sim_on_consume_hook () =
+  let sim = Sim.create () in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  let seen = ref [] in
+  Sim.on_consume sim (fun node _ pkt ->
+      seen := (node, Bitbuf.to_string pkt) :: !seen);
+  Sim.inject sim ~at:0.0 ~node:b ~port:0 (packet "ping");
+  Sim.run sim;
+  Alcotest.(check bool) "hook saw delivery" true (!seen = [ (b, "ping") ])
+
+let test_sim_deterministic () =
+  let run_once () =
+    let sim = Sim.create () in
+    let r = Sim.add_node sim ~name:"r" relay_handler in
+    let b = Sim.add_node sim ~name:"b" consume_handler in
+    Sim.connect sim ~latency:1e-4 (r, 1) (b, 0);
+    List.iter
+      (fun (a : Workload.arrival) ->
+        Sim.inject sim ~at:a.time ~node:r ~port:0
+          (packet (string_of_int a.index)))
+      (Workload.poisson_arrivals ~seed:7L ~rate:100.0 ~count:50);
+    Sim.run sim;
+    List.map (fun (_, t, p) -> (t, Bitbuf.to_string p)) (Sim.consumed sim)
+  in
+  Alcotest.(check bool) "identical reruns" true (run_once () = run_once ())
+
+
+let test_sim_serialization_queueing () =
+  (* Two back-to-back packets on a 1000 B/s link: the second waits
+     for the first to finish serializing. *)
+  let sim = Sim.create () in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  Sim.connect sim ~latency:0.0 ~bandwidth:1000.0 (r, 1) (b, 0);
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 (Bitbuf.create 100);
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 (Bitbuf.create 100);
+  Sim.run sim;
+  match Sim.consumed sim with
+  | [ (_, t1, _); (_, t2, _) ] ->
+      Alcotest.(check (float 1e-9)) "first at 0.1" 0.1 t1;
+      Alcotest.(check (float 1e-9)) "second serialized behind it" 0.2 t2
+  | l -> Alcotest.failf "expected 2 deliveries, got %d" (List.length l)
+
+let test_sim_queue_overflow () =
+  let sim = Sim.create () in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  Sim.connect sim ~latency:0.0 ~bandwidth:1000.0 ~queue_capacity:2 (r, 1) (b, 0);
+  for _ = 1 to 5 do
+    Sim.inject sim ~at:0.0 ~node:r ~port:0 (Bitbuf.create 100)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "two delivered" 2 (List.length (Sim.consumed sim));
+  Alcotest.(check int) "three drop-tailed" 3
+    (Stats.Counters.get (Sim.counters sim) "r.drop.queue-overflow")
+
+let test_sim_queue_depth_observable () =
+  let sim = Sim.create () in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  Sim.connect sim ~latency:0.0 ~bandwidth:1000.0 (r, 1) (b, 0);
+  let observed = ref (-1) in
+  for _ = 1 to 4 do
+    Sim.inject sim ~at:0.0 ~node:r ~port:0 (Bitbuf.create 100)
+  done;
+  (* Observe the egress queue right after the burst was enqueued. *)
+  Sim.schedule sim ~at:0.01 (fun s -> observed := Sim.queue_depth s r 1);
+  Sim.run sim;
+  Alcotest.(check bool)
+    (Printf.sprintf "depth was %d" !observed)
+    true (!observed >= 3);
+  Alcotest.(check int) "drains to zero" 0 (Sim.queue_depth sim r 1)
+
+(* --- Topology --- *)
+
+let test_topo_linear () =
+  let t = Topology.linear 4 in
+  Alcotest.(check int) "nodes" 4 t.Topology.node_count;
+  Alcotest.(check (list int)) "middle neighbors" [ 0; 2 ] (Topology.neighbors t 1);
+  Alcotest.(check int) "port numbering" 1 (Topology.port_of t 1 2);
+  Alcotest.(check int) "port numbering" 0 (Topology.port_of t 1 0)
+
+let test_topo_star () =
+  let t = Topology.star 5 in
+  Alcotest.(check int) "nodes" 6 t.Topology.node_count;
+  Alcotest.(check int) "hub degree" 5 (List.length (Topology.neighbors t 0));
+  Alcotest.(check (list int)) "leaf sees hub" [ 0 ] (Topology.neighbors t 3)
+
+let test_topo_dumbbell () =
+  let t = Topology.dumbbell 2 3 in
+  Alcotest.(check int) "nodes" 7 t.Topology.node_count;
+  (* switches are 2 and 3 *)
+  Alcotest.(check bool) "switches linked" true (List.mem 3 (Topology.neighbors t 2));
+  Alcotest.(check int) "left switch degree" 3 (List.length (Topology.neighbors t 2))
+
+let test_topo_random_connected () =
+  let t = Topology.random ~seed:5L ~nodes:30 ~degree:3 in
+  let pred = Topology.shortest_paths t ~src:0 in
+  let reachable = ref 1 in
+  for v = 1 to 29 do
+    if pred.(v) <> -1 then incr reachable
+  done;
+  Alcotest.(check int) "connected" 30 !reachable
+
+let test_topo_next_hop () =
+  let t = Topology.linear 5 in
+  Alcotest.(check (option int)) "forward" (Some 1) (Topology.next_hop t ~src:0 ~dst:4);
+  Alcotest.(check (option int)) "backward" (Some 3) (Topology.next_hop t ~src:4 ~dst:0);
+  Alcotest.(check (option int)) "self" None (Topology.next_hop t ~src:2 ~dst:2)
+
+let test_topo_instantiate () =
+  let t = Topology.linear 3 in
+  let sim = Sim.create () in
+  let relay i = if i = 1 then relay_handler else consume_handler in
+  let ids = Topology.instantiate t sim ~name:(Printf.sprintf "n%d") ~handler:relay in
+  (* Node 0 sends through 1 to 2. *)
+  Sim.inject sim ~at:0.0 ~node:ids.(1) ~port:0 (packet "via");
+  Sim.run sim;
+  match Sim.consumed sim with
+  | [ (node, _, _) ] -> Alcotest.(check int) "reached n2" ids.(2) node
+  | _ -> Alcotest.fail "expected delivery"
+
+(* --- Trace --- *)
+
+let test_trace_journey () =
+  let sim = Sim.create () in
+  let trace = Trace.attach sim in
+  (* Fingerprint by payload content so hop rewrites would not matter
+     (relay does not rewrite anyway). *)
+  let r = Sim.add_node sim ~name:"r" (Trace.wrap trace ~name:"r" relay_handler) in
+  let b = Sim.add_node sim ~name:"b" (Trace.wrap trace ~name:"b" consume_handler) in
+  Sim.connect sim ~latency:1e-3 (r, 1) (b, 0);
+  let pkt = packet "traced" in
+  let fp = Dip_stdext.Crc32.digest "traced" in
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 pkt;
+  Sim.run sim;
+  let j = Trace.journey trace fp in
+  let kinds = List.map (fun (e : Trace.event) -> (e.Trace.node, e.Trace.kind)) j in
+  Alcotest.(check bool) "r received, b received+consumed" true
+    (kinds
+    = [ ("r", Trace.Received 0); ("b", Trace.Received 0); ("b", Trace.Consumed) ]);
+  Alcotest.(check bool) "rendered" true
+    (String.length (Format.asprintf "%a" Trace.pp_events j) > 0)
+
+let test_trace_drop_recorded () =
+  let sim = Sim.create () in
+  let trace = Trace.attach sim in
+  let d =
+    Sim.add_node sim ~name:"d"
+      (Trace.wrap trace ~name:"d" (fun _ ~now:_ ~ingress:_ _ -> [ Sim.Drop "boom" ]))
+  in
+  Sim.inject sim ~at:0.0 ~node:d ~port:0 (packet "x");
+  Sim.run sim;
+  match Trace.events trace with
+  | [ { Trace.kind = Trace.Received 0; _ }; { Trace.kind = Trace.Dropped "boom"; _ } ] -> ()
+  | l -> Alcotest.failf "unexpected trace (%d events)" (List.length l)
+
+(* --- Stats --- *)
+
+let test_counters () =
+  let c = Stats.Counters.create () in
+  Stats.Counters.incr c "rx";
+  Stats.Counters.incr c "rx";
+  Stats.Counters.incr ~by:5 c "tx";
+  Alcotest.(check int) "rx" 2 (Stats.Counters.get c "rx");
+  Alcotest.(check int) "tx" 5 (Stats.Counters.get c "tx");
+  Alcotest.(check int) "missing is 0" 0 (Stats.Counters.get c "nope");
+  Alcotest.(check (list (pair string int))) "sorted listing"
+    [ ("rx", 2); ("tx", 5) ]
+    (Stats.Counters.to_list c)
+
+let test_series_summary () =
+  let s = Stats.Series.create () in
+  List.iter (Stats.Series.add s) [ 4.0; 1.0; 3.0; 2.0; 5.0 ];
+  Alcotest.(check int) "count" 5 (Stats.Series.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.Series.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Series.min s);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Stats.Series.max s);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.Series.percentile s 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.Series.percentile s 100.0);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Stats.Series.stddev s)
+
+let test_series_guards () =
+  let s = Stats.Series.create () in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Stats.Series.mean s);
+  Alcotest.(check bool) "empty percentile raises" true
+    (try ignore (Stats.Series.percentile s 50.0); false
+     with Invalid_argument _ -> true);
+  Stats.Series.add s 1.0;
+  Alcotest.(check bool) "p out of range" true
+    (try ignore (Stats.Series.percentile s 101.0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "summary non-empty" true
+    (String.length (Stats.Series.summary s) > 0)
+
+(* --- Workload --- *)
+
+let test_workload_sizes () =
+  Alcotest.(check (list int)) "paper sizes" [ 128; 768; 1500 ]
+    Workload.paper_packet_sizes
+
+let test_workload_pad () =
+  let hdr = Bitbuf.of_string "abc" in
+  let padded = Workload.pad_to hdr 10 in
+  Alcotest.(check int) "padded" 10 (Bitbuf.length padded);
+  Alcotest.(check string) "header preserved" "abc"
+    (String.sub (Bitbuf.to_string padded) 0 3);
+  Alcotest.(check int) "no shrink" 3 (Bitbuf.length (Workload.pad_to hdr 2))
+
+let test_workload_poisson () =
+  let arrivals = Workload.poisson_arrivals ~seed:1L ~rate:10.0 ~count:100 in
+  Alcotest.(check int) "count" 100 (List.length arrivals);
+  let times = List.map (fun (a : Workload.arrival) -> a.time) arrivals in
+  let sorted = List.sort compare times in
+  Alcotest.(check bool) "monotone" true (times = sorted);
+  (* Mean inter-arrival should be near 1/rate. *)
+  let last = List.nth times 99 in
+  Alcotest.(check bool) "plausible horizon" true (last > 2.0 && last < 50.0)
+
+let test_workload_constant () =
+  let a = Workload.constant_arrivals ~interval:0.5 ~count:4 in
+  Alcotest.(check (list (float 1e-9))) "times" [ 0.0; 0.5; 1.0; 1.5 ]
+    (List.map (fun (x : Workload.arrival) -> x.time) a)
+
+let test_workload_zipf () =
+  let names = Workload.zipf_names ~seed:2L ~catalog:50 ~count:1000 ~skew:1.0 in
+  Alcotest.(check int) "count" 1000 (List.length names);
+  let top = Workload.catalog_name 1 in
+  let hits = List.length (List.filter (Dip_tables.Name.equal top) names) in
+  Alcotest.(check bool) "head item popular" true (hits > 50)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "event-queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_eq_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "peek/size" `Quick test_eq_peek;
+          Alcotest.test_case "invalid times" `Quick test_eq_invalid_times;
+          Alcotest.test_case "random stress" `Quick test_eq_many_random;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "linear delivery" `Quick test_sim_linear_delivery;
+          Alcotest.test_case "counters" `Quick test_sim_counters;
+          Alcotest.test_case "drop counted" `Quick test_sim_drop_counted;
+          Alcotest.test_case "unwired port" `Quick test_sim_unwired_port;
+          Alcotest.test_case "bandwidth delay" `Quick test_sim_bandwidth_delay;
+          Alcotest.test_case "double wire rejected" `Quick test_sim_double_wire_rejected;
+          Alcotest.test_case "timer" `Quick test_sim_timer;
+          Alcotest.test_case "run until" `Quick test_sim_run_until;
+          Alcotest.test_case "consume hook" `Quick test_sim_on_consume_hook;
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "serialization queueing" `Quick test_sim_serialization_queueing;
+          Alcotest.test_case "queue overflow" `Quick test_sim_queue_overflow;
+          Alcotest.test_case "queue depth observable" `Quick test_sim_queue_depth_observable;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "linear" `Quick test_topo_linear;
+          Alcotest.test_case "star" `Quick test_topo_star;
+          Alcotest.test_case "dumbbell" `Quick test_topo_dumbbell;
+          Alcotest.test_case "random connected" `Quick test_topo_random_connected;
+          Alcotest.test_case "next hop" `Quick test_topo_next_hop;
+          Alcotest.test_case "instantiate" `Quick test_topo_instantiate;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "journey" `Quick test_trace_journey;
+          Alcotest.test_case "drop recorded" `Quick test_trace_drop_recorded;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "series summary" `Quick test_series_summary;
+          Alcotest.test_case "series guards" `Quick test_series_guards;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "paper sizes" `Quick test_workload_sizes;
+          Alcotest.test_case "pad_to" `Quick test_workload_pad;
+          Alcotest.test_case "poisson" `Quick test_workload_poisson;
+          Alcotest.test_case "constant" `Quick test_workload_constant;
+          Alcotest.test_case "zipf" `Quick test_workload_zipf;
+        ] );
+    ]

@@ -1,0 +1,555 @@
+(* Tests for the lookup substrate: IP addresses/prefixes, the LPM
+   trie, content names, the name FIB, the PIT and the content store. *)
+
+open Dip_tables
+
+(* --- Ipaddr --- *)
+
+let test_v4_parse () =
+  let a = Ipaddr.V4.of_string "192.168.1.42" in
+  Alcotest.(check string) "roundtrip" "192.168.1.42" (Ipaddr.V4.to_string a);
+  Alcotest.(check int32) "value" 0xC0A8012Al a
+
+let test_v4_parse_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try
+           ignore (Ipaddr.V4.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; "1..2.3"; "" ]
+
+let test_v4_wire () =
+  let a = Ipaddr.V4.of_string "10.0.0.1" in
+  Alcotest.(check string) "wire" "\x0a\x00\x00\x01" (Ipaddr.V4.to_wire a);
+  Alcotest.(check int32) "roundtrip" a (Ipaddr.V4.of_wire (Ipaddr.V4.to_wire a))
+
+let test_v4_bits () =
+  let a = Ipaddr.V4.of_string "128.0.0.1" in
+  Alcotest.(check bool) "msb" true (Ipaddr.V4.bit a 0);
+  Alcotest.(check bool) "lsb" true (Ipaddr.V4.bit a 31);
+  Alcotest.(check bool) "middle" false (Ipaddr.V4.bit a 15)
+
+let test_v6_parse_full () =
+  let a = Ipaddr.V6.of_string "2001:db8:0:0:0:0:0:1" in
+  Alcotest.(check string) "roundtrip" "2001:db8:0:0:0:0:0:1" (Ipaddr.V6.to_string a)
+
+let test_v6_parse_elision () =
+  let a = Ipaddr.V6.of_string "2001:db8::1" in
+  let b = Ipaddr.V6.of_string "2001:db8:0:0:0:0:0:1" in
+  Alcotest.(check bool) ":: expands" true (Ipaddr.V6.compare a b = 0);
+  let z = Ipaddr.V6.of_string "::" in
+  Alcotest.(check bool) "all zero" true (z = (0L, 0L))
+
+let test_v6_parse_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try
+           ignore (Ipaddr.V6.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ "1:2:3"; "2001:db8::1::2"; "12345::"; "g::1" ]
+
+let test_v6_wire () =
+  let a = Ipaddr.V6.of_string "2001:db8::ff" in
+  let w = Ipaddr.V6.to_wire a in
+  Alcotest.(check int) "16 bytes" 16 (String.length w);
+  Alcotest.(check bool) "roundtrip" true (Ipaddr.V6.of_wire w = a)
+
+let test_v6_bits () =
+  let a = Ipaddr.V6.of_string "8000::1" in
+  Alcotest.(check bool) "msb" true (Ipaddr.V6.bit a 0);
+  Alcotest.(check bool) "lsb" true (Ipaddr.V6.bit a 127);
+  Alcotest.(check bool) "bit 64" false (Ipaddr.V6.bit a 64)
+
+let test_prefix_parse_and_match () =
+  let p = Ipaddr.Prefix.of_string "10.0.0.0/8" in
+  Alcotest.(check string) "render" "10.0.0.0/8" (Ipaddr.Prefix.to_string p);
+  let inside = Ipaddr.Prefix.V4 (Ipaddr.V4.of_string "10.1.2.3") in
+  let outside = Ipaddr.Prefix.V4 (Ipaddr.V4.of_string "11.0.0.1") in
+  Alcotest.(check bool) "inside" true (Ipaddr.Prefix.matches p inside);
+  Alcotest.(check bool) "outside" false (Ipaddr.Prefix.matches p outside)
+
+let test_prefix_masks_host_bits () =
+  let p = Ipaddr.Prefix.of_string "10.1.2.3/8" in
+  Alcotest.(check string) "host bits cleared" "10.0.0.0/8"
+    (Ipaddr.Prefix.to_string p)
+
+let test_prefix_v6_match () =
+  let p = Ipaddr.Prefix.of_string "2001:db8::/32" in
+  let inside = Ipaddr.Prefix.V6 (Ipaddr.V6.of_string "2001:db8:dead::beef") in
+  let outside = Ipaddr.Prefix.V6 (Ipaddr.V6.of_string "2001:db9::1") in
+  Alcotest.(check bool) "inside" true (Ipaddr.Prefix.matches p inside);
+  Alcotest.(check bool) "outside" false (Ipaddr.Prefix.matches p outside);
+  (* Cross-family never matches. *)
+  Alcotest.(check bool) "cross family" false
+    (Ipaddr.Prefix.matches p (Ipaddr.Prefix.V4 0l))
+
+(* --- LPM trie --- *)
+
+let v4_bits a i = Ipaddr.V4.bit a i
+
+let test_lpm_basic () =
+  let t = Lpm_trie.create () in
+  let p8 = Ipaddr.V4.of_string "10.0.0.0" in
+  let p16 = Ipaddr.V4.of_string "10.1.0.0" in
+  Lpm_trie.insert t ~bits:(v4_bits p8) ~len:8 "coarse";
+  Lpm_trie.insert t ~bits:(v4_bits p16) ~len:16 "fine";
+  Alcotest.(check int) "size" 2 (Lpm_trie.size t);
+  let q = Ipaddr.V4.of_string "10.1.2.3" in
+  Alcotest.(check (option (pair int string))) "longest wins" (Some (16, "fine"))
+    (Lpm_trie.lookup t ~bits:(v4_bits q) ~len:32);
+  let q2 = Ipaddr.V4.of_string "10.2.0.1" in
+  Alcotest.(check (option (pair int string))) "falls back" (Some (8, "coarse"))
+    (Lpm_trie.lookup t ~bits:(v4_bits q2) ~len:32);
+  let q3 = Ipaddr.V4.of_string "11.0.0.1" in
+  Alcotest.(check (option (pair int string))) "no match" None
+    (Lpm_trie.lookup t ~bits:(v4_bits q3) ~len:32)
+
+let test_lpm_default_route () =
+  let t = Lpm_trie.create () in
+  Lpm_trie.insert t ~bits:(fun _ -> false) ~len:0 "default";
+  let q = Ipaddr.V4.of_string "203.0.113.7" in
+  Alcotest.(check (option (pair int string))) "default" (Some (0, "default"))
+    (Lpm_trie.lookup t ~bits:(v4_bits q) ~len:32)
+
+let test_lpm_replace () =
+  let t = Lpm_trie.create () in
+  let p = Ipaddr.V4.of_string "10.0.0.0" in
+  Lpm_trie.insert t ~bits:(v4_bits p) ~len:8 1;
+  Lpm_trie.insert t ~bits:(v4_bits p) ~len:8 2;
+  Alcotest.(check int) "still one entry" 1 (Lpm_trie.size t);
+  Alcotest.(check (option int)) "replaced" (Some 2)
+    (Lpm_trie.find_exact t ~bits:(v4_bits p) ~len:8)
+
+let test_lpm_remove () =
+  let t = Lpm_trie.create () in
+  let p8 = Ipaddr.V4.of_string "10.0.0.0" in
+  let p16 = Ipaddr.V4.of_string "10.1.0.0" in
+  Lpm_trie.insert t ~bits:(v4_bits p8) ~len:8 "a";
+  Lpm_trie.insert t ~bits:(v4_bits p16) ~len:16 "b";
+  Alcotest.(check bool) "removed" true (Lpm_trie.remove t ~bits:(v4_bits p16) ~len:16);
+  Alcotest.(check bool) "absent now" false
+    (Lpm_trie.remove t ~bits:(v4_bits p16) ~len:16);
+  let q = Ipaddr.V4.of_string "10.1.2.3" in
+  Alcotest.(check (option (pair int string))) "falls back after removal"
+    (Some (8, "a"))
+    (Lpm_trie.lookup t ~bits:(v4_bits q) ~len:32);
+  (* Pruning: depth shrinks back to the 8-bit path. *)
+  Alcotest.(check int) "pruned" 8 (Lpm_trie.depth t)
+
+let test_lpm_128bit_keys () =
+  let t = Lpm_trie.create () in
+  let p = Ipaddr.V6.of_string "2001:db8::" in
+  Lpm_trie.insert t ~bits:(Ipaddr.V6.bit p) ~len:32 "v6";
+  let q = Ipaddr.V6.of_string "2001:db8::42" in
+  Alcotest.(check (option (pair int string))) "v6 lookup" (Some (32, "v6"))
+    (Lpm_trie.lookup t ~bits:(Ipaddr.V6.bit q) ~len:128)
+
+let test_lpm_fold_counts () =
+  let t = Lpm_trie.create () in
+  let g = Dip_stdext.Prng.create 99L in
+  for _ = 1 to 100 do
+    let a = Int32.of_int (Dip_stdext.Prng.int g 0x3FFFFFFF) in
+    let len = Dip_stdext.Prng.int_in g 1 32 in
+    Lpm_trie.insert t ~bits:(Ipaddr.V4.bit a) ~len ()
+  done;
+  let folded = Lpm_trie.fold (fun _ _ acc -> acc + 1) t 0 in
+  Alcotest.(check int) "fold visits size entries" (Lpm_trie.size t) folded
+
+let prop_lpm_against_reference =
+  (* The trie must agree with a brute-force longest-match scan. *)
+  QCheck.Test.make ~name:"lpm: agrees with linear scan" ~count:100
+    QCheck.(small_list (pair int32 (int_range 0 32)))
+    (fun entries ->
+      let t = Lpm_trie.create () in
+      let norm =
+        List.map
+          (fun (a, len) ->
+            let masked =
+              if len = 0 then 0l
+              else Int32.logand a (Int32.shift_left (-1l) (32 - len))
+            in
+            (masked, len))
+          entries
+      in
+      List.iter
+        (fun (a, len) -> Lpm_trie.insert t ~bits:(Ipaddr.V4.bit a) ~len (a, len))
+        norm;
+      let g = Dip_stdext.Prng.create 5L in
+      List.for_all
+        (fun _ ->
+          let q = Int32.of_int (Dip_stdext.Prng.int g 0x3FFFFFFF) in
+          let reference =
+            List.fold_left
+              (fun best (a, len) ->
+                let m =
+                  if len = 0 then true
+                  else
+                    Int32.logand q (Int32.shift_left (-1l) (32 - len)) = a
+                in
+                match (m, best) with
+                | false, _ -> best
+                | true, Some (_, bl) when bl >= len -> best
+                | true, _ -> Some (a, len))
+              None norm
+          in
+          let got = Lpm_trie.lookup t ~bits:(Ipaddr.V4.bit q) ~len:32 in
+          match (reference, got) with
+          | None, None -> true
+          | Some (_, len), Some (gl, _) -> len = gl
+          | _ -> false)
+        (List.init 20 Fun.id))
+
+(* --- Name --- *)
+
+let test_name_parse () =
+  let n = Name.of_string "/video/intro.mp4/seg3" in
+  Alcotest.(check (list string)) "components"
+    [ "video"; "intro.mp4"; "seg3" ] (Name.components n);
+  Alcotest.(check string) "canonical" "/video/intro.mp4/seg3" (Name.to_string n);
+  Alcotest.(check string) "no leading slash ok" "/a/b"
+    (Name.to_string (Name.of_string "a/b"))
+
+let test_name_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (try
+           ignore (Name.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ ""; "/"; "/a//b" ]
+
+let test_name_prefix_relation () =
+  let ab = Name.of_string "/a/b" in
+  let abc = Name.of_string "/a/b/c" in
+  let abx = Name.of_string "/a/bc" in
+  Alcotest.(check bool) "prefix" true (Name.is_prefix ~prefix:ab abc);
+  Alcotest.(check bool) "self" true (Name.is_prefix ~prefix:ab ab);
+  Alcotest.(check bool) "component-wise, not string-wise" false
+    (Name.is_prefix ~prefix:ab abx);
+  Alcotest.(check bool) "not reversed" false (Name.is_prefix ~prefix:abc ab)
+
+let test_name_wire_roundtrip () =
+  let n = Name.of_string "/hotnets.org/papers/dip" in
+  Alcotest.(check bool) "roundtrip" true (Name.equal n (Name.of_wire (Name.to_wire n)))
+
+let test_name_wire_rejects_garbage () =
+  Alcotest.(check bool) "truncated" true
+    (try
+       ignore (Name.of_wire "\x02\x00\x01a");
+       false
+     with Invalid_argument _ -> true)
+
+let test_name_hash_stable () =
+  let a = Name.of_string "/hotnets.org" in
+  Alcotest.(check int32) "stable" (Name.hash32 a)
+    (Name.hash32 (Name.of_string "/hotnets.org"))
+
+let prop_name_wire_roundtrip =
+  QCheck.Test.make ~name:"name: wire roundtrip" ~count:300
+    QCheck.(small_list (string_gen_of_size (QCheck.Gen.int_range 1 8)
+                          (QCheck.Gen.char_range 'a' 'z')))
+    (fun cs ->
+      QCheck.assume (cs <> [] && List.length cs < 256);
+      let n = Name.of_components cs in
+      Name.equal n (Name.of_wire (Name.to_wire n)))
+
+(* --- Name FIB --- *)
+
+let test_fib_lpm () =
+  let fib = Name_fib.create () in
+  Name_fib.insert fib (Name.of_string "/video") 1;
+  Name_fib.insert fib (Name.of_string "/video/intro.mp4") 2;
+  let q = Name.of_string "/video/intro.mp4/seg1" in
+  (match Name_fib.lookup fib q with
+  | Some (p, v) ->
+      Alcotest.(check string) "longest prefix" "/video/intro.mp4" (Name.to_string p);
+      Alcotest.(check int) "port" 2 v
+  | None -> Alcotest.fail "expected a match");
+  (match Name_fib.lookup fib (Name.of_string "/video/other") with
+  | Some (p, v) ->
+      Alcotest.(check string) "falls back" "/video" (Name.to_string p);
+      Alcotest.(check int) "port" 1 v
+  | None -> Alcotest.fail "expected fallback");
+  Alcotest.(check bool) "miss" true
+    (Name_fib.lookup fib (Name.of_string "/audio/x") = None)
+
+let test_fib_hash_path () =
+  let fib = Name_fib.create () in
+  let n = Name.of_string "/hotnets.org" in
+  Name_fib.insert fib n 7;
+  Alcotest.(check (option int)) "hash hit" (Some 7)
+    (Name_fib.lookup_hash fib (Name.hash32 n));
+  Alcotest.(check (option int)) "hash miss" None
+    (Name_fib.lookup_hash fib (Name.hash32 (Name.of_string "/other")))
+
+let test_fib_remove () =
+  let fib = Name_fib.create () in
+  let n = Name.of_string "/a/b" in
+  Name_fib.insert fib n 1;
+  Alcotest.(check bool) "removed" true (Name_fib.remove fib n);
+  Alcotest.(check bool) "gone" true (Name_fib.lookup fib n = None);
+  Alcotest.(check (option int)) "hash gone" None
+    (Name_fib.lookup_hash fib (Name.hash32 n));
+  Alcotest.(check bool) "second remove false" false (Name_fib.remove fib n)
+
+let test_fib_replace_and_size () =
+  let fib = Name_fib.create () in
+  Name_fib.insert fib (Name.of_string "/a") 1;
+  Name_fib.insert fib (Name.of_string "/a") 2;
+  Alcotest.(check int) "size" 1 (Name_fib.size fib);
+  match Name_fib.lookup fib (Name.of_string "/a") with
+  | Some (_, v) -> Alcotest.(check int) "replaced" 2 v
+  | None -> Alcotest.fail "expected match"
+
+(* --- PIT --- *)
+
+let test_pit_forward_then_aggregate () =
+  let pit = Pit.create () in
+  let key = Name.hash32 (Name.of_string "/f") in
+  Alcotest.(check bool) "first is Forwarded" true
+    (Pit.insert pit ~key ~port:1 ~now:0.0 ~lifetime:4.0 = Pit.Forwarded);
+  Alcotest.(check bool) "second port aggregates" true
+    (Pit.insert pit ~key ~port:2 ~now:1.0 ~lifetime:4.0 = Pit.Aggregated);
+  Alcotest.(check bool) "same port aggregates" true
+    (Pit.insert pit ~key ~port:1 ~now:1.0 ~lifetime:4.0 = Pit.Aggregated);
+  Alcotest.(check (list int)) "both ports recorded" [ 1; 2 ]
+    (List.sort compare (Pit.consume pit ~key ~now:2.0));
+  Alcotest.(check (list int)) "consumed" [] (Pit.consume pit ~key ~now:2.0)
+
+let test_pit_expiry () =
+  let pit = Pit.create () in
+  let key = 42l in
+  ignore (Pit.insert pit ~key ~port:3 ~now:0.0 ~lifetime:1.0);
+  Alcotest.(check (list int)) "live before expiry" [ 3 ]
+    (Pit.pending pit ~key ~now:0.5);
+  Alcotest.(check (list int)) "expired" [] (Pit.consume pit ~key ~now:2.0)
+
+let test_pit_capacity () =
+  let pit = Pit.create ~capacity:2 () in
+  ignore (Pit.insert pit ~key:1l ~port:0 ~now:0.0 ~lifetime:10.0);
+  ignore (Pit.insert pit ~key:2l ~port:0 ~now:0.0 ~lifetime:10.0);
+  Alcotest.(check bool) "full table rejects" true
+    (Pit.insert pit ~key:3l ~port:0 ~now:0.0 ~lifetime:10.0 = Pit.Rejected);
+  Alcotest.(check int) "size bounded" 2 (Pit.size pit)
+
+let test_pit_purge () =
+  let pit = Pit.create () in
+  ignore (Pit.insert pit ~key:1l ~port:0 ~now:0.0 ~lifetime:1.0);
+  ignore (Pit.insert pit ~key:2l ~port:0 ~now:0.0 ~lifetime:5.0);
+  Alcotest.(check int) "one purged" 1 (Pit.purge_expired pit ~now:2.0);
+  Alcotest.(check int) "one left" 1 (Pit.size pit)
+
+let test_pit_expired_slot_reusable () =
+  let pit = Pit.create ~capacity:1 () in
+  ignore (Pit.insert pit ~key:1l ~port:0 ~now:0.0 ~lifetime:1.0);
+  Alcotest.(check bool) "expired entry frees its slot" true
+    (Pit.insert pit ~key:1l ~port:5 ~now:2.0 ~lifetime:1.0 = Pit.Forwarded);
+  Alcotest.(check (list int)) "new ports only" [ 5 ] (Pit.pending pit ~key:1l ~now:2.5)
+
+(* --- Content store --- *)
+
+let test_cs_basic () =
+  let cs = Content_store.create ~capacity:2 in
+  let a = Name.of_string "/a" and b = Name.of_string "/b" in
+  Content_store.insert cs a "A";
+  Content_store.insert cs b "B";
+  Alcotest.(check (option string)) "hit" (Some "A") (Content_store.find cs a);
+  Alcotest.(check int) "hits counted" 1 (Content_store.hits cs);
+  Alcotest.(check (option string)) "miss" None
+    (Content_store.find cs (Name.of_string "/c"));
+  Alcotest.(check int) "misses counted" 1 (Content_store.misses cs)
+
+let test_cs_lru_eviction () =
+  let cs = Content_store.create ~capacity:2 in
+  let a = Name.of_string "/a" and b = Name.of_string "/b" in
+  let c = Name.of_string "/c" in
+  Content_store.insert cs a "A";
+  Content_store.insert cs b "B";
+  (* Touch /a so /b becomes LRU, then insert /c. *)
+  ignore (Content_store.find cs a);
+  Content_store.insert cs c "C";
+  Alcotest.(check bool) "b evicted" false (Content_store.mem cs b);
+  Alcotest.(check bool) "a kept" true (Content_store.mem cs a);
+  Alcotest.(check bool) "c present" true (Content_store.mem cs c);
+  Alcotest.(check int) "size bounded" 2 (Content_store.size cs)
+
+let test_cs_update_refreshes () =
+  let cs = Content_store.create ~capacity:2 in
+  let a = Name.of_string "/a" and b = Name.of_string "/b" in
+  let c = Name.of_string "/c" in
+  Content_store.insert cs a "A";
+  Content_store.insert cs b "B";
+  Content_store.insert cs a "A2";
+  Content_store.insert cs c "C";
+  Alcotest.(check (option string)) "updated value survives" (Some "A2")
+    (Content_store.find cs a);
+  Alcotest.(check bool) "b was evicted" false (Content_store.mem cs b)
+
+let test_cs_remove_and_clear () =
+  let cs = Content_store.create ~capacity:4 in
+  let a = Name.of_string "/a" in
+  Content_store.insert cs a "A";
+  Alcotest.(check bool) "remove" true (Content_store.remove cs a);
+  Alcotest.(check bool) "remove again" false (Content_store.remove cs a);
+  Content_store.insert cs a "A";
+  Content_store.clear cs;
+  Alcotest.(check int) "cleared" 0 (Content_store.size cs)
+
+(* --- generic LRU --- *)
+
+let test_lru_basic () =
+  let l = Lru.create ~capacity:2 () in
+  Lru.insert l 1 "a";
+  Lru.insert l 2 "b";
+  Alcotest.(check (option string)) "hit" (Some "a") (Lru.find l 1);
+  Alcotest.(check int) "size" 2 (Lru.size l);
+  Alcotest.(check int) "capacity" 2 (Lru.capacity l)
+
+let test_lru_eviction_order () =
+  let l = Lru.create ~capacity:2 () in
+  Lru.insert l 1 "a";
+  Lru.insert l 2 "b";
+  ignore (Lru.find l 1) (* 2 becomes LRU *);
+  Lru.insert l 3 "c";
+  Alcotest.(check bool) "2 evicted" false (Lru.mem l 2);
+  Alcotest.(check bool) "1 kept" true (Lru.mem l 1);
+  Alcotest.(check bool) "3 present" true (Lru.mem l 3)
+
+let test_lru_update_refreshes () =
+  let l = Lru.create ~capacity:2 () in
+  Lru.insert l 1 "a";
+  Lru.insert l 2 "b";
+  Lru.insert l 1 "a2" (* refresh: 2 is now LRU *);
+  Lru.insert l 3 "c";
+  Alcotest.(check (option string)) "updated survives" (Some "a2") (Lru.find l 1);
+  Alcotest.(check bool) "2 evicted" false (Lru.mem l 2)
+
+let test_lru_remove_clear_fold () =
+  let l = Lru.create ~capacity:4 () in
+  Lru.insert l 1 "a";
+  Lru.insert l 2 "b";
+  Alcotest.(check bool) "remove" true (Lru.remove l 1);
+  Alcotest.(check bool) "remove again" false (Lru.remove l 1);
+  Alcotest.(check (list int)) "fold most-recent first" [ 2 ]
+    (Lru.fold (fun k _ acc -> k :: acc) l [] |> List.rev);
+  Lru.clear l;
+  Alcotest.(check int) "cleared" 0 (Lru.size l)
+
+let test_lru_custom_equality () =
+  (* Case-insensitive string keys via custom hash/equal. *)
+  let norm s = String.lowercase_ascii s in
+  let l =
+    Lru.create
+      ~hash:(fun s -> Hashtbl.hash (norm s))
+      ~equal:(fun a b -> norm a = norm b)
+      ~capacity:2 ()
+  in
+  Lru.insert l "Key" 1;
+  Alcotest.(check (option int)) "case-insensitive hit" (Some 1) (Lru.find l "kEY");
+  Lru.insert l "KEY" 2;
+  Alcotest.(check int) "same entry" 1 (Lru.size l)
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"lru: size <= capacity" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 20)))
+    (fun (cap, keys) ->
+      let l = Lru.create ~capacity:cap () in
+      List.iter (fun k -> Lru.insert l k k) keys;
+      Lru.size l <= cap)
+
+let prop_lru_most_recent_survives =
+  QCheck.Test.make ~name:"lru: most recent insert always present" ~count:200
+    QCheck.(pair (int_range 1 4) (small_list (int_range 0 20)))
+    (fun (cap, keys) ->
+      QCheck.assume (keys <> []);
+      let l = Lru.create ~capacity:cap () in
+      List.iter (fun k -> Lru.insert l k k) keys;
+      Lru.mem l (List.nth keys (List.length keys - 1)))
+
+let prop_cs_never_exceeds_capacity =
+  QCheck.Test.make ~name:"content store: size <= capacity" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 20)))
+    (fun (cap, keys) ->
+      let cs = Content_store.create ~capacity:cap in
+      List.iter
+        (fun k -> Content_store.insert cs (Name.of_string (Printf.sprintf "/k%d" k)) k)
+        keys;
+      Content_store.size cs <= cap)
+
+let () =
+  Alcotest.run "tables"
+    [
+      ( "ipaddr",
+        [
+          Alcotest.test_case "v4 parse" `Quick test_v4_parse;
+          Alcotest.test_case "v4 invalid" `Quick test_v4_parse_invalid;
+          Alcotest.test_case "v4 wire" `Quick test_v4_wire;
+          Alcotest.test_case "v4 bits" `Quick test_v4_bits;
+          Alcotest.test_case "v6 parse full" `Quick test_v6_parse_full;
+          Alcotest.test_case "v6 elision" `Quick test_v6_parse_elision;
+          Alcotest.test_case "v6 invalid" `Quick test_v6_parse_invalid;
+          Alcotest.test_case "v6 wire" `Quick test_v6_wire;
+          Alcotest.test_case "v6 bits" `Quick test_v6_bits;
+          Alcotest.test_case "prefix parse/match" `Quick test_prefix_parse_and_match;
+          Alcotest.test_case "prefix masks host bits" `Quick test_prefix_masks_host_bits;
+          Alcotest.test_case "prefix v6 match" `Quick test_prefix_v6_match;
+        ] );
+      ( "lpm",
+        [
+          Alcotest.test_case "basic" `Quick test_lpm_basic;
+          Alcotest.test_case "default route" `Quick test_lpm_default_route;
+          Alcotest.test_case "replace" `Quick test_lpm_replace;
+          Alcotest.test_case "remove + prune" `Quick test_lpm_remove;
+          Alcotest.test_case "128-bit keys" `Quick test_lpm_128bit_keys;
+          Alcotest.test_case "fold" `Quick test_lpm_fold_counts;
+          QCheck_alcotest.to_alcotest prop_lpm_against_reference;
+        ] );
+      ( "name",
+        [
+          Alcotest.test_case "parse" `Quick test_name_parse;
+          Alcotest.test_case "invalid" `Quick test_name_invalid;
+          Alcotest.test_case "prefix relation" `Quick test_name_prefix_relation;
+          Alcotest.test_case "wire roundtrip" `Quick test_name_wire_roundtrip;
+          Alcotest.test_case "wire rejects garbage" `Quick test_name_wire_rejects_garbage;
+          Alcotest.test_case "hash stable" `Quick test_name_hash_stable;
+          QCheck_alcotest.to_alcotest prop_name_wire_roundtrip;
+        ] );
+      ( "fib",
+        [
+          Alcotest.test_case "longest prefix" `Quick test_fib_lpm;
+          Alcotest.test_case "hash path" `Quick test_fib_hash_path;
+          Alcotest.test_case "remove" `Quick test_fib_remove;
+          Alcotest.test_case "replace/size" `Quick test_fib_replace_and_size;
+        ] );
+      ( "pit",
+        [
+          Alcotest.test_case "forward then aggregate" `Quick test_pit_forward_then_aggregate;
+          Alcotest.test_case "expiry" `Quick test_pit_expiry;
+          Alcotest.test_case "capacity" `Quick test_pit_capacity;
+          Alcotest.test_case "purge" `Quick test_pit_purge;
+          Alcotest.test_case "expired slot reusable" `Quick test_pit_expired_slot_reusable;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "update refreshes" `Quick test_lru_update_refreshes;
+          Alcotest.test_case "remove/clear/fold" `Quick test_lru_remove_clear_fold;
+          Alcotest.test_case "custom equality" `Quick test_lru_custom_equality;
+          QCheck_alcotest.to_alcotest prop_lru_never_exceeds_capacity;
+          QCheck_alcotest.to_alcotest prop_lru_most_recent_survives;
+        ] );
+      ( "content-store",
+        [
+          Alcotest.test_case "basic" `Quick test_cs_basic;
+          Alcotest.test_case "lru eviction" `Quick test_cs_lru_eviction;
+          Alcotest.test_case "update refreshes" `Quick test_cs_update_refreshes;
+          Alcotest.test_case "remove/clear" `Quick test_cs_remove_and_clear;
+          QCheck_alcotest.to_alcotest prop_cs_never_exceeds_capacity;
+        ] );
+    ]
