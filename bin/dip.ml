@@ -6,6 +6,8 @@
      dip sizes                        header overhead per protocol (Table 2)
      dip demo -p <protocol> -n <N>    run an N-router chain in the simulator
      dip estimate -p <protocol>       PISA cost-model estimate per hop
+     dip lint [-p <protocol>|--all|--hex H]
+                                      statically verify FN programs
 
    Everything here drives the same public API the examples use. *)
 
@@ -270,6 +272,94 @@ let estimate proto parallel =
     [ ("2EM:", Dip_opt.Protocol.EM2); ("AES:", Dip_opt.Protocol.AES) ];
   0
 
+(* --- lint: static FN-program verification --- *)
+
+(* The six §3 realizations — the programs `dip lint` must accept with
+   zero diagnostics. *)
+let section3_targets ~hops =
+  let dest_key = String.make 16 'k' in
+  let name = Name.of_string "/hotnets.org/dip" in
+  [
+    ( "ipv4 (DIP-32)",
+      Realize.ipv4 ~src:(v4 "192.0.2.7") ~dst:(v4 "10.9.0.42") ~payload:"demo" () );
+    ( "ipv6 (DIP-128)",
+      Realize.ipv6 ~src:(v6 "2001:db8::1") ~dst:(v6 "2001:db8::42")
+        ~payload:"demo" () );
+    ("ndn interest", Realize.ndn_interest ~name ~payload:"" ());
+    ("ndn data", Realize.ndn_data ~name ~content:"demo" ());
+    ( "opt",
+      Realize.opt ~hops ~session_id:0xD1AL ~timestamp:1l ~dest_key
+        ~payload:"demo" () );
+    ("ndn+opt interest", Realize.ndn_opt_interest ~name ~payload:"" ());
+    ( "ndn+opt data",
+      Realize.ndn_opt_data ~hops ~session_id:0xD1AL ~timestamp:1l ~dest_key
+        ~name ~content:"demo" () );
+    ( "xia",
+      let open Dip_xia in
+      Realize.xia
+        ~dag:
+          (Dag.fallback
+             ~intent:(Xid.of_name Xid.SID "svc")
+             ~via:[ Xid.of_name Xid.AD "as1"; Xid.of_name Xid.HID "h1" ])
+        ~payload:"demo" () );
+  ]
+
+(* This repo's documented extensions (keys 12-15), as the examples
+   construct them. *)
+let extension_targets ~hops =
+  let name = Name.of_string "/hotnets.org/dip" in
+  [
+    ( "ndn interest + F_pass",
+      Realize.ndn_interest ~pass:Dip_crypto.Siphash.default_key ~name
+        ~payload:"" () );
+    ( "netfence",
+      Realize.netfence ~src:(v4 "192.0.2.7") ~dst:(v4 "10.9.0.42") ~sender:7l
+        ~rate:1e6 ~timestamp:1l ~payload:"demo" () );
+    ( "ipv4 + telemetry",
+      Realize.ipv4_telemetry ~max_hops:8 ~src:(v4 "192.0.2.7")
+        ~dst:(v4 "10.9.0.42") ~payload:"demo" () );
+    ("epic", sample_packet ~hops Epic);
+  ]
+
+let targets_of_proto ~hops proto =
+  let all = section3_targets ~hops @ extension_targets ~hops in
+  let pick labels = List.filter (fun (l, _) -> List.mem l labels) all in
+  match proto with
+  | Dip32 -> pick [ "ipv4 (DIP-32)" ]
+  | Dip128 -> pick [ "ipv6 (DIP-128)" ]
+  | Ndn -> pick [ "ndn interest"; "ndn data" ]
+  | Opt -> pick [ "opt" ]
+  | Ndn_opt -> pick [ "ndn+opt interest"; "ndn+opt data" ]
+  | Xia -> pick [ "xia" ]
+  | Epic -> pick [ "epic" ]
+
+let lint proto all hex strict =
+  let hops = 3 in
+  let targets =
+    match hex with
+    | Some h -> (
+        match Dip_stdext.Hex.decode h with
+        | s -> [ ("packet", Bitbuf.of_string s) ]
+        | exception Invalid_argument e ->
+            Printf.eprintf "bad hex: %s\n" e;
+            exit 2)
+    | None -> (
+        if all then section3_targets ~hops @ extension_targets ~hops
+        else
+          match proto with
+          | Some p -> targets_of_proto ~hops p
+          | None -> section3_targets ~hops)
+  in
+  let failed = ref false in
+  List.iter
+    (fun (label, pkt) ->
+      let report = Dip_analysis.analyze_packet ~registry pkt in
+      Format.printf "%-20s %a@." (label ^ ":") Dip_analysis.Report.pp report;
+      if not (Dip_analysis.Report.ok report) then failed := true;
+      if strict && not (Dip_analysis.Report.clean report) then failed := true)
+    targets;
+  if !failed then 1 else 0
+
 (* --- control: runtime FN management demo --- *)
 
 let control () =
@@ -357,10 +447,42 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc:"PISA cost-model estimate for one hop.")
     Term.(const estimate $ proto_arg $ parallel_arg)
 
+let lint_proto_arg =
+  Arg.(
+    value
+    & opt (some proto_conv) None
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"Lint only this protocol's packets (default: the six \\S3 realizations).")
+
+let lint_all_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ] ~doc:"Lint the \\S3 realizations and this repo's extensions.")
+
+let lint_hex_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "hex" ] ~docv:"HEX" ~doc:"Lint a raw DIP packet given as hex.")
+
+let lint_strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Exit non-zero on warnings too, not just errors.")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically verify FN programs (bounds, races, dependencies, keys).")
+    Term.(const lint $ lint_proto_arg $ lint_all_arg $ lint_hex_arg $ lint_strict_arg)
+
 let () =
   let doc = "DIP: unified L3 protocols from shared field operations" in
   let info = Cmd.info "dip" ~version:"0.1.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; estimate_cmd; control_cmd ]))
+          [
+            catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; estimate_cmd;
+            lint_cmd; control_cmd;
+          ]))

@@ -1,0 +1,330 @@
+module Report = Report
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+open Dip_core
+
+let access (fn : Fn.t) = Registry.access fn.Fn.key
+
+(* Two FNs conflict — must be serialized by a parallel dataplane —
+   when their target slices overlap with at least one writer, or when
+   the earlier one produces the scratch value the later one consumes.
+   [conflict a b] assumes [a] precedes [b] in program order. *)
+let conflict a b =
+  let aa = access a and ab = access b in
+  (Field.overlaps a.Fn.field b.Fn.field
+  && (Registry.writes_target aa || Registry.writes_target ab))
+  || (aa.Registry.writes_scratch && ab.Registry.reads_scratch)
+
+let levels ~conflict fns =
+  let n = Array.length fns in
+  let level = Array.make n 1 in
+  for j = 0 to n - 1 do
+    for i = 0 to j - 1 do
+      if conflict fns.(i) fns.(j) then
+        level.(j) <- max level.(j) (level.(i) + 1)
+    done
+  done;
+  level
+
+let depth_of_array fns =
+  if Array.length fns = 0 then 0
+  else Array.fold_left max 1 (levels ~conflict fns)
+
+let depth fns = depth_of_array (Array.of_list fns)
+
+(* --- the check classes; each works on (original_index, fn) pairs so
+   that packet-level analysis can skip undecodable FNs without losing
+   the indices of the rest --- *)
+
+let wire_limit = 0xFFFF
+
+let bounds_diags ~loc_len_bits indexed =
+  List.concat_map
+    (fun (i, (fn : Fn.t)) ->
+      let f = fn.Fn.field in
+      let wire =
+        if f.Field.off_bits > wire_limit || f.Field.len_bits > wire_limit then
+          [
+            Report.error ~fn_index:i ~field:f Report.Bounds
+              (Format.asprintf
+                 "target %a does not fit the 16-bit loc/len wire fields"
+                 Field.pp f);
+          ]
+        else []
+      in
+      let region =
+        if Field.last_bit f > loc_len_bits then
+          [
+            Report.error ~fn_index:i ~field:f Report.Bounds
+              (Format.asprintf
+                 "target %a exceeds the %d-bit FN-locations region" Field.pp f
+                 loc_len_bits);
+          ]
+        else []
+      in
+      wire @ region)
+    indexed
+
+(* Race detection only matters under the §2.2 parallel flag:
+   Algorithm 1's sequential order is otherwise authoritative. *)
+let race_diags indexed =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  List.filter_map
+    (fun ((i, (a : Fn.t)), (j, (b : Fn.t))) ->
+      if not (Field.overlaps a.Fn.field b.Fn.field) then None
+      else
+        let wa = Registry.writes_target (access a)
+        and wb = Registry.writes_target (access b) in
+        if not (wa || wb) then None
+        else
+          let lo = max a.Fn.field.Field.off_bits b.Fn.field.Field.off_bits in
+          let hi = min (Field.last_bit a.Fn.field) (Field.last_bit b.Fn.field) in
+          let kind = if wa && wb then "write-write" else "read-write" in
+          Some
+            (Report.error ~fn_index:j
+               ~field:(Field.v ~off_bits:lo ~len_bits:(hi - lo))
+               Report.Race
+               (Printf.sprintf
+                  "%s race between %s (FN %d) and %s (FN %d) on bits %d..%d \
+                   under the parallel flag"
+                  kind (Opkey.name a.Fn.key) (i + 1) (Opkey.name b.Fn.key)
+                  (j + 1) lo hi)))
+    (pairs indexed)
+
+(* The engine serializes parallel execution by field overlap alone
+   (Engine.critical_path). A scratch dependency between FNs whose
+   slices do not overlap escapes that ordering: the consumer could run
+   level-concurrent with (or before) its producer. *)
+let parallel_scratch_diags indexed =
+  let arr = Array.of_list (List.map snd indexed) in
+  let idx = Array.of_list (List.map fst indexed) in
+  let overlap_only (a : Fn.t) (b : Fn.t) =
+    Field.overlaps a.Fn.field b.Fn.field
+  in
+  let engine_level = levels ~conflict:overlap_only arr in
+  let out = ref [] in
+  Array.iteri
+    (fun j b ->
+      if (access b).Registry.reads_scratch then
+        Array.iteri
+          (fun i a ->
+            if
+              i < j
+              && (access a).Registry.writes_scratch
+              && engine_level.(i) >= engine_level.(j)
+            then
+              out :=
+                Report.error ~fn_index:idx.(j) Report.Race
+                  (Printf.sprintf
+                     "parallel flag unsafe: %s (FN %d) consumes scratch from \
+                      %s (FN %d) but no field overlap orders them"
+                     (Opkey.name b.Fn.key)
+                     (idx.(j) + 1)
+                     (Opkey.name a.Fn.key)
+                     (idx.(i) + 1))
+                :: !out)
+          arr)
+    arr;
+  List.rev !out
+
+(* Scratch-mediated dataflow must respect program order per execution
+   side: the engine skips host-tagged FNs on routers and vice versa
+   (Algorithm 1 line 5), so a producer only counts for a consumer
+   with the same tag. *)
+let dependency_diags indexed =
+  List.filter_map
+    (fun (j, (fn : Fn.t)) ->
+      if not (access fn).Registry.reads_scratch then None
+      else if
+        List.exists
+          (fun (i, (p : Fn.t)) ->
+            i < j && (access p).Registry.writes_scratch && p.Fn.tag = fn.Fn.tag)
+          indexed
+      then None
+      else
+        Some
+          (Report.error ~fn_index:j ~field:fn.Fn.field Report.Dependency
+             (Printf.sprintf
+                "%s consumes scratch.opt_key but no preceding %s-tagged \
+                 F_parm produces it"
+                (Opkey.name fn.Fn.key)
+                (match fn.Fn.tag with Fn.Router -> "router" | Fn.Host -> "host"))))
+    indexed
+
+let key_diags ~registry indexed =
+  List.filter_map
+    (fun (i, (fn : Fn.t)) ->
+      if Registry.supports registry fn.Fn.key then None
+      else if Engine.mandatory fn.Fn.key then
+        Some
+          (Report.error ~fn_index:i Report.Key
+             (Printf.sprintf
+                "mandatory %s is not installed: the node would answer \
+                 FN-unsupported"
+                (Opkey.name fn.Fn.key)))
+      else
+        Some
+          (Report.warning ~fn_index:i Report.Key
+             (Printf.sprintf "%s is not installed: the node skips it (§2.4)"
+                (Opkey.name fn.Fn.key))))
+    indexed
+
+let tag_diags indexed =
+  List.filter_map
+    (fun (i, (fn : Fn.t)) ->
+      if fn.Fn.tag = Fn.Host && (access fn).Registry.forwarding then
+        Some
+          (Report.warning ~fn_index:i ~field:fn.Fn.field Report.Tag
+             (Printf.sprintf
+                "host-tagged %s: routers silently skip it, so it can never \
+                 steer forwarding"
+                (Opkey.name fn.Fn.key)))
+      else None)
+    indexed
+
+let check_indexed ?registry ~parallel ~loc_len_bits ~fn_count indexed =
+  let fns = Array.of_list (List.map snd indexed) in
+  let diags =
+    bounds_diags ~loc_len_bits indexed
+    @ (if parallel then race_diags indexed @ parallel_scratch_diags indexed
+       else [])
+    @ dependency_diags indexed
+    @ (match registry with
+      | Some r -> key_diags ~registry:r indexed
+      | None -> [])
+    @ tag_diags indexed
+  in
+  {
+    Report.diags;
+    fn_count;
+    depth = depth_of_array fns;
+    engine_depth = Engine.critical_path fns;
+  }
+
+let analyze ?registry ?(parallel = false) ~loc_len fns =
+  let indexed = List.mapi (fun i fn -> (i, fn)) fns in
+  check_indexed ?registry ~parallel ~loc_len_bits:(8 * loc_len)
+    ~fn_count:(List.length fns) indexed
+
+let analyze_view ?registry (view : Packet.view) =
+  let indexed =
+    List.mapi (fun i fn -> (i, fn)) (Array.to_list view.Packet.fns)
+  in
+  check_indexed ?registry ~parallel:view.Packet.header.Header.parallel
+    ~loc_len_bits:(8 * view.Packet.header.Header.fn_loc_len)
+    ~fn_count:(Array.length view.Packet.fns)
+    indexed
+
+let analyze_packet ?registry buf =
+  match Header.decode buf with
+  | Error e ->
+      {
+        Report.diags = [ Report.error Report.Parse ("header: " ^ e) ];
+        fn_count = 0;
+        depth = 0;
+        engine_depth = 0;
+      }
+  | Ok h ->
+      (* Lenient FN decode: Header.decode guarantees the definition
+         list fits the buffer, so the raw uint16 reads are safe; a
+         bad triple becomes a diagnostic instead of ending the
+         analysis. *)
+      let parse_diags = ref [] and indexed = ref [] in
+      for i = h.Header.fn_num - 1 downto 0 do
+        let pos = Header.fn_offset i in
+        let loc = Bitbuf.get_uint16 buf pos in
+        let len = Bitbuf.get_uint16 buf (pos + 2) in
+        let raw = Bitbuf.get_uint16 buf (pos + 4) in
+        let tag = if raw land 0x8000 <> 0 then Fn.Host else Fn.Router in
+        match Opkey.of_int (raw land 0x7FFF) with
+        | None ->
+            parse_diags :=
+              Report.error ~fn_index:i Report.Key
+                (Printf.sprintf "unknown operation key %d" (raw land 0x7FFF))
+              :: !parse_diags
+        | Some key ->
+            if len = 0 then
+              parse_diags :=
+                Report.error ~fn_index:i Report.Bounds
+                  "zero-length target field"
+                :: !parse_diags
+            else indexed := (i, Fn.v ~tag ~loc ~len key) :: !indexed
+      done;
+      let r =
+        check_indexed ?registry ~parallel:h.Header.parallel
+          ~loc_len_bits:(8 * h.Header.fn_loc_len) ~fn_count:h.Header.fn_num
+          !indexed
+      in
+      { r with Report.diags = !parse_diags @ r.Report.diags }
+
+let check_deployment ~topology ~registry_at ~src ~dst fns =
+  match Dip_netsim.Topology.path topology ~src ~dst with
+  | None ->
+      [
+        Report.error Report.Deployment
+          (Printf.sprintf "no path from node %d to node %d" src dst);
+      ]
+  | Some nodes ->
+      let path_str = String.concat "→" (List.map string_of_int nodes) in
+      (* One diagnostic per distinct mandatory (key, tag) used, at its
+         first occurrence. *)
+      let seen = Hashtbl.create 8 in
+      let mandatory =
+        List.concat
+          (List.mapi
+             (fun i (fn : Fn.t) ->
+               if
+                 Engine.mandatory fn.Fn.key
+                 && not (Hashtbl.mem seen (fn.Fn.key, fn.Fn.tag))
+               then begin
+                 Hashtbl.replace seen (fn.Fn.key, fn.Fn.tag) ();
+                 [ (i, fn) ]
+               end
+               else [])
+             fns)
+      in
+      List.concat_map
+        (fun (i, (fn : Fn.t)) ->
+          let must_support =
+            match fn.Fn.tag with
+            | Fn.Router ->
+                (* routers between the endpoints execute it *)
+                List.filter (fun n -> n <> src && n <> dst) nodes
+            | Fn.Host -> [ dst ]
+          in
+          List.filter_map
+            (fun n ->
+              if Registry.supports (registry_at n) fn.Fn.key then None
+              else
+                Some
+                  (Report.error ~fn_index:i Report.Deployment
+                     (Printf.sprintf
+                        "mandatory %s is not installed on node %d (path %s)"
+                        (Opkey.name fn.Fn.key) n path_str)))
+            must_support)
+        mandatory
+
+let verifier ?registry () view =
+  match Report.first_error (analyze_view ?registry view) with
+  | None -> Ok ()
+  | Some msg -> Error msg
+
+let hook ?registry verify =
+  if verify then Some (verifier ?registry ()) else None
+
+let process ?(verify = false) ~registry env ~now ~ingress buf =
+  Engine.process ?verify:(hook ~registry verify) ~registry env ~now ~ingress
+    buf
+
+let host_process ?(verify = false) ~registry env ~now ~ingress buf =
+  Engine.host_process ?verify:(hook ~registry verify) ~registry env ~now
+    ~ingress buf
+
+let handler ?(verify = false) ~registry env =
+  Engine.handler ?verify:(hook ~registry verify) ~registry env
+
+let host_handler ?(verify = false) ~registry env =
+  Engine.host_handler ?verify:(hook ~registry verify) ~registry env

@@ -1,0 +1,80 @@
+module Field = Dip_bitbuf.Field
+
+type severity = Error | Warning
+
+type check =
+  | Parse
+  | Bounds
+  | Race
+  | Dependency
+  | Key
+  | Tag
+  | Deployment
+
+type diag = {
+  severity : severity;
+  check : check;
+  fn_index : int option;
+  field : Field.t option;
+  message : string;
+}
+
+type t = {
+  diags : diag list;
+  fn_count : int;
+  depth : int;
+  engine_depth : int;
+}
+
+let diag severity ?fn_index ?field check message =
+  { severity; check; fn_index; field; message }
+
+let error ?fn_index ?field check message =
+  diag Error ?fn_index ?field check message
+
+let warning ?fn_index ?field check message =
+  diag Warning ?fn_index ?field check message
+
+let count sev t =
+  List.length (List.filter (fun d -> d.severity = sev) t.diags)
+
+let errors t = count Error t
+let warnings t = count Warning t
+let ok t = errors t = 0
+let clean t = t.diags = []
+
+let check_name = function
+  | Parse -> "parse"
+  | Bounds -> "bounds"
+  | Race -> "race"
+  | Dependency -> "dependency"
+  | Key -> "key"
+  | Tag -> "tag"
+  | Deployment -> "deployment"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp_diag fmt d =
+  (match d.fn_index with
+  | Some i -> Format.fprintf fmt "FN %d" (i + 1)
+  | None -> Format.pp_print_string fmt "packet");
+  (match d.field with
+  | Some f ->
+      Format.fprintf fmt " [bits %d..%d)" f.Field.off_bits (Field.last_bit f)
+  | None -> ());
+  Format.fprintf fmt ": %s (%s): %s" (severity_name d.severity)
+    (check_name d.check) d.message
+
+let first_error t =
+  List.find_opt (fun d -> d.severity = Error) t.diags
+  |> Option.map (Format.asprintf "%a" pp_diag)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d FN(s), depth %d" t.fn_count t.depth;
+  if t.engine_depth <> t.depth then
+    Format.fprintf fmt " (engine estimate %d)" t.engine_depth;
+  if clean t then Format.fprintf fmt "; clean"
+  else
+    Format.fprintf fmt "; %d error(s), %d warning(s)" (errors t) (warnings t);
+  List.iter (fun d -> Format.fprintf fmt "@,  %a" pp_diag d) t.diags;
+  Format.fprintf fmt "@]"

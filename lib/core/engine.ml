@@ -38,11 +38,24 @@ let critical_path fns =
   done;
   Array.fold_left max (if n = 0 then 0 else 1) level
 
-let run ~registry ~side env ~now ~ingress buf =
-  match Packet.parse buf with
-  | Error e ->
-      ( Dropped ("parse: " ^ e),
-        { ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 } )
+let no_info = { ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 }
+
+let run ?verify ~registry ~side env ~now ~ingress buf =
+  let parsed =
+    match Packet.parse buf with
+    | Error e -> Error ("parse: " ^ e)
+    | Ok view -> (
+        (* Opt-in static pre-check (Dip_analysis.verifier): reject a
+           malformed FN program before executing any of it. *)
+        match verify with
+        | None -> Ok view
+        | Some check -> (
+            match check view with
+            | Ok () -> Ok view
+            | Error e -> Error ("verify: " ^ e)))
+  in
+  match parsed with
+  | Error e -> (Dropped e, no_info)
   | Ok view ->
       let budget = Guard.start env.Env.guard in
       let scratch = { Registry.opt_key = None } in
@@ -126,11 +139,11 @@ let run ~registry ~side env ~now ~ingress buf =
       in
       loop 0
 
-let process ~registry env ~now ~ingress buf =
-  run ~registry ~side:`Router env ~now ~ingress buf
+let process ?verify ~registry env ~now ~ingress buf =
+  run ?verify ~registry ~side:`Router env ~now ~ingress buf
 
-let host_process ~registry env ~now ~ingress buf =
-  run ~registry ~side:`Host env ~now ~ingress buf
+let host_process ?verify ~registry env ~now ~ingress buf =
+  run ?verify ~registry ~side:`Host env ~now ~ingress buf
 
 let count env key = Dip_netsim.Stats.Counters.incr env.Env.counters key
 
@@ -157,10 +170,10 @@ let actions_of_verdict env ~ingress buf = function
         Dip_netsim.Sim.Drop ("unsupported-" ^ Opkey.name key);
       ]
 
-let handler ~registry env _sim ~now ~ingress packet =
-  let verdict, _info = process ~registry env ~now ~ingress packet in
+let handler ?verify ~registry env _sim ~now ~ingress packet =
+  let verdict, _info = process ?verify ~registry env ~now ~ingress packet in
   actions_of_verdict env ~ingress packet verdict
 
-let host_handler ~registry env _sim ~now ~ingress packet =
-  let verdict, _info = host_process ~registry env ~now ~ingress packet in
+let host_handler ?verify ~registry env _sim ~now ~ingress packet =
+  let verdict, _info = host_process ?verify ~registry env ~now ~ingress packet in
   actions_of_verdict env ~ingress packet verdict

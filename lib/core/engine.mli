@@ -47,7 +47,16 @@ val mandatory : Opkey.t -> bool
 (** Keys that "require all on-path ASes to participate" (§2.4): the
     OPT path-authentication operations. *)
 
+val critical_path : Fn.t array -> int
+(** Length of the FN dependency critical path used for
+    [parallel_depth]: FNs whose target fields overlap are serialized,
+    everything else may run concurrently (§2.2 parallel bit). This is
+    the engine's conservative (access-mode-blind) estimate; the
+    {!Dip_analysis} verifier recomputes it from declared
+    {!Registry.access} modes and cross-checks the two. *)
+
 val process :
+  ?verify:(Packet.view -> (unit, string) result) ->
   registry:Registry.t ->
   Env.t ->
   now:float ->
@@ -55,9 +64,14 @@ val process :
   Dip_bitbuf.Bitbuf.t ->
   verdict * info
 (** Router-side Algorithm 1. Mutates the packet in place (tag
-    updates, pointer advances, hop limit). *)
+    updates, pointer advances, hop limit). When [verify] is given it
+    runs on the parsed view {e before} any FN executes; an [Error e]
+    fails fast with [Dropped ("verify: " ^ e)] — pass
+    [Dip_analysis.verifier] to statically reject malformed FN
+    programs. *)
 
 val host_process :
+  ?verify:(Packet.view -> (unit, string) result) ->
   registry:Registry.t ->
   Env.t ->
   now:float ->
@@ -67,10 +81,18 @@ val host_process :
 (** Host-side: executes only host-tagged FNs; a packet with no host
     FNs is simply delivered. *)
 
-val handler : registry:Registry.t -> Env.t -> Dip_netsim.Sim.handler
+val handler :
+  ?verify:(Packet.view -> (unit, string) result) ->
+  registry:Registry.t ->
+  Env.t ->
+  Dip_netsim.Sim.handler
 (** A DIP router as a simulator node. Unsupported-FN verdicts send
     an {!Errors.fn_unsupported} notification back out the ingress
     port. *)
 
-val host_handler : registry:Registry.t -> Env.t -> Dip_netsim.Sim.handler
+val host_handler :
+  ?verify:(Packet.view -> (unit, string) result) ->
+  registry:Registry.t ->
+  Env.t ->
+  Dip_netsim.Sim.handler
 (** A DIP end host as a simulator node. *)

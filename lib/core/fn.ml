@@ -18,7 +18,7 @@ let encode t buf ~pos =
   Bitbuf.set_uint16 buf (pos + 4) (tag_bit lor Opkey.to_int t.key)
 
 let decode buf ~pos =
-  if pos + size > Bitbuf.length buf then Error "truncated FN triple"
+  if pos < 0 || pos + size > Bitbuf.length buf then Error "truncated FN triple"
   else
     let loc = Bitbuf.get_uint16 buf pos in
     let len = Bitbuf.get_uint16 buf (pos + 2) in

@@ -31,8 +31,9 @@ val encode : t -> Dip_bitbuf.Bitbuf.t -> pos:int -> unit
 (** Write the 6-byte triple at byte offset [pos]. *)
 
 val decode : Dip_bitbuf.Bitbuf.t -> pos:int -> (t, string) result
-(** Parse a triple; [Error] on an unknown operation key or a
-    truncated buffer. *)
+(** Parse a triple; [Error] on an unknown operation key, a
+    zero-length field, or a buffer too short for 6 bytes at [pos]
+    (including negative [pos]). Never raises. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

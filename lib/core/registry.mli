@@ -43,6 +43,31 @@ and scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
 type impl = ctx -> outcome
 (** One operation module. *)
 
+(** How an operation touches its target field slice. *)
+type mode = Read | Write | Read_write
+
+(** Declared (static) behaviour of an operation module: what it does
+    to its target slice, whether it consumes or produces the
+    per-packet scratch ({!scratch}), and whether it may propose a
+    forwarding/delivery decision. This is the metadata the
+    {!Dip_analysis} verifier reasons over — the §2.2 parallel bit is
+    only safe when no two FNs race on overlapping slices. *)
+type access = {
+  target : mode;
+  reads_scratch : bool;  (** consumes [scratch.opt_key] (F_MAC, F_mark) *)
+  writes_scratch : bool;  (** deposits [scratch.opt_key] (F_parm) *)
+  forwarding : bool;
+      (** may return [Set_route]/[Deliver_local] on a router — the
+          operations a host-tagged FN would silently disable *)
+}
+
+val access : Opkey.t -> access
+(** The declared access mode of an operation key. Total: every key in
+    Table 1 (plus this repo's extensions) has a row. *)
+
+val writes_target : access -> bool
+(** [true] when the target mode is [Write] or [Read_write]. *)
+
 type t
 
 val empty : unit -> t

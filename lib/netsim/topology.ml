@@ -87,6 +87,18 @@ let shortest_paths t ~src =
   done;
   pred
 
+let path t ~src ~dst =
+  if src < 0 || src >= t.node_count || dst < 0 || dst >= t.node_count then None
+  else if src = dst then Some [ src ]
+  else
+    let pred = shortest_paths t ~src in
+    if pred.(dst) = -1 then None
+    else
+      let rec back v acc =
+        if v = src then v :: acc else back pred.(v) (v :: acc)
+      in
+      Some (back dst [])
+
 let next_hop t ~src ~dst =
   if src = dst then None
   else

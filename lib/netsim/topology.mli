@@ -48,6 +48,13 @@ val next_hop : t -> src:int -> dst:int -> int option
 (** First hop on a shortest path from [src] to [dst]; [None] if
     unreachable or [src = dst]. *)
 
+val path : t -> src:int -> dst:int -> int list option
+(** The full node sequence [src; …; dst] of a shortest path, [None]
+    when [dst] is unreachable (or either endpoint is out of range).
+    [path t ~src ~dst = Some [src]] when [src = dst]. This is what
+    the deployment checker walks to find on-path nodes missing a
+    mandatory operation module (§2.4). *)
+
 val instantiate : t -> Sim.t -> name:(int -> string) -> handler:(int -> Sim.handler) -> Sim.node_id array
 (** Add every node to the simulator and wire every edge. Returns the
     simulator ids indexed by topology node. *)

@@ -3,7 +3,6 @@
 
 type 'v node = {
   key : string;
-  name : Name.t;
   mutable value : 'v;
   mutable prev : 'v node option;
   mutable next : 'v node option;
@@ -69,7 +68,7 @@ let insert t name v =
       touch t n
   | None ->
       if Hashtbl.length t.index >= t.cap then evict_lru t;
-      let n = { key; name; value = v; prev = None; next = None } in
+      let n = { key; value = v; prev = None; next = None } in
       Hashtbl.replace t.index key n;
       push_front t n
 

@@ -1,0 +1,370 @@
+(* Tests for Dip_analysis: the static FN-program verifier. Every
+   check class must fire on a crafted bad program and stay silent on
+   the §3 realizations. *)
+
+open Dip_core
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Field = Dip_bitbuf.Field
+module Ipaddr = Dip_tables.Ipaddr
+module Name = Dip_tables.Name
+module Report = Dip_analysis.Report
+module Topology = Dip_netsim.Topology
+
+let v4 = Ipaddr.V4.of_string
+let v6 = Ipaddr.V6.of_string
+let reg = Ops.default_registry ()
+let dest_key = String.make 16 'k'
+let name = Name.of_string "/a/b"
+
+let section3 () =
+  [
+    ( "ipv4",
+      Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.0.0.1") ~payload:"x" () );
+    ("ipv6", Realize.ipv6 ~src:(v6 "::1") ~dst:(v6 "::2") ~payload:"x" ());
+    ("ndn interest", Realize.ndn_interest ~name ~payload:"" ());
+    ("ndn data", Realize.ndn_data ~name ~content:"x" ());
+    ( "opt",
+      Realize.opt ~hops:3 ~session_id:1L ~timestamp:0l ~dest_key ~payload:"x" () );
+    ( "ndn+opt",
+      Realize.ndn_opt_data ~hops:3 ~session_id:1L ~timestamp:0l ~dest_key ~name
+        ~content:"x" () );
+    ( "xia",
+      Realize.xia
+        ~dag:(Dip_xia.Dag.direct (Dip_xia.Xid.of_name Dip_xia.Xid.SID "s"))
+        ~payload:"x" () );
+  ]
+
+let has check r = List.exists (fun d -> d.Report.check = check) r.Report.diags
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let has_error check r =
+  List.exists
+    (fun d -> d.Report.check = check && d.Report.severity = Report.Error)
+    r.Report.diags
+
+(* The OPT program of Realize.opt (§3), as an FN list. *)
+let opt_fns =
+  [
+    Fn.v ~loc:128 ~len:128 Opkey.F_parm;
+    Fn.v ~loc:0 ~len:416 Opkey.F_mac;
+    Fn.v ~loc:288 ~len:128 Opkey.F_mark;
+    Fn.v ~tag:Fn.Host ~loc:0 ~len:544 Opkey.F_ver;
+  ]
+
+(* --- the §3 realizations must be accepted --- *)
+
+let test_section3_clean () =
+  List.iter
+    (fun (label, pkt) ->
+      let r = Dip_analysis.analyze_packet ~registry:reg pkt in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s clean: %s" label
+           (Option.value ~default:"" (Report.first_error r)))
+        true (Report.clean r);
+      Alcotest.(check int)
+        (label ^ " depth matches engine")
+        r.Report.engine_depth r.Report.depth)
+    (section3 ())
+
+let test_depth_matches_engine_info () =
+  (* Rebuild each §3 packet with the §2.2 parallel bit and compare the
+     analyzer's hazard-aware depth with what the engine reports. *)
+  List.iter
+    (fun (label, pkt) ->
+      let view =
+        match Packet.parse pkt with Ok v -> v | Error e -> Alcotest.fail e
+      in
+      let fns = Array.to_list view.Packet.fns in
+      let locations =
+        Bitbuf.get_field pkt
+          (Field.v
+             ~off_bits:(8 * view.Packet.loc_base)
+             ~len_bits:(8 * view.Packet.header.Header.fn_loc_len))
+      in
+      let par = Packet.build ~parallel:true ~fns ~locations ~payload:"" () in
+      let r = Dip_analysis.analyze_packet ~registry:reg par in
+      let env = Env.create ~name:"r" () in
+      let _, info = Engine.process ~registry:reg env ~now:0.0 ~ingress:0 par in
+      Alcotest.(check int)
+        (label ^ " engine parallel_depth")
+        info.Engine.parallel_depth r.Report.depth)
+    (section3 ())
+
+(* --- bounds --- *)
+
+let test_bounds_region () =
+  let r =
+    Dip_analysis.analyze ~loc_len:8 [ Fn.v ~loc:0 ~len:65 Opkey.F_32_match ]
+  in
+  Alcotest.(check bool) "65 bits over a 64-bit region" true
+    (has_error Report.Bounds r);
+  Alcotest.(check bool) "not ok" false (Report.ok r)
+
+let test_bounds_corrupt_packet () =
+  (* Corrupt the FN length in a real packet: analyze_packet must
+     report the slice, not abort like Packet.parse does. *)
+  let pkt =
+    Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.0.0.1") ~payload:"" ()
+  in
+  Bitbuf.set_uint16 pkt 8 999;
+  let r = Dip_analysis.analyze_packet ~registry:reg pkt in
+  Alcotest.(check bool) "bounds error" true (has_error Report.Bounds r);
+  Alcotest.(check int) "both FNs still analyzed" 2 r.Report.fn_count
+
+(* --- races under the parallel flag --- *)
+
+let test_race_write_write () =
+  let fns =
+    [ Fn.v ~loc:0 ~len:32 Opkey.F_cc; Fn.v ~loc:16 ~len:32 Opkey.F_tel ]
+  in
+  let par = Dip_analysis.analyze ~parallel:true ~loc_len:8 fns in
+  Alcotest.(check bool) "race under parallel" true (has_error Report.Race par);
+  (* Sequential execution order is authoritative: no race. *)
+  let seq = Dip_analysis.analyze ~loc_len:8 fns in
+  Alcotest.(check bool) "clean when sequential" true (Report.clean seq)
+
+let test_race_read_only_overlap_is_fine () =
+  let fns =
+    [ Fn.v ~loc:0 ~len:32 Opkey.F_32_match; Fn.v ~loc:0 ~len:32 Opkey.F_fib ]
+  in
+  let par = Dip_analysis.analyze ~parallel:true ~loc_len:8 fns in
+  Alcotest.(check bool) "two readers never race" false (has Report.Race par)
+
+let test_parallel_scratch_hazard () =
+  (* F_parm and F_mark on disjoint slices: nothing orders them under
+     the engine's overlap-only leveling, so the scratch dependency is
+     unsafe with the parallel flag. *)
+  let fns =
+    [ Fn.v ~loc:0 ~len:128 Opkey.F_parm; Fn.v ~loc:128 ~len:128 Opkey.F_mark ]
+  in
+  let par = Dip_analysis.analyze ~parallel:true ~loc_len:32 fns in
+  Alcotest.(check bool) "scratch escapes overlap ordering" true
+    (has_error Report.Race par
+    && List.exists
+         (fun d -> contains ~sub:"parallel flag unsafe" d.Report.message)
+         par.Report.diags);
+  (* In the real OPT program the slices overlap, so the engine's
+     leveling orders producer before consumer: no scratch hazard
+     (the overlaps themselves still make the parallel claim false,
+     which is a separate write-write/read-write diagnostic). *)
+  let opt = Dip_analysis.analyze ~parallel:true ~loc_len:68 opt_fns in
+  Alcotest.(check bool) "OPT has no scratch hazard" false
+    (List.exists
+       (fun d -> contains ~sub:"parallel flag unsafe" d.Report.message)
+       opt.Report.diags);
+  Alcotest.(check bool) "sequential OPT is clean" true
+    (Report.clean (Dip_analysis.analyze ~loc_len:68 opt_fns))
+
+(* --- dependency order --- *)
+
+let test_dependency_mac_before_parm () =
+  let fns =
+    [ Fn.v ~loc:0 ~len:416 Opkey.F_mac; Fn.v ~loc:128 ~len:128 Opkey.F_parm ]
+  in
+  let r = Dip_analysis.analyze ~loc_len:68 fns in
+  Alcotest.(check bool) "F_MAC before F_parm" true
+    (has_error Report.Dependency r);
+  let good = Dip_analysis.analyze ~loc_len:68 opt_fns in
+  Alcotest.(check bool) "OPT order accepted" false (has Report.Dependency good)
+
+let test_dependency_respects_tags () =
+  (* A host-tagged producer is invisible to a router-tagged consumer:
+     the engine skips it on the router side (Algorithm 1 line 5). *)
+  let fns =
+    [
+      Fn.v ~tag:Fn.Host ~loc:128 ~len:128 Opkey.F_parm;
+      Fn.v ~loc:0 ~len:416 Opkey.F_mac;
+    ]
+  in
+  let r = Dip_analysis.analyze ~loc_len:68 fns in
+  Alcotest.(check bool) "producer on the wrong side" true
+    (has_error Report.Dependency r)
+
+(* --- keys and tags --- *)
+
+let test_unknown_key_diagnostic () =
+  let pkt =
+    Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.0.0.1") ~payload:"" ()
+  in
+  (* First triple's op-key word sits at byte 10 (6-byte header + loc
+     + len). *)
+  Bitbuf.set_uint16 pkt 10 99;
+  let r = Dip_analysis.analyze_packet ~registry:reg pkt in
+  Alcotest.(check bool) "unknown key reported" true (has_error Report.Key r);
+  Alcotest.(check bool) "message names the key" true
+    (List.exists
+       (fun d -> d.Report.message = "unknown operation key 99")
+       r.Report.diags)
+
+let test_missing_mandatory_key () =
+  let limited = Registry.restrict reg [ Opkey.F_parm ] in
+  let r = Dip_analysis.analyze ~registry:limited ~loc_len:68 opt_fns in
+  Alcotest.(check bool) "missing F_MAC is an error" true
+    (has_error Report.Key r)
+
+let test_missing_ignorable_key_warns () =
+  let no_tel = Registry.restrict reg [ Opkey.F_32_match; Opkey.F_source ] in
+  let fns = [ Fn.v ~loc:0 ~len:32 Opkey.F_32_match; Fn.v ~loc:64 ~len:32 Opkey.F_tel ] in
+  let r = Dip_analysis.analyze ~registry:no_tel ~loc_len:12 fns in
+  Alcotest.(check bool) "warning, not error" true
+    (has Report.Key r && Report.ok r)
+
+let test_host_tagged_forwarding_warns () =
+  let fns = [ Fn.v ~tag:Fn.Host ~loc:0 ~len:32 Opkey.F_32_match ] in
+  let r = Dip_analysis.analyze ~loc_len:4 fns in
+  Alcotest.(check bool) "routers would skip it" true (has Report.Tag r);
+  (* F_ver is host-tagged by design and not a forwarding FN. *)
+  let ver = Dip_analysis.analyze ~loc_len:68 opt_fns in
+  Alcotest.(check bool) "host-tagged F_ver is fine" false (has Report.Tag ver)
+
+(* --- deployment (§2.4) --- *)
+
+let test_deployment_gap () =
+  let topo = Topology.linear 3 in
+  let limited = Registry.restrict reg [ Opkey.F_32_match; Opkey.F_source ] in
+  let registry_at n = if n = 1 then limited else reg in
+  let diags =
+    Dip_analysis.check_deployment ~topology:topo ~registry_at ~src:0 ~dst:2
+      opt_fns
+  in
+  (* The middle router lacks F_parm, F_MAC and F_mark; F_ver is not
+     mandatory so the (fully equipped) destination is fine. *)
+  Alcotest.(check int) "three gaps on node 1" 3 (List.length diags);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "names node 1" true
+        (contains ~sub:"node 1" d.Report.message))
+    diags;
+  let clean =
+    Dip_analysis.check_deployment ~topology:topo ~registry_at:(fun _ -> reg)
+      ~src:0 ~dst:2 opt_fns
+  in
+  Alcotest.(check int) "full deployment is clean" 0 (List.length clean)
+
+let test_deployment_unreachable () =
+  let topo = { Topology.node_count = 2; edges = [] } in
+  match
+    Dip_analysis.check_deployment ~topology:topo ~registry_at:(fun _ -> reg)
+      ~src:0 ~dst:1 opt_fns
+  with
+  | [ d ] ->
+      Alcotest.(check bool) "deployment error" true
+        (d.Report.check = Report.Deployment)
+  | l -> Alcotest.failf "expected one diagnostic, got %d" (List.length l)
+
+(* --- the engine hook --- *)
+
+let test_engine_verify_rejects () =
+  let bad =
+    Packet.build
+      ~fns:[ Fn.v ~loc:0 ~len:416 Opkey.F_mac ]
+      ~locations:(String.make 68 '\000') ~payload:"" ()
+  in
+  let env = Env.create ~name:"r" () in
+  match Dip_analysis.process ~verify:true ~registry:reg env ~now:0.0 ~ingress:0 bad with
+  | Engine.Dropped reason, info ->
+      Alcotest.(check bool) "verify: prefix" true
+        (String.length reason >= 7 && String.sub reason 0 7 = "verify:");
+      Alcotest.(check int) "nothing executed" 0 info.Engine.ops_run
+  | _ -> Alcotest.fail "verification must drop the packet"
+
+let test_engine_verify_passes_good () =
+  let env = Env.create ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes
+    (Ipaddr.Prefix.of_string "10.0.0.0/8") 3;
+  let pkt =
+    Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.0.0.1") ~payload:"" ()
+  in
+  match Dip_analysis.process ~verify:true ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 3 ], _ -> ()
+  | Engine.Dropped r, _ -> Alcotest.failf "verified packet dropped: %s" r
+  | _ -> Alcotest.fail "expected forward"
+
+let test_verifier_shape () =
+  let pkt = Realize.ndn_interest ~name ~payload:"" () in
+  let view = match Packet.parse pkt with Ok v -> v | Error e -> Alcotest.fail e in
+  (match Dip_analysis.verifier ~registry:reg () view with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "good program refused: %s" e);
+  let bad_view =
+    let buf =
+      Packet.build
+        ~fns:[ Fn.v ~loc:0 ~len:416 Opkey.F_mac ]
+        ~locations:(String.make 68 '\000') ~payload:"" ()
+    in
+    match Packet.parse buf with Ok v -> v | Error e -> Alcotest.fail e
+  in
+  match Dip_analysis.verifier () bad_view with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "orphan F_MAC must be refused"
+
+(* --- odds and ends --- *)
+
+let test_depth_values () =
+  Alcotest.(check int) "empty program" 0 (Dip_analysis.depth []);
+  Alcotest.(check int) "OPT depth 4" 4 (Dip_analysis.depth opt_fns);
+  Alcotest.(check int) "independent FNs" 1
+    (Dip_analysis.depth
+       [ Fn.v ~loc:0 ~len:32 Opkey.F_32_match; Fn.v ~loc:32 ~len:32 Opkey.F_source ])
+
+let test_garbage_header () =
+  let r = Dip_analysis.analyze_packet ~registry:reg (Bitbuf.of_string "ab") in
+  Alcotest.(check bool) "parse error" true (has_error Report.Parse r)
+
+let () =
+  Alcotest.run "dip-analysis"
+    [
+      ( "section3",
+        [
+          Alcotest.test_case "all realizations clean" `Quick test_section3_clean;
+          Alcotest.test_case "depth matches engine info" `Quick
+            test_depth_matches_engine_info;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "region overflow" `Quick test_bounds_region;
+          Alcotest.test_case "corrupt packet" `Quick test_bounds_corrupt_packet;
+        ] );
+      ( "races",
+        [
+          Alcotest.test_case "write-write" `Quick test_race_write_write;
+          Alcotest.test_case "readers don't race" `Quick
+            test_race_read_only_overlap_is_fine;
+          Alcotest.test_case "scratch hazard" `Quick test_parallel_scratch_hazard;
+        ] );
+      ( "dependency",
+        [
+          Alcotest.test_case "MAC before parm" `Quick
+            test_dependency_mac_before_parm;
+          Alcotest.test_case "tag sides" `Quick test_dependency_respects_tags;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "unknown key" `Quick test_unknown_key_diagnostic;
+          Alcotest.test_case "missing mandatory" `Quick test_missing_mandatory_key;
+          Alcotest.test_case "missing ignorable" `Quick
+            test_missing_ignorable_key_warns;
+          Alcotest.test_case "host-tagged forwarding" `Quick
+            test_host_tagged_forwarding_warns;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "gap on path" `Quick test_deployment_gap;
+          Alcotest.test_case "unreachable" `Quick test_deployment_unreachable;
+        ] );
+      ( "engine-hook",
+        [
+          Alcotest.test_case "rejects bad" `Quick test_engine_verify_rejects;
+          Alcotest.test_case "passes good" `Quick test_engine_verify_passes_good;
+          Alcotest.test_case "verifier shape" `Quick test_verifier_shape;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "depth values" `Quick test_depth_values;
+          Alcotest.test_case "garbage header" `Quick test_garbage_header;
+        ] );
+    ]

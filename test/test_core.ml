@@ -557,6 +557,40 @@ let test_engine_unsupported_mandatory_fn () =
       Alcotest.(check string) "names the key" "F_parm" (Opkey.name key)
   | _ -> Alcotest.fail "mandatory unsupported FN must be reported"
 
+let test_engine_unsupported_partial_opt () =
+  (* An AS with F_parm but not F_MAC runs what it has, then reports
+     the first mandatory key it cannot execute. *)
+  let partial = Registry.restrict reg [ Opkey.F_parm ] in
+  let env = Env.create ~name:"half-as" () in
+  Env.set_opt_identity env
+    ~secret:(Dip_opt.Drkey.secret_of_string "0123456789abcdef") ~hop:1;
+  let pkt =
+    Realize.opt ~hops:1 ~session_id:1L ~timestamp:0l
+      ~dest_key:(String.make 16 'k') ~payload:"" ()
+  in
+  match Engine.process ~registry:partial env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Unsupported key, info ->
+      Alcotest.(check string) "stops at F_MAC" "F_MAC" (Opkey.name key);
+      Alcotest.(check int) "F_parm ran first" 1 info.Engine.ops_run
+  | _ -> Alcotest.fail "partial OPT support must report F_MAC"
+
+let test_engine_ignorable_telemetry_skipped () =
+  (* F_tel is per-AS (§2.4): a node without it forwards and counts
+     the skip. *)
+  let no_tel =
+    Registry.restrict reg [ Opkey.F_32_match; Opkey.F_source ]
+  in
+  let env = env_with_v4_routes () in
+  let pkt =
+    Realize.ipv4_telemetry ~max_hops:4 ~src:(v4 "192.0.2.1")
+      ~dst:(v4 "10.1.2.3") ~payload:"" ()
+  in
+  match Engine.process ~registry:no_tel env ~now:0.0 ~ingress:0 pkt with
+  | Engine.Forwarded [ 3 ], info ->
+      Alcotest.(check int) "telemetry skipped" 1 info.Engine.ops_skipped;
+      Alcotest.(check int) "forwarding still ran" 2 info.Engine.ops_run
+  | _ -> Alcotest.fail "missing F_tel must not stop forwarding"
+
 let test_engine_ignorable_unsupported_fn () =
   (* F_pass is ignorable: a node without it just skips (§2.4). *)
   let no_pass = Registry.restrict reg [ Opkey.F_fib ] in
@@ -908,13 +942,23 @@ let test_host_unknown_session () =
 
 let prop_fn_wire_roundtrip =
   QCheck.Test.make ~name:"fn: wire roundtrip" ~count:500
-    QCheck.(triple (int_range 0 0xFFFF) (int_range 1 0xFFFF) (pair (int_range 1 12) bool))
+    QCheck.(triple (int_range 0 0xFFFF) (int_range 1 0xFFFF) (pair (int_range 1 15) bool))
     (fun (loc, len, (key, host)) ->
       let key = Option.get (Opkey.of_int key) in
       let fn = Fn.v ~tag:(if host then Fn.Host else Fn.Router) ~loc ~len key in
       let buf = Bitbuf.create 6 in
       Fn.encode fn buf ~pos:0;
       match Fn.decode buf ~pos:0 with Ok fn' -> Fn.equal fn fn' | Error _ -> false)
+
+let prop_fn_decode_total =
+  (* Fn.decode must be total: random bytes at any position, including
+     out-of-range and truncated ones, yield Ok or Error — never an
+     exception. *)
+  QCheck.Test.make ~name:"fn: decode never raises" ~count:500
+    QCheck.(pair small_string (int_range (-8) 16))
+    (fun (bytes, pos) ->
+      let buf = Bitbuf.of_string bytes in
+      match Fn.decode buf ~pos with Ok _ | Error _ -> true)
 
 let prop_packet_roundtrip =
   QCheck.Test.make ~name:"packet: build/parse roundtrip" ~count:300
@@ -981,6 +1025,7 @@ let () =
           Alcotest.test_case "tag bit" `Quick test_fn_tag_bit;
           Alcotest.test_case "decode rejects" `Quick test_fn_decode_rejects;
           QCheck_alcotest.to_alcotest prop_fn_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_fn_decode_total;
         ] );
       ( "header",
         [
@@ -1044,7 +1089,9 @@ let () =
       ( "heterogeneous",
         [
           Alcotest.test_case "unsupported mandatory" `Quick test_engine_unsupported_mandatory_fn;
+          Alcotest.test_case "unsupported partial OPT" `Quick test_engine_unsupported_partial_opt;
           Alcotest.test_case "ignorable skipped" `Quick test_engine_ignorable_unsupported_fn;
+          Alcotest.test_case "ignorable telemetry" `Quick test_engine_ignorable_telemetry_skipped;
           Alcotest.test_case "error message roundtrip" `Quick test_errors_roundtrip;
           Alcotest.test_case "error echo truncated" `Quick test_errors_echo_truncated;
           Alcotest.test_case "error rejects non-control" `Quick test_errors_rejects_noncontrol;

@@ -49,9 +49,12 @@ let run_network ~seed ~nodes ~packets =
   (* Node 0 answers interests directly (producer-at-router). *)
   Env.cache_insert envs.(0) (Name.hash32 name) "soak body";
   let ids =
+    (* Every router statically verifies each packet before running it
+       (Dip_analysis): the mixed workload must never trip the
+       pre-check. *)
     Topology.instantiate topo sim
       ~name:(Printf.sprintf "n%d")
-      ~handler:(fun i -> Engine.handler ~registry envs.(i))
+      ~handler:(fun i -> Dip_analysis.handler ~verify:true ~registry envs.(i))
   in
   (* Mixed workload injected at random non-zero nodes. *)
   let g = Dip_stdext.Prng.create (Int64.add seed 1L) in
@@ -68,6 +71,11 @@ let run_network ~seed ~nodes ~packets =
             ~dst:(v4 "10.0.0.1")
             ~payload:(Printf.sprintf "tel-%d" k) ()
     in
+    let report = Dip_analysis.analyze_packet ~registry pkt in
+    if not (Dip_analysis.Report.clean report) then
+      Alcotest.failf "generated packet %d fails lint: %s" k
+        (Option.value ~default:"warning only"
+           (Dip_analysis.Report.first_error report));
     Sim.inject sim ~at:(0.001 *. float_of_int k) ~node:ids.(src_node) ~port:99
       pkt
   done;
