@@ -14,7 +14,12 @@
      ablation-netfence A6 — F_cc congestion policing (extension)
      ablation-telemetry A7 — F_tel in-band telemetry (extension)
      ablation-epic     A8 — F_hvf EPIC hop validation (extension)
-     all               everything above (default)
+     cache             program-cache fast path vs cold parse+verify
+                       (writes BENCH_PR2.json in the current directory)
+     cache-smoke       quick CI variant of cache: asserts a positive
+                       hit rate on a soak workload, exits non-zero on
+                       regression
+     all               everything above (default; excludes cache-smoke)
 
    Usage: dune exec bench/main.exe [-- <target>] *)
 
@@ -720,6 +725,155 @@ let ablation_epic () =
   | Engine.Dropped r, _ -> Printf.printf "forged OPT packet: dropped (%s)\n\n" r
   | _ -> print_endline "unexpected OPT verdict\n")
 
+(* --- program cache: the PR-2 fast path ------------------------------- *)
+
+(* DIP-32 forwarding with the per-env program cache on and off, with
+   and without static verification. The cache key covers the basic
+   header and FN definitions only, so every DIP-32 packet shares one
+   entry regardless of addresses — the steady state of a forwarding
+   router. *)
+
+let cache_soak ~packets =
+  (* A 2-router chain forwarding an interleaved DIP-32 / DIP-128
+     workload, routers running the verified engine handler. Hit and
+     miss totals come out of the per-node counters the handler
+     publishes. *)
+  let sim = Dip_netsim.Sim.create () in
+  let mk i =
+    let env = Env.create ~name:(Printf.sprintf "r%d" i) () in
+    Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+    Dip_ip.Ipv6.add_route env.Env.v6_routes
+      (Ipaddr.Prefix.of_string "2001:db8::/32") 1;
+    env
+  in
+  let envs = [ mk 1; mk 2 ] in
+  let verify = Dip_analysis.verifier ~registry () in
+  let ids =
+    List.map
+      (fun env ->
+        Dip_netsim.Sim.add_node sim ~name:env.Env.name
+          (Engine.handler ~verify ~registry env))
+      envs
+  in
+  let sink_id =
+    Dip_netsim.Sim.add_node sim ~name:"sink" (fun _ ~now:_ ~ingress:_ _ ->
+        [ Dip_netsim.Sim.Consume ])
+  in
+  (match ids with
+  | [ a; b ] ->
+      Dip_netsim.Sim.connect sim (a, 1) (b, 0);
+      Dip_netsim.Sim.connect sim (b, 1) (sink_id, 0)
+  | _ -> assert false);
+  let first = List.hd ids in
+  for i = 0 to packets - 1 do
+    let pkt =
+      if i mod 2 = 0 then
+        Realize.ipv4 ~src:(v4 "192.0.2.1")
+          ~dst:(v4 (Printf.sprintf "10.1.2.%d" (i mod 250)))
+          ~payload:"soak" ()
+      else
+        Realize.ipv6 ~src:(v6 "2001:db8::1")
+          ~dst:(v6 (Printf.sprintf "2001:db8::%x" (i mod 250)))
+          ~payload:"soak" ()
+    in
+    Dip_netsim.Sim.inject sim ~at:(float_of_int i *. 1e-5) ~node:first ~port:0 pkt
+  done;
+  Dip_netsim.Sim.run sim;
+  let total name =
+    List.fold_left
+      (fun acc env -> acc + Dip_netsim.Stats.Counters.get env.Env.counters name)
+      0 envs
+  in
+  (total "progcache.hit", total "progcache.miss")
+
+let bench_cache ?(smoke = false) () =
+  print_endline "== program cache: cached fast path vs cold parse+verify ==";
+  let verify = Dip_analysis.verifier ~registry () in
+  let mk_env ~cached =
+    let env =
+      Env.create ~name:"bench"
+        ~prog_cache_capacity:(if cached then 512 else 0)
+        ()
+    in
+    Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+    env
+  in
+  let pkt =
+    Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.1.2.3")
+      ~payload:(String.make 100 'x') ()
+  in
+  let run ?verify env =
+    Bitbuf.set_uint8 pkt 2 64;
+    ignore
+      (Sys.opaque_identity
+         (Engine.process ?verify ~registry env ~now:0.0 ~ingress:0 pkt))
+  in
+  let time label ~cached ~verified =
+    let env = mk_env ~cached in
+    if verified then bench1 label (fun () -> run ~verify env)
+    else bench1 label (fun () -> run env)
+  in
+  let cold_parse = time "cold/parse" ~cached:false ~verified:false in
+  let cached_parse = time "cached/parse" ~cached:true ~verified:false in
+  let cold_verify = time "cold/parse+verify" ~cached:false ~verified:true in
+  let cached_verify = time "cached/parse+verify" ~cached:true ~verified:true in
+  let t =
+    Tabular.create
+      ~aligns:[ Tabular.Left; Tabular.Right; Tabular.Right; Tabular.Right ]
+      [ "DIP-32 forwarding"; "cold (ns)"; "cached (ns)"; "speedup" ]
+  in
+  let row label cold cached =
+    Tabular.add_row t
+      [
+        label;
+        Printf.sprintf "%.0f" cold;
+        Printf.sprintf "%.0f" cached;
+        Printf.sprintf "%.2fx" (cold /. cached);
+      ]
+  in
+  row "parse only" cold_parse cached_parse;
+  row "parse + static verify" cold_verify cached_verify;
+  Tabular.print t;
+  let soak_packets = if smoke then 200 else 1000 in
+  let hits, misses = cache_soak ~packets:soak_packets in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Printf.printf
+    "soak workload (%d packets, 2 verified routers): %d hits, %d misses \
+     (hit rate %.3f)\n"
+    soak_packets hits misses hit_rate;
+  let oc = open_out "BENCH_PR2.json" in
+  Printf.fprintf oc
+    {|{
+  "bench": "pr2-program-cache",
+  "packet": "DIP-32 forwarding, 100-byte payload",
+  "cold_parse_ns": %.1f,
+  "cached_parse_ns": %.1f,
+  "parse_speedup": %.3f,
+  "cold_parse_verify_ns": %.1f,
+  "cached_parse_verify_ns": %.1f,
+  "parse_verify_speedup": %.3f,
+  "soak": { "packets": %d, "hits": %d, "misses": %d, "hit_rate": %.4f }
+}
+|}
+    cold_parse cached_parse (cold_parse /. cached_parse) cold_verify
+    cached_verify (cold_verify /. cached_verify) soak_packets hits misses
+    hit_rate;
+  close_out oc;
+  print_endline "wrote BENCH_PR2.json";
+  if smoke then begin
+    if hits = 0 then begin
+      prerr_endline "SMOKE FAIL: program cache recorded no hits on the soak workload";
+      exit 1
+    end;
+    if not (cached_verify < cold_verify) then
+      (* Timing on shared CI machines is noisy; warn rather than fail. *)
+      Printf.eprintf
+        "SMOKE WARN: cached parse+verify (%.0f ns) not faster than cold (%.0f ns)\n"
+        cached_verify cold_verify;
+    print_endline "smoke ok: cache hit rate positive on the soak workload"
+  end;
+  print_newline ()
+
 (* --- driver --------------------------------------------------------- *)
 
 let targets =
@@ -736,6 +890,7 @@ let targets =
     ("ablation-netfence", ablation_netfence);
     ("ablation-telemetry", ablation_telemetry);
     ("ablation-epic", ablation_epic);
+    ("cache", fun () -> bench_cache ());
   ]
 
 let () =
@@ -747,10 +902,12 @@ let () =
           f ();
           flush stdout)
         targets
+  | "cache-smoke" -> bench_cache ~smoke:true ()
   | name -> (
       match List.assoc_opt name targets with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown target %S; available: all %s\n" name
+          Printf.eprintf "unknown target %S; available: all cache-smoke %s\n"
+            name
             (String.concat " " (List.map fst targets));
           exit 1)

@@ -187,7 +187,7 @@ let sizes () =
 
 (* --- demo --- *)
 
-let demo proto n =
+let demo proto n no_cache =
   if n < 1 then begin
     Printf.eprintf "need at least one router\n";
     exit 1
@@ -195,7 +195,11 @@ let demo proto n =
   let sim = Dip_netsim.Sim.create () in
   let name = Name.of_string "/hotnets.org/dip" in
   let mk_router i =
-    let env = Env.create ~name:(Printf.sprintf "r%d" (i + 1)) () in
+    let env =
+      Env.create
+        ~prog_cache_capacity:(if no_cache then 0 else 512)
+        ~name:(Printf.sprintf "r%d" (i + 1)) ()
+    in
     Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
     Dip_ip.Ipv6.add_route env.Env.v6_routes
       (Ipaddr.Prefix.of_string "2001:db8::/32") 1;
@@ -251,6 +255,15 @@ let demo proto n =
   List.iter
     (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
     (Dip_netsim.Stats.Counters.to_list (Dip_netsim.Sim.counters sim));
+  if no_cache then print_endline "program cache: disabled (--no-program-cache)"
+  else
+    List.iter
+      (fun env ->
+        Printf.printf "  %s program cache: %d hit(s), %d miss(es)\n"
+          env.Env.name
+          (Dip_netsim.Stats.Counters.get env.Env.counters "progcache.hit")
+          (Dip_netsim.Stats.Counters.get env.Env.counters "progcache.miss"))
+      routers;
   0
 
 (* --- estimate --- *)
@@ -418,6 +431,14 @@ let hops_arg =
 let n_arg =
   Arg.(value & opt int 3 & info [ "n"; "routers" ] ~docv:"N" ~doc:"Chain length.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-program-cache" ]
+        ~doc:
+          "Disable the per-router decoded-FN-program cache so every packet \
+           is cold-parsed (the escape hatch for debugging the fast path).")
+
 let parallel_arg =
   Arg.(value & flag & info [ "parallel" ] ~doc:"Set the \\S2.2 parallel flag.")
 
@@ -435,7 +456,7 @@ let sizes_cmd =
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run a router-chain simulation for a protocol.")
-    Term.(const demo $ proto_arg $ n_arg)
+    Term.(const demo $ proto_arg $ n_arg $ no_cache_arg)
 
 let control_cmd =
   Cmd.v

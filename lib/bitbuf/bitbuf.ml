@@ -8,6 +8,23 @@ let of_bytes data = { data }
 let of_string s = { data = Bytes.of_string s }
 let to_bytes t = t.data
 let to_string t = Bytes.to_string t.data
+
+let sub_string t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Bitbuf.sub_string: byte range [%d,+%d) exceeds %d-byte \
+                       buffer"
+         pos len (Bytes.length t.data));
+  Bytes.sub_string t.data pos len
+
+let sub_bytes t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Bitbuf.sub_bytes: byte range [%d,+%d) exceeds %d-byte \
+                       buffer"
+         pos len (Bytes.length t.data));
+  Bytes.sub t.data pos len
+
 let length t = Bytes.length t.data
 let bit_length t = 8 * Bytes.length t.data
 let copy t = { data = Bytes.copy t.data }

@@ -27,6 +27,14 @@ val to_bytes : t -> bytes
 val to_string : t -> string
 (** Copy out as a string. *)
 
+val sub_string : t -> pos:int -> len:int -> string
+(** [sub_string t ~pos ~len] copies out only the [len] bytes starting
+    at byte [pos] — the bounded read the hot path uses instead of
+    stringifying a whole packet. *)
+
+val sub_bytes : t -> pos:int -> len:int -> bytes
+(** Like {!sub_string} but returns fresh mutable bytes. *)
+
 val length : t -> int
 (** Length in bytes. *)
 

@@ -111,10 +111,14 @@ let execute ~env ~registry ~master = function
       match Registry.find master k with
       | Some impl ->
           Registry.install registry k impl;
+          (* Enabling (or upgrading) an operation changes verify
+             verdicts for every cached program mentioning it. *)
+          ignore (Progcache.invalidate_key env.Env.prog_cache k : int);
           Ok cmd
       | None -> Error ("no module image for " ^ Opkey.name k))
   | Disable_op k as cmd ->
       Registry.uninstall registry k;
+      ignore (Progcache.invalidate_key env.Env.prog_cache k : int);
       Ok cmd
   | Enable_pass key as cmd ->
       Env.enable_pass env ~key:(Dip_crypto.Siphash.key_of_string key);

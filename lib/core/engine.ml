@@ -26,44 +26,97 @@ let mandatory = function
 (* Dependency leveling for the §2.2 parallel flag: two FNs conflict
    when their target fields overlap (a conservative approximation of
    read/write dependences). The critical-path length is what a
-   modular-parallel dataplane (NFP-style, refs [31,32]) would pay. *)
-let critical_path fns =
+   modular-parallel dataplane (NFP-style, refs [31,32]) would pay.
+   [included] restricts the analysis to the FNs that actually
+   executed — a tag-skipped or unknown-ignorable FN contributes no
+   dataplane work, so it must not lengthen the path. *)
+let critical_path_over fns ~included =
   let n = Array.length fns in
-  let level = Array.make n 1 in
+  let level = Array.make n 0 in
+  let depth = ref 0 in
   for i = 0 to n - 1 do
-    for j = 0 to i - 1 do
-      if Field.overlaps fns.(i).Fn.field fns.(j).Fn.field then
-        level.(i) <- max level.(i) (level.(j) + 1)
-    done
+    if included i then begin
+      level.(i) <- 1;
+      for j = 0 to i - 1 do
+        if level.(j) > 0 && Field.overlaps fns.(i).Fn.field fns.(j).Fn.field
+        then level.(i) <- max level.(i) (level.(j) + 1)
+      done;
+      if level.(i) > !depth then depth := level.(i)
+    end
   done;
-  Array.fold_left max (if n = 0 then 0 else 1) level
+  !depth
+
+let critical_path fns = critical_path_over fns ~included:(fun _ -> true)
 
 let no_info = { ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 }
 
 let run ?verify ~registry ~side env ~now ~ingress buf =
   let parsed =
-    match Packet.parse buf with
+    (* Fast path: packets of a known program reuse the cached FN
+       array (and, below, its memoized verification verdict) instead
+       of re-decoding the definitions. *)
+    if Progcache.enabled env.Env.prog_cache then
+      Progcache.parse env.Env.prog_cache buf
+    else
+      match Packet.parse buf with
+      | Ok view -> Ok (view, None)
+      | Error e -> Error e
+  in
+  let checked =
+    match parsed with
     | Error e -> Error ("parse: " ^ e)
-    | Ok view -> (
+    | Ok (view, entry) -> (
         (* Opt-in static pre-check (Dip_analysis.verifier): reject a
-           malformed FN program before executing any of it. *)
+           malformed FN program before executing any of it. A cached
+           known-good (or known-bad) program skips re-verification. *)
         match verify with
-        | None -> Ok view
+        | None -> Ok (view, entry)
         | Some check -> (
-            match check view with
-            | Ok () -> Ok view
+            let verdict =
+              match entry with
+              | Some e -> (
+                  match e.Progcache.verdict with
+                  | Some v -> v
+                  | None ->
+                      let v = check view in
+                      e.Progcache.verdict <- Some v;
+                      v)
+              | None -> check view
+            in
+            match verdict with
+            | Ok () -> Ok (view, entry)
             | Error e -> Error ("verify: " ^ e)))
   in
-  match parsed with
+  match checked with
   | Error e -> (Dropped e, no_info)
-  | Ok view ->
+  | Ok (view, entry) ->
       let budget = Guard.start env.Env.guard in
-      let scratch = { Registry.opt_key = None } in
+      let scratch = env.Env.scratch in
+      scratch.Registry.opt_key <- None;
       let ops_run = ref 0 and ops_skipped = ref 0 in
       let route = ref None in
+      let nfns = Array.length view.Packet.fns in
+      (* Which FNs actually executed — only needed for the parallel
+         flag's critical-path accounting. *)
+      let executed =
+        if view.Packet.header.Header.parallel then Array.make nfns false
+        else [||]
+      in
       let finish verdict =
         let depth =
-          if view.Packet.header.Header.parallel then critical_path view.Packet.fns
+          if view.Packet.header.Header.parallel then
+            if !ops_run < nfns then
+              critical_path_over view.Packet.fns ~included:(fun i ->
+                  executed.(i))
+            else
+              (* The whole program ran: the full-program path applies
+                 and is memoized on the cache entry. *)
+              match entry with
+              | Some e ->
+                  if e.Progcache.depth < 0 then
+                    e.Progcache.depth <- critical_path view.Packet.fns;
+                  e.Progcache.depth
+              | None -> critical_path view.Packet.fns
           else !ops_run
         in
         ( verdict,
@@ -74,7 +127,6 @@ let run ?verify ~registry ~side env ~now ~ingress buf =
             parallel_depth = depth;
           } )
       in
-      let nfns = Array.length view.Packet.fns in
       let rec loop i =
         if i = nfns then
           (* end processing: act on the accumulated decision *)
@@ -112,6 +164,8 @@ let run ?verify ~registry ~side env ~now ~ingress buf =
                   finish (Dropped "guard-ops-exhausted")
                 else begin
                   incr ops_run;
+                  if view.Packet.header.Header.parallel then
+                    executed.(i) <- true;
                   let ctx =
                     {
                       Registry.env;
@@ -172,8 +226,10 @@ let actions_of_verdict env ~ingress buf = function
 
 let handler ?verify ~registry env _sim ~now ~ingress packet =
   let verdict, _info = process ?verify ~registry env ~now ~ingress packet in
+  Env.publish_cache_stats env;
   actions_of_verdict env ~ingress packet verdict
 
 let host_handler ?verify ~registry env _sim ~now ~ingress packet =
   let verdict, _info = host_process ?verify ~registry env ~now ~ingress packet in
+  Env.publish_cache_stats env;
   actions_of_verdict env ~ingress packet verdict

@@ -38,9 +38,11 @@ type info = {
   ops_skipped : int;  (** host-tagged or unsupported-but-ignorable *)
   state_bytes : int;  (** §2.4 state consumed (PIT inserts etc.) *)
   parallel_depth : int;
-      (** length of the FN dependency critical path: with the §2.2
-          parallel bit set, a modular-parallel dataplane finishes in
-          this many sequential steps instead of [ops_run] *)
+      (** length of the FN dependency critical path over the FNs that
+          actually executed (tag-skipped and unknown-ignorable FNs
+          contribute no dataplane work): with the §2.2 parallel bit
+          set, a modular-parallel dataplane finishes in this many
+          sequential steps instead of [ops_run] *)
 }
 
 val mandatory : Opkey.t -> bool
@@ -48,12 +50,18 @@ val mandatory : Opkey.t -> bool
     OPT path-authentication operations. *)
 
 val critical_path : Fn.t array -> int
-(** Length of the FN dependency critical path used for
-    [parallel_depth]: FNs whose target fields overlap are serialized,
-    everything else may run concurrently (§2.2 parallel bit). This is
-    the engine's conservative (access-mode-blind) estimate; the
-    {!Dip_analysis} verifier recomputes it from declared
-    {!Registry.access} modes and cross-checks the two. *)
+(** Length of the FN dependency critical path over a whole program:
+    FNs whose target fields overlap are serialized, everything else
+    may run concurrently (§2.2 parallel bit). This is the engine's
+    conservative (access-mode-blind) estimate; the {!Dip_analysis}
+    verifier recomputes it from declared {!Registry.access} modes and
+    cross-checks the two. [parallel_depth] restricts the same
+    analysis to the executed subset. *)
+
+val critical_path_over : Fn.t array -> included:(int -> bool) -> int
+(** {!critical_path} restricted to the FNs whose index satisfies
+    [included] — what [parallel_depth] reports when some FNs were
+    skipped. *)
 
 val process :
   ?verify:(Packet.view -> (unit, string) result) ->
@@ -68,7 +76,16 @@ val process :
     runs on the parsed view {e before} any FN executes; an [Error e]
     fails fast with [Dropped ("verify: " ^ e)] — pass
     [Dip_analysis.verifier] to statically reject malformed FN
-    programs. *)
+    programs.
+
+    Parsing and verification go through the node's
+    {!Env.prog_cache}: packets whose basic-header + FN-definition
+    prefix was seen before reuse the decoded program and the memoized
+    verify verdict (so [verify] is called at most once per cached
+    program — it must be a pure function of the FN program, which
+    {!Dip_analysis.verifier} is). Disable the cache
+    ([Progcache.set_enabled], or [Env.create ~prog_cache_capacity:0])
+    to force cold parsing. *)
 
 val host_process :
   ?verify:(Packet.view -> (unit, string) result) ->

@@ -1,5 +1,7 @@
 type port = Dip_netsim.Sim.port
 
+type scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
+
 type t = {
   name : string;
   v4_routes : port Dip_tables.Lpm_trie.t;
@@ -23,11 +25,13 @@ type t = {
   mutable queue_depth : unit -> int;
   guard : Guard.t;
   counters : Dip_netsim.Stats.Counters.t;
+  scratch : scratch;
+  prog_cache : Progcache.t;
 }
 
 let create ?(cache_capacity = 0) ?(pit_capacity = 65536)
-    ?(interest_lifetime = 4.0) ?(opt_alg = Dip_opt.Protocol.EM2) ?guard ~name
-    () =
+    ?(interest_lifetime = 4.0) ?(opt_alg = Dip_opt.Protocol.EM2) ?guard
+    ?(prog_cache_capacity = 512) ~name () =
   {
     name;
     v4_routes = Dip_tables.Lpm_trie.create ();
@@ -53,6 +57,8 @@ let create ?(cache_capacity = 0) ?(pit_capacity = 65536)
     queue_depth = (fun () -> 0);
     guard = (match guard with Some g -> g | None -> Guard.create ());
     counters = Dip_netsim.Stats.Counters.create ();
+    scratch = { opt_key = None };
+    prog_cache = Progcache.create ~capacity:prog_cache_capacity ();
   }
 
 let set_opt_identity t ~secret ~hop =
@@ -80,3 +86,9 @@ let cache_find t h =
 
 let cache_insert t h v =
   match t.cache with Some c -> Dip_tables.Lru.insert c h v | None -> ()
+
+let publish_cache_stats t =
+  Dip_netsim.Stats.Counters.set t.counters "progcache.hit"
+    (Progcache.hits t.prog_cache);
+  Dip_netsim.Stats.Counters.set t.counters "progcache.miss"
+    (Progcache.misses t.prog_cache)

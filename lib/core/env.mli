@@ -12,6 +12,13 @@
 
 type port = Dip_netsim.Sim.port
 
+(** Per-packet scratch shared between the FNs of one packet (F_parm
+    deposits the derived OPT key, F_MAC/F_mark consume it). Owned by
+    the environment so the engine reuses one record per node instead
+    of allocating per packet; {!Dip_core.Engine} resets it before
+    each run. *)
+type scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
+
 type t = {
   name : string;
   (* IP state (F_32_match / F_128_match) *)
@@ -49,6 +56,10 @@ type t = {
   (* §2.4 security guard: hard limits on per-packet work/state. *)
   guard : Guard.t;
   counters : Dip_netsim.Stats.Counters.t;
+  (* Hot-path state: the reused per-packet scratch and the
+     decoded-FN-program cache. *)
+  scratch : scratch;
+  prog_cache : Progcache.t;
 }
 
 val create :
@@ -57,11 +68,14 @@ val create :
   ?interest_lifetime:float ->
   ?opt_alg:Dip_opt.Protocol.alg ->
   ?guard:Guard.t ->
+  ?prog_cache_capacity:int ->
   name:string ->
   unit ->
   t
 (** Fresh empty environment. [cache_capacity = 0] (default) disables
-    the content store, matching the paper's prototype. *)
+    the content store, matching the paper's prototype.
+    [prog_cache_capacity] (default 512) bounds the decoded-FN-program
+    cache; [0] disables it so every packet is cold-parsed. *)
 
 val set_opt_identity : t -> secret:Dip_opt.Drkey.secret -> hop:int -> unit
 (** Give a router its OPT role: local secret and 1-based OPV slot. *)
@@ -92,3 +106,10 @@ val cache_find : t -> int32 -> string option
 val cache_insert : t -> int32 -> string -> unit
 (** Hashed-name content store access (no-ops when the cache is
     disabled). *)
+
+val publish_cache_stats : t -> unit
+(** Copy the program-cache hit/miss totals into {!field-counters} as
+    ["progcache.hit"] / ["progcache.miss"], the per-node simulator
+    stats. The engine's simulator handlers do this after every
+    packet; call it manually when driving {!Engine.process}
+    directly. *)

@@ -40,33 +40,43 @@ let build ?(next_header = 0) ?(hop_limit = 64) ?(parallel = false) ~fns
     ~dst_off:(Header.payload_offset header) ~len:(String.length payload);
   buf
 
+(* Decode the FN definitions straight into an array — the hot path
+   must not build an intermediate list per packet. *)
+let parse_fns buf (header : Header.t) =
+  let n = header.Header.fn_num in
+  let decode i =
+    match Fn.decode buf ~pos:(Header.fn_offset i) with
+    | Error e -> Error (Printf.sprintf "FN %d: %s" (i + 1) e)
+    | Ok fn ->
+        if fn_in_bounds ~loc_len_bytes:header.Header.fn_loc_len fn then Ok fn
+        else
+          Error (Printf.sprintf "FN %d: target exceeds locations region" (i + 1))
+  in
+  if n = 0 then Ok [||]
+  else
+    match decode 0 with
+    | Error e -> Error e
+    | Ok fn0 ->
+        let fns = Array.make n fn0 in
+        let rec fill i =
+          if i = n then Ok fns
+          else
+            match decode i with
+            | Error e -> Error e
+            | Ok fn ->
+                fns.(i) <- fn;
+                fill (i + 1)
+        in
+        fill 1
+
 let parse buf =
   match Header.decode buf with
   | Error e -> Error e
   | Ok header -> (
-      let rec parse_fns i acc =
-        if i = header.Header.fn_num then Ok (List.rev acc)
-        else
-          match Fn.decode buf ~pos:(Header.fn_offset i) with
-          | Error e -> Error (Printf.sprintf "FN %d: %s" (i + 1) e)
-          | Ok fn ->
-              if not (fn_in_bounds ~loc_len_bytes:header.Header.fn_loc_len fn)
-              then
-                Error
-                  (Printf.sprintf "FN %d: target exceeds locations region"
-                     (i + 1))
-              else parse_fns (i + 1) (fn :: acc)
-      in
-      match parse_fns 0 [] with
+      match parse_fns buf header with
       | Error e -> Error e
       | Ok fns ->
-          Ok
-            {
-              header;
-              fns = Array.of_list fns;
-              loc_base = Header.locations_offset header;
-              buf;
-            })
+          Ok { header; fns; loc_base = Header.locations_offset header; buf })
 
 let header_size buf =
   match Header.decode buf with
@@ -83,4 +93,4 @@ let set_target view fn v = Bitbuf.set_field view.buf (locations_field view fn) v
 
 let payload view =
   let off = Header.payload_offset view.header in
-  String.sub (Bitbuf.to_string view.buf) off (Bitbuf.length view.buf - off)
+  Bitbuf.sub_string view.buf ~pos:off ~len:(Bitbuf.length view.buf - off)

@@ -1,0 +1,119 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Lru = Dip_tables.Lru
+
+type entry = {
+  header : Header.t; (* hop_limit forced to 0; patched per packet *)
+  header_len : int;
+  fns : Fn.t array;
+  loc_base : int;
+  mutable depth : int; (* full-program critical path; -1 = not computed *)
+  mutable verdict : (unit, string) result option;
+}
+
+type t = {
+  table : (string, entry) Lru.t;
+  mutable enabled : bool;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 512) () =
+  {
+    table = Lru.create ~capacity:(max 1 capacity) ();
+    enabled = capacity > 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let enabled t = t.enabled
+let set_enabled t v = t.enabled <- v
+let hits t = t.hits
+let misses t = t.misses
+let size t = Lru.size t.table
+let capacity t = Lru.capacity t.table
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let clear t = Lru.clear t.table
+
+(* The cache key: the raw basic-header + FN-definition prefix, with
+   the hop-limit byte masked out (it decrements per hop but does not
+   change the program). Packets of the same realization carry
+   byte-identical prefixes, so the key is exact — no canonicalization
+   or hashing ambiguity. [None] when the buffer cannot contain the
+   prefix it announces; the cold parser then reports the right error. *)
+let key_of buf =
+  if Bitbuf.length buf < Header.basic_size then None
+  else
+    let fn_num = Bitbuf.get_uint8 buf 1 in
+    let prefix = Header.basic_size + (fn_num * Fn.size) in
+    if prefix > Bitbuf.length buf then None
+    else begin
+      let b = Bitbuf.sub_bytes buf ~pos:0 ~len:prefix in
+      Bytes.set b 2 '\000';
+      Some (Bytes.unsafe_to_string b)
+    end
+
+let view_of_entry e buf =
+  {
+    Packet.header =
+      { e.header with Header.hop_limit = Bitbuf.get_uint8 buf 2 };
+    fns = e.fns;
+    loc_base = e.loc_base;
+    buf;
+  }
+
+let insert t key (view : Packet.view) =
+  let e =
+    {
+      header = { view.Packet.header with Header.hop_limit = 0 };
+      header_len = Header.header_length view.Packet.header;
+      fns = view.Packet.fns;
+      loc_base = view.Packet.loc_base;
+      depth = -1;
+      verdict = None;
+    }
+  in
+  Lru.insert t.table key e;
+  e
+
+let parse t buf =
+  match key_of buf with
+  | None -> (
+      (* Too short to hold its own FN definitions: always an error,
+         and not a meaningful cache event. *)
+      match Packet.parse buf with
+      | Ok view -> Ok (view, None)
+      | Error e -> Error e)
+  | Some key -> (
+      match Lru.find t.table key with
+      | Some e ->
+          (* Same program prefix, but the packet must still be long
+             enough for the header the prefix announces (the
+             locations region lies beyond the keyed bytes). *)
+          if e.header_len > Bitbuf.length buf then
+            Error "header exceeds packet bounds"
+          else begin
+            t.hits <- t.hits + 1;
+            Ok (view_of_entry e buf, Some e)
+          end
+      | None -> (
+          match Packet.parse buf with
+          | Error _ as err -> err
+          | Ok view ->
+              t.misses <- t.misses + 1;
+              Ok (view, Some (insert t key view))))
+
+let invalidate_key t key =
+  let victims =
+    Lru.fold
+      (fun k e acc ->
+        if Array.exists (fun fn -> Opkey.equal fn.Fn.key key) e.fns then
+          k :: acc
+        else acc)
+      t.table []
+  in
+  List.iter (fun k -> ignore (Lru.remove t.table k)) victims;
+  List.length victims

@@ -1,0 +1,69 @@
+(** Decoded-FN-program cache: the engine's hot-path fast path.
+
+    Every DIP packet of one realization carries a byte-identical
+    program prefix — the basic header (minus the hop limit, which
+    decrements per hop) plus the FN-definition triples. P4-style
+    pipelines get their speed by compiling the protocol program once
+    and streaming packets through it (§4.1 pre-written operation
+    modules); this cache is the software-dataplane analogue: the
+    first packet of a program pays the full parse (and, when the
+    engine runs with a [?verify] pre-check, the full static
+    analysis), every later packet reuses the decoded [Fn.t array],
+    the memoized verification verdict and the memoized critical-path
+    depth.
+
+    One cache per {!Env} (routers differ in registry, so verdicts
+    must not be shared across nodes). Control-plane FN
+    install/upgrade ({!Control}) invalidates the affected entries;
+    mutating a registry behind the engine's back without going
+    through [Control] requires an explicit {!clear}. *)
+
+type entry = {
+  header : Header.t;  (** as parsed, with [hop_limit] forced to 0 *)
+  header_len : int;  (** total header length — hit-time bounds check *)
+  fns : Fn.t array;
+  loc_base : int;
+  mutable depth : int;
+      (** memoized {!Engine.critical_path} over the full program;
+          [-1] until the engine first needs it *)
+  mutable verdict : (unit, string) result option;
+      (** memoized result of the engine's [?verify] pre-check *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** LRU-bounded cache of at most [capacity] (default 512) distinct
+    programs. [capacity = 0] creates a disabled cache. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** The [--no-program-cache] escape hatch: a disabled cache makes
+    {!Engine} fall back to cold parsing. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_counters : t -> unit
+val size : t -> int
+val capacity : t -> int
+
+val key_of : Dip_bitbuf.Bitbuf.t -> string option
+(** The raw basic-header + FN-definition prefix with the hop-limit
+    byte zeroed; [None] when the buffer is shorter than the prefix it
+    announces. Exposed for tests. *)
+
+val parse : t -> Dip_bitbuf.Bitbuf.t -> (Packet.view * entry option, string) result
+(** {!Packet.parse} through the cache. On a hit the returned view
+    shares the cached FN array and header (with the packet's actual
+    hop limit patched in); on a miss the cold parse result is
+    inserted. The entry is [None] only when the packet is too
+    malformed to be keyed. Cached parse and cold parse agree on every
+    packet, including errors. *)
+
+val clear : t -> unit
+(** Drop every entry (registry changed outside {!Control}). *)
+
+val invalidate_key : t -> Opkey.t -> int
+(** Drop the entries whose program uses the given operation key —
+    the {!Control} FN install/upgrade hook. Returns how many entries
+    were dropped. *)

@@ -17,7 +17,9 @@ type ctx = {
   budget : Guard.budget;
 }
 
-and scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
+and scratch = Env.scratch = {
+  mutable opt_key : Dip_opt.Drkey.session_key option;
+}
 
 type impl = ctx -> outcome
 

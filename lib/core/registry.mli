@@ -37,8 +37,12 @@ type ctx = {
 }
 
 (** Per-packet scratch shared between the FNs of one packet: F_parm
-    deposits the derived OPT key here, F_MAC/F_mark consume it. *)
-and scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
+    deposits the derived OPT key here, F_MAC/F_mark consume it. The
+    engine reuses {!Env.scratch} (one record per node) rather than
+    allocating per packet. *)
+and scratch = Env.scratch = {
+  mutable opt_key : Dip_opt.Drkey.session_key option;
+}
 
 type impl = ctx -> outcome
 (** One operation module. *)

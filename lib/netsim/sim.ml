@@ -121,19 +121,21 @@ let transmit t ~from:(id, port) packet =
         Stats.Counters.incr t.stats (name ^ ".tx");
         let size = float_of_int (Dip_bitbuf.Bitbuf.length packet) in
         let dst, dport = l.peer in
-        if Float.is_finite l.bandwidth then begin
-          (* Serialize behind whatever is already on the wire. *)
-          let start = Float.max t.clock l.busy_until in
-          let departure = start +. (size /. l.bandwidth) in
-          l.busy_until <- departure;
-          l.queued <- l.queued + 1;
-          Event_queue.push t.queue ~time:departure (Timer (fun _ -> l.queued <- l.queued - 1));
-          Event_queue.push t.queue ~time:(departure +. l.latency)
-            (Arrival (dst, dport, packet))
-        end
-        else
-          Event_queue.push t.queue ~time:(t.clock +. l.latency)
-            (Arrival (dst, dport, packet))
+        (* Serialize behind whatever is already on the wire. An
+           infinite-bandwidth link serializes in zero time but still
+           occupies a queue slot until its departure instant, so the
+           capacity check above binds on both kinds of link. *)
+        let tx_time =
+          if Float.is_finite l.bandwidth then size /. l.bandwidth else 0.0
+        in
+        let start = Float.max t.clock l.busy_until in
+        let departure = start +. tx_time in
+        l.busy_until <- departure;
+        l.queued <- l.queued + 1;
+        Event_queue.push t.queue ~time:departure
+          (Timer (fun _ -> l.queued <- l.queued - 1));
+        Event_queue.push t.queue ~time:(departure +. l.latency)
+          (Arrival (dst, dport, packet))
       end
 
 let handle_arrival t id port packet =

@@ -48,8 +48,12 @@ val connect :
     ahead of it on the same direction of the link. [queue_capacity]
     (default unbounded) bounds how many packets may be waiting or in
     flight on one direction; beyond it the transmitter drop-tails
-    (counted as ["<name>.drop.queue-overflow"]). Connecting an
-    already-wired port raises [Invalid_argument]. *)
+    (counted as ["<name>.drop.queue-overflow"]). The capacity bound
+    and the in-flight count apply to infinite-bandwidth links too: a
+    packet occupies its queue slot from transmit until its departure
+    instant (zero serialization time, but same-instant bursts still
+    accumulate depth and can overflow). Connecting an already-wired
+    port raises [Invalid_argument]. *)
 
 val queue_depth : t -> node_id -> port -> int
 (** Packets currently queued or serializing on the egress direction

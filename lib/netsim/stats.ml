@@ -8,6 +8,11 @@ module Counters = struct
     | Some r -> r := !r + by
     | None -> Hashtbl.replace t name (ref by)
 
+  let set t name v =
+    match Hashtbl.find_opt t name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace t name (ref v)
+
   let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
 
   let to_list t =

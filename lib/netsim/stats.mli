@@ -9,6 +9,11 @@ module Counters : sig
 
   val create : unit -> t
   val incr : ?by:int -> t -> string -> unit
+
+  val set : t -> string -> int -> unit
+  (** Overwrite a counter — for gauges mirrored from elsewhere (e.g.
+      per-node cache hit/miss totals). *)
+
   val get : t -> string -> int
   val to_list : t -> (string * int) list
   (** Sorted by name. *)

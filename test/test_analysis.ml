@@ -72,7 +72,11 @@ let test_section3_clean () =
 
 let test_depth_matches_engine_info () =
   (* Rebuild each §3 packet with the §2.2 parallel bit and compare the
-     analyzer's hazard-aware depth with what the engine reports. *)
+     analyzer's hazard-aware depth with what the engine reports. The
+     analyzer's depth is a whole-program static property; the engine
+     reports the critical path of the FNs that {e actually executed},
+     so runtime depth can only match the static depth when every FN
+     ran (no host tags, no abort) and must never exceed it. *)
   List.iter
     (fun (label, pkt) ->
       let view =
@@ -89,9 +93,14 @@ let test_depth_matches_engine_info () =
       let r = Dip_analysis.analyze_packet ~registry:reg par in
       let env = Env.create ~name:"r" () in
       let _, info = Engine.process ~registry:reg env ~now:0.0 ~ingress:0 par in
-      Alcotest.(check int)
-        (label ^ " engine parallel_depth")
-        info.Engine.parallel_depth r.Report.depth)
+      Alcotest.(check bool)
+        (label ^ " engine parallel_depth bounded by static depth")
+        true
+        (info.Engine.parallel_depth <= r.Report.depth);
+      if info.Engine.ops_run = List.length fns then
+        Alcotest.(check int)
+          (label ^ " engine parallel_depth")
+          info.Engine.parallel_depth r.Report.depth)
     (section3 ())
 
 (* --- bounds --- *)

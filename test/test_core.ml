@@ -704,6 +704,213 @@ let test_parallel_depth () =
     true
     (info.Engine.parallel_depth < 5 && info.Engine.parallel_depth >= 1)
 
+let test_parallel_depth_excludes_skipped () =
+  (* Regression: a host-tagged FN bridging two otherwise-independent
+     router FNs used to lengthen the router's critical path. The two
+     F_source slices are disjoint; only the skipped host FN overlaps
+     both. *)
+  let fns =
+    [
+      Fn.v ~loc:0 ~len:32 Opkey.F_source;
+      Fn.v ~tag:Fn.Host ~loc:0 ~len:64 Opkey.F_ver;
+      Fn.v ~loc:32 ~len:32 Opkey.F_source;
+    ]
+  in
+  let pkt =
+    Packet.build ~parallel:true ~fns ~locations:(String.make 8 'L') ~payload:"" ()
+  in
+  let arr = Array.of_list fns in
+  Alcotest.(check int) "full-program critical path" 3 (Engine.critical_path arr);
+  Alcotest.(check int) "masked critical path" 1
+    (Engine.critical_path_over arr ~included:(fun i -> i <> 1));
+  let env = Env.create ~name:"r" () in
+  let _, info = Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt in
+  Alcotest.(check int) "router ran the two F_source" 2 info.Engine.ops_run;
+  Alcotest.(check int) "depth over executed subset" 1 info.Engine.parallel_depth
+
+let test_parallel_depth_excludes_ignorable () =
+  (* Unknown-but-ignorable FNs execute nothing, so a node supporting
+     none of the program reports depth 0. *)
+  let fns =
+    [ Fn.v ~loc:0 ~len:32 Opkey.F_source; Fn.v ~loc:0 ~len:32 Opkey.F_source ]
+  in
+  let pkt =
+    Packet.build ~parallel:true ~fns ~locations:(String.make 4 'L') ~payload:"" ()
+  in
+  let none = Registry.restrict reg [] in
+  let env = Env.create ~name:"r" () in
+  let _, info = Engine.process ~registry:none env ~now:0.0 ~ingress:0 pkt in
+  Alcotest.(check int) "nothing ran" 0 info.Engine.ops_run;
+  Alcotest.(check int) "depth 0 when nothing ran" 0 info.Engine.parallel_depth
+
+(* --- program cache --- *)
+
+let mk_cached_env ?(capacity = 512) () =
+  let env = Env.create ~prog_cache_capacity:capacity ~name:"c" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  env
+
+let dip32 ?(dst = "10.1.2.3") ?(hop_limit = 64) () =
+  Realize.ipv4 ~hop_limit ~src:(v4 "192.0.2.1") ~dst:(v4 dst) ~payload:"p" ()
+
+let test_progcache_hit_miss () =
+  let env = mk_cached_env () in
+  let c = env.Env.prog_cache in
+  (* First packet is a miss; later packets of the same program hit,
+     independent of addresses and hop limit. *)
+  List.iter
+    (fun pkt ->
+      match Engine.process ~registry:reg env ~now:0.0 ~ingress:0 pkt with
+      | Engine.Forwarded _, _ -> ()
+      | v, _ -> Alcotest.failf "unexpected verdict %s"
+                  (match v with Engine.Dropped r -> r | _ -> "?"))
+    [ dip32 (); dip32 ~dst:"10.9.9.9" (); dip32 ~hop_limit:7 () ];
+  Alcotest.(check int) "one miss" 1 (Progcache.misses c);
+  Alcotest.(check int) "two hits" 2 (Progcache.hits c);
+  Alcotest.(check int) "one entry" 1 (Progcache.size c);
+  Env.publish_cache_stats env;
+  Alcotest.(check int) "mirrored hit counter" 2
+    (Dip_netsim.Stats.Counters.get env.Env.counters "progcache.hit");
+  Alcotest.(check int) "mirrored miss counter" 1
+    (Dip_netsim.Stats.Counters.get env.Env.counters "progcache.miss")
+
+let test_progcache_disabled () =
+  let env = mk_cached_env ~capacity:0 () in
+  ignore (Engine.process ~registry:reg env ~now:0.0 ~ingress:0 (dip32 ()));
+  ignore (Engine.process ~registry:reg env ~now:0.0 ~ingress:0 (dip32 ()));
+  Alcotest.(check bool) "disabled" false (Progcache.enabled env.Env.prog_cache);
+  Alcotest.(check int) "no hits" 0 (Progcache.hits env.Env.prog_cache);
+  Alcotest.(check int) "no misses" 0 (Progcache.misses env.Env.prog_cache)
+
+let test_progcache_lru_eviction () =
+  let env = mk_cached_env ~capacity:2 () in
+  let c = env.Env.prog_cache in
+  (* Three distinct programs (different field locations) through a
+     2-entry cache: A B C evicts A, so A misses again. *)
+  let prog loc =
+    Packet.build
+      ~fns:[ Fn.v ~loc ~len:32 Opkey.F_source ]
+      ~locations:(String.make 16 'L') ~payload:"" ()
+  in
+  List.iter
+    (fun loc ->
+      ignore (Engine.process ~registry:reg env ~now:0.0 ~ingress:0 (prog loc)))
+    [ 0; 32; 64; 0 ];
+  Alcotest.(check int) "bounded" 2 (Progcache.size c);
+  Alcotest.(check int) "A evicted, misses again" 4 (Progcache.misses c);
+  Alcotest.(check int) "no hits" 0 (Progcache.hits c)
+
+let test_progcache_verify_memoized () =
+  let env = mk_cached_env () in
+  let calls = ref 0 in
+  let verify _view = incr calls; Ok () in
+  for _ = 1 to 3 do
+    ignore (Engine.process ~verify ~registry:reg env ~now:0.0 ~ingress:0 (dip32 ()))
+  done;
+  Alcotest.(check int) "verify ran once for a cached program" 1 !calls;
+  (* A known-bad verdict is memoized too: the packet keeps failing
+     without re-running the checker. *)
+  let bad_calls = ref 0 in
+  let bad _view = incr bad_calls; Error "nope" in
+  let pkt loc =
+    Packet.build ~fns:[ Fn.v ~loc ~len:32 Opkey.F_source ]
+      ~locations:(String.make 8 'L') ~payload:"" ()
+  in
+  let verdicts =
+    List.init 3 (fun _ ->
+        fst (Engine.process ~verify:bad ~registry:reg env ~now:0.0 ~ingress:0 (pkt 0)))
+  in
+  Alcotest.(check bool) "all dropped" true
+    (List.for_all (function Engine.Dropped "verify: nope" -> true | _ -> false)
+       verdicts);
+  Alcotest.(check int) "bad verdict memoized" 1 !bad_calls
+
+let test_progcache_cold_cache_agree () =
+  (* The cached view must be indistinguishable from the cold parse:
+     header, FNs, loc_base, payload. *)
+  let env = mk_cached_env () in
+  let pkt = dip32 ~hop_limit:9 () in
+  ignore (Progcache.parse env.Env.prog_cache pkt);
+  let cached =
+    match Progcache.parse env.Env.prog_cache pkt with
+    | Ok (view, Some _) -> view
+    | Ok (_, None) -> Alcotest.fail "expected a cache entry"
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "that was a hit" 1 (Progcache.hits env.Env.prog_cache);
+  let cold = match Packet.parse pkt with Ok v -> v | Error e -> Alcotest.fail e in
+  Alcotest.(check bool) "headers equal" true
+    (cached.Packet.header = cold.Packet.header);
+  Alcotest.(check int) "hop limit patched" 9
+    cached.Packet.header.Header.hop_limit;
+  Alcotest.(check bool) "fns equal" true
+    (Array.for_all2 Fn.equal cached.Packet.fns cold.Packet.fns);
+  Alcotest.(check int) "loc_base" cold.Packet.loc_base cached.Packet.loc_base;
+  Alcotest.(check string) "payload" (Packet.payload cold) (Packet.payload cached)
+
+let test_progcache_truncation_still_errors () =
+  (* A packet whose prefix matches a cached program but whose buffer
+     is shorter than the full header must fail exactly like the cold
+     parse — the hit path may not hand out out-of-bounds slices. *)
+  let env = mk_cached_env () in
+  let pkt = dip32 () in
+  ignore (Progcache.parse env.Env.prog_cache pkt);
+  let view = match Packet.parse pkt with Ok v -> v | Error e -> Alcotest.fail e in
+  let cut = Header.locations_offset view.Packet.header + 2 in
+  let truncated = Bitbuf.of_string (String.sub (Bitbuf.to_string pkt) 0 cut) in
+  let cold_err =
+    match Packet.parse truncated with Error e -> e | Ok _ -> Alcotest.fail "cold parse accepted"
+  in
+  (match Progcache.parse env.Env.prog_cache truncated with
+  | Error e -> Alcotest.(check string) "same error as cold parse" cold_err e
+  | Ok _ -> Alcotest.fail "cached parse accepted a truncated packet")
+
+let test_progcache_control_invalidation () =
+  let master = Ops.default_registry () in
+  let live = Registry.restrict master [ Opkey.F_32_match; Opkey.F_source ] in
+  let env = mk_cached_env () in
+  let c = env.Env.prog_cache in
+  let key = Dip_crypto.Prf.key_of_string "controller-key-0" in
+  let state = Control.initial_state () in
+  let push seq cmd =
+    match
+      Control.apply ~key ~state ~env ~registry:live ~master
+        (Control.encode ~key ~seq cmd)
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  in
+  ignore (Engine.process ~registry:live env ~now:0.0 ~ingress:0 (dip32 ()));
+  let ndn = Realize.ndn_interest ~name:(Name.of_string "/a") ~payload:"" () in
+  ignore (Engine.process ~registry:live env ~now:0.0 ~ingress:0 ndn);
+  Alcotest.(check int) "two programs cached" 2 (Progcache.size c);
+  (* Installing F_FIB must invalidate the NDN program (its verdict and
+     unsupported-handling depend on the registry) but not DIP-32. *)
+  push 1L (Control.Enable_op Opkey.F_fib);
+  Alcotest.(check int) "NDN entry invalidated" 1 (Progcache.size c);
+  ignore (Engine.process ~registry:live env ~now:0.0 ~ingress:0 (dip32 ()));
+  Alcotest.(check int) "DIP-32 entry survived" 1 (Progcache.hits c);
+  (* Disabling an op drops the programs using it. *)
+  push 2L (Control.Disable_op Opkey.F_source);
+  Alcotest.(check int) "DIP-32 entry invalidated" 0 (Progcache.size c)
+
+let test_progcache_stale_verdict_without_control () =
+  (* The documented sharp edge: a memoized verdict reflects the world
+     at first-parse time; changes made behind the engine's back (not
+     through Control) need an explicit clear. *)
+  let env = mk_cached_env () in
+  let world = ref (Error "not-yet-deployed") in
+  let verify _view = !world in
+  let run () = fst (Engine.process ~verify ~registry:reg env ~now:0.0 ~ingress:0 (dip32 ())) in
+  Alcotest.(check bool) "rejected at first" true
+    (run () = Engine.Dropped "verify: not-yet-deployed");
+  world := Ok ();
+  Alcotest.(check bool) "stale verdict still rejects" true
+    (run () = Engine.Dropped "verify: not-yet-deployed");
+  Progcache.clear env.Env.prog_cache;
+  Alcotest.(check bool) "clear unsticks it" true
+    (match run () with Engine.Forwarded _ -> true | _ -> false)
+
 (* --- bootstrap --- *)
 
 let test_bootstrap_local_offer () =
@@ -976,6 +1183,59 @@ let prop_packet_roundtrip =
           && Array.length view.Packet.fns = List.length fns
       | Error _ -> false)
 
+let prop_progcache_cold_agree =
+  (* Cached parse ≡ cold parse, on well-formed, malformed and
+     truncated packets alike — both the insert (miss) and the reuse
+     (hit) path. *)
+  QCheck.Test.make ~name:"progcache: cached parse agrees with cold parse"
+    ~count:300
+    QCheck.(
+      quad
+        (list_of_size (Gen.int_range 0 4)
+           (triple (int_range 0 200) (int_range 1 56)
+              (pair (int_range 1 15) bool)))
+        (int_range 0 300) small_string (int_range 0 300))
+    (fun (specs, smash, payload, cut) ->
+      let fns =
+        List.map
+          (fun (loc, len, (k, host)) ->
+            Fn.v
+              ~tag:(if host then Fn.Host else Fn.Router)
+              ~loc ~len
+              (Option.get (Opkey.of_int k)))
+          specs
+      in
+      (* 32-byte region: every generated FN fits, so malformed inputs
+         come from the byte-smash and truncation below. *)
+      let built = Packet.build ~fns ~locations:(String.make 32 'L') ~payload () in
+      let views_equal a b =
+        a.Packet.header = b.Packet.header
+        && Array.length a.Packet.fns = Array.length b.Packet.fns
+        && Array.for_all2 Fn.equal a.Packet.fns b.Packet.fns
+        && a.Packet.loc_base = b.Packet.loc_base
+        && Packet.payload a = Packet.payload b
+      in
+      let check_buf str =
+        let cold = Packet.parse (Bitbuf.of_string str) in
+        let cache = Progcache.create () in
+        let agree = function
+          | Ok (v, _) -> (match cold with Ok v' -> views_equal v v' | Error _ -> false)
+          | Error e -> (match cold with Error e' -> e = e' | Ok _ -> false)
+        in
+        agree (Progcache.parse cache (Bitbuf.of_string str))
+        && agree (Progcache.parse cache (Bitbuf.of_string str))
+      in
+      let s = Bitbuf.to_string built in
+      let smashed =
+        let b = Bytes.of_string s in
+        Bytes.set b (smash mod Bytes.length b) '\xFF';
+        Bytes.to_string b
+      in
+      check_buf s
+      && check_buf (String.sub s 0 (min cut (String.length s)))
+      && check_buf smashed
+      && check_buf (String.sub smashed 0 (min cut (String.length smashed))))
+
 let prop_engine_deterministic =
   QCheck.Test.make ~name:"engine: same input, same verdict" ~count:200
     QCheck.(pair int32 small_string)
@@ -1103,7 +1363,28 @@ let () =
           Alcotest.test_case "disabled is free" `Quick test_fpass_disabled_is_free;
         ] );
       ( "parallel",
-        [ Alcotest.test_case "critical path" `Quick test_parallel_depth ] );
+        [
+          Alcotest.test_case "critical path" `Quick test_parallel_depth;
+          Alcotest.test_case "skipped host FNs excluded" `Quick
+            test_parallel_depth_excludes_skipped;
+          Alcotest.test_case "ignorable FNs excluded" `Quick
+            test_parallel_depth_excludes_ignorable;
+        ] );
+      ( "progcache",
+        [
+          Alcotest.test_case "hit/miss counting" `Quick test_progcache_hit_miss;
+          Alcotest.test_case "disabled cache" `Quick test_progcache_disabled;
+          Alcotest.test_case "LRU eviction" `Quick test_progcache_lru_eviction;
+          Alcotest.test_case "verify memoized" `Quick test_progcache_verify_memoized;
+          Alcotest.test_case "cold/cached agree" `Quick test_progcache_cold_cache_agree;
+          Alcotest.test_case "truncation still errors" `Quick
+            test_progcache_truncation_still_errors;
+          Alcotest.test_case "control invalidation" `Quick
+            test_progcache_control_invalidation;
+          Alcotest.test_case "stale without control" `Quick
+            test_progcache_stale_verdict_without_control;
+          QCheck_alcotest.to_alcotest prop_progcache_cold_agree;
+        ] );
       ( "bootstrap",
         [
           Alcotest.test_case "local offer" `Quick test_bootstrap_local_offer;

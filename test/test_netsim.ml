@@ -212,6 +212,44 @@ let test_sim_queue_overflow () =
   Alcotest.(check int) "three drop-tailed" 3
     (Stats.Counters.get (Sim.counters sim) "r.drop.queue-overflow")
 
+let test_sim_queue_overflow_infinite_bw () =
+  (* Regression: infinite-bandwidth links used to bypass the queue
+     accounting entirely, so queue_capacity never bound and every
+     packet of a burst got through. *)
+  let sim = Sim.create () in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  Sim.connect sim ~latency:1e-3 ~queue_capacity:2 (r, 1) (b, 0);
+  for _ = 1 to 5 do
+    Sim.inject sim ~at:0.0 ~node:r ~port:0 (Bitbuf.create 100)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "capacity binds" 2 (List.length (Sim.consumed sim));
+  Alcotest.(check int) "rest drop-tailed" 3
+    (Stats.Counters.get (Sim.counters sim) "r.drop.queue-overflow");
+  Alcotest.(check int) "only accepted packets counted as tx" 2
+    (Stats.Counters.get (Sim.counters sim) "r.tx");
+  Alcotest.(check int) "slots released after departure" 0
+    (Sim.queue_depth sim r 1)
+
+let test_sim_counters_infinite_bw_in_flight () =
+  (* Regression: the in-flight count on an infinite-bandwidth link
+     must rise while a handler's burst is being enqueued — it is what
+     an F_tel-style hook observes. The handler transmits its burst
+     one action at a time, so capacity 3 admits exactly 3 of 5. *)
+  let sim = Sim.create () in
+  let burst _sim ~now:_ ~ingress:_ pkt =
+    List.init 5 (fun _ -> Sim.Forward (1, pkt))
+  in
+  let r = Sim.add_node sim ~name:"r" burst in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  Sim.connect sim ~latency:1e-3 ~queue_capacity:3 (r, 1) (b, 0);
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 (packet "go");
+  Sim.run sim;
+  Alcotest.(check int) "three admitted" 3 (List.length (Sim.consumed sim));
+  Alcotest.(check int) "two overflowed" 2
+    (Stats.Counters.get (Sim.counters sim) "r.drop.queue-overflow")
+
 let test_sim_queue_depth_observable () =
   let sim = Sim.create () in
   let r = Sim.add_node sim ~name:"r" relay_handler in
@@ -412,6 +450,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
           Alcotest.test_case "serialization queueing" `Quick test_sim_serialization_queueing;
           Alcotest.test_case "queue overflow" `Quick test_sim_queue_overflow;
+          Alcotest.test_case "queue overflow infinite bw" `Quick
+            test_sim_queue_overflow_infinite_bw;
+          Alcotest.test_case "in-flight count infinite bw" `Quick
+            test_sim_counters_infinite_bw_in_flight;
           Alcotest.test_case "queue depth observable" `Quick test_sim_queue_depth_observable;
         ] );
       ( "topology",
