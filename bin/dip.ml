@@ -5,6 +5,10 @@
      dip inspect -p <protocol>        build a packet and dump header + hex
      dip sizes                        header overhead per protocol (Table 2)
      dip demo -p <protocol> -n <N>    run an N-router chain in the simulator
+                                      (--metrics[=table|json|prom] exports the
+                                      unified Dip_obs registry)
+     dip trace -p <protocol> -n <N>   one packet through the chain: host-side
+                                      trace merged with in-band F_tel records
      dip estimate -p <protocol>       PISA cost-model estimate per hop
      dip lint [-p <protocol>|--all|--hex H]
                                       statically verify FN programs
@@ -185,31 +189,89 @@ let sizes () =
   Dip_stdext.Tabular.print t;
   0
 
+(* --- demo / trace: the shared router chain --- *)
+
+let chain_name = Name.of_string "/hotnets.org/dip"
+
+(* One router of the demo chain, able to forward every protocol the
+   sample packets realize: IPv4/IPv6 routes, an NDN FIB entry, an OPT
+   identity matching its hop position, and an XIA route. *)
+let mk_chain_router ?(no_cache = false) i =
+  let env =
+    Env.create
+      ~prog_cache_capacity:(if no_cache then 0 else 512)
+      ~name:(Printf.sprintf "r%d" (i + 1)) ()
+  in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  Dip_ip.Ipv6.add_route env.Env.v6_routes
+    (Ipaddr.Prefix.of_string "2001:db8::/32") 1;
+  Dip_tables.Name_fib.insert env.Env.fib chain_name 1;
+  Env.set_opt_identity env
+    ~secret:(Dip_opt.Drkey.secret_of_string (Printf.sprintf "router-secret%03d" i))
+    ~hop:(i + 1);
+  Dip_xia.Router.add_route env.Env.xia (Dip_xia.Xid.of_name Dip_xia.Xid.AD "as1") 1;
+  env
+
+(* NDN+OPT data packets follow PIT state left by a previous interest,
+   which the chain pre-installs. *)
+let preinstall_pit proto routers =
+  match proto with
+  | Ndn_opt ->
+      List.iter
+        (fun env ->
+          ignore
+            (Dip_tables.Pit.insert env.Env.pit
+               ~key:(Name.hash32 chain_name) ~port:1 ~now:0.0 ~lifetime:1e9))
+        routers
+  | Dip32 | Dip128 | Ndn | Opt | Xia | Epic -> ()
+
 (* --- demo --- *)
 
-let demo proto n no_cache =
+type metrics_fmt = Fmt_table | Fmt_json | Fmt_prom
+
+let metrics_conv =
+  let parse = function
+    | "table" -> Ok Fmt_table
+    | "json" -> Ok Fmt_json
+    | "prom" | "prometheus" -> Ok Fmt_prom
+    | s -> Error (`Msg (Printf.sprintf "unknown metrics format %S" s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with Fmt_table -> "table" | Fmt_json -> "json" | Fmt_prom -> "prom")
+  in
+  Arg.conv (parse, print)
+
+let export_metrics fmt m =
+  print_string
+    (match fmt with
+    | Fmt_table -> Dip_obs.Export.table m
+    | Fmt_json -> Dip_obs.Export.json_lines m
+    | Fmt_prom -> Dip_obs.Export.prometheus m)
+
+let demo proto n count no_cache metrics =
   if n < 1 then begin
     Printf.eprintf "need at least one router\n";
     exit 1
   end;
+  if count < 1 then begin
+    Printf.eprintf "need at least one packet\n";
+    exit 1
+  end;
   let sim = Dip_netsim.Sim.create () in
-  let name = Name.of_string "/hotnets.org/dip" in
-  let mk_router i =
-    let env =
-      Env.create
-        ~prog_cache_capacity:(if no_cache then 0 else 512)
-        ~name:(Printf.sprintf "r%d" (i + 1)) ()
-    in
-    Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
-    Dip_ip.Ipv6.add_route env.Env.v6_routes
-      (Ipaddr.Prefix.of_string "2001:db8::/32") 1;
-    Dip_tables.Name_fib.insert env.Env.fib name 1;
-    Env.set_opt_identity env
-      ~secret:(Dip_opt.Drkey.secret_of_string (Printf.sprintf "router-secret%03d" i))
-      ~hop:(i + 1);
-    Dip_xia.Router.add_route env.Env.xia (Dip_xia.Xid.of_name Dip_xia.Xid.AD "as1") 1;
-    env
+  (* With --metrics, every router reports through one shared Obs (so
+     per-opkey counters aggregate across the chain) and the simulator
+     mirrors link activity into the same registry. sample_every:1
+     because a short demo run wants every packet timed. *)
+  let obs =
+    match metrics with
+    | None -> None
+    | Some _ ->
+        let m = Dip_obs.Metrics.create () in
+        Dip_netsim.Sim.attach_metrics sim m;
+        Some (Obs.create ~sample_every:1 m)
   in
+  let mk_router = mk_chain_router ~no_cache in
   let sink_consumed = ref 0 in
   let sink _sim ~now:_ ~ingress:_ _pkt =
     incr sink_consumed;
@@ -218,22 +280,13 @@ let demo proto n no_cache =
   let routers = List.init n mk_router in
   (* OPT alone carries no forwarding FN (the paper pairs it with a
      path-aware substrate); the demo composes it with DIP-32
-     forwarding. NDN+OPT data packets follow PIT state left by a
-     previous interest, which the demo pre-installs. *)
-  (match proto with
-  | Ndn_opt ->
-      List.iter
-        (fun env ->
-          ignore
-            (Dip_tables.Pit.insert env.Env.pit
-               ~key:(Name.hash32 name) ~port:1 ~now:0.0 ~lifetime:1e9))
-        routers
-  | Dip32 | Dip128 | Ndn | Opt | Xia | Epic -> ());
+     forwarding. *)
+  preinstall_pit proto routers;
   let ids =
     List.map
       (fun env ->
         Dip_netsim.Sim.add_node sim ~name:env.Env.name
-          (Engine.handler ~registry env))
+          (Engine.handler ?obs ~registry env))
       routers
   in
   let sink_id = Dip_netsim.Sim.add_node sim ~name:"sink" sink in
@@ -246,12 +299,17 @@ let demo proto n no_cache =
   in
   wire ids;
   (* EPIC hop indices follow the chain: router i is hop i+1, which
-     matches how mk_router assigns opt_hop. *)
-  let pkt = sample_packet ~hops:n proto in
-  Dip_netsim.Sim.inject sim ~at:0.0 ~node:(List.hd ids) ~port:0 pkt;
+     matches how mk_router assigns opt_hop. The engine mutates
+     packets in flight, so each injection builds a fresh one — which
+     is also what exercises the program cache (same FN program, new
+     packet: hit). *)
+  for k = 0 to count - 1 do
+    Dip_netsim.Sim.inject sim ~at:(float_of_int k) ~node:(List.hd ids) ~port:0
+      (sample_packet ~hops:n proto)
+  done;
   Dip_netsim.Sim.run sim;
-  Printf.printf "chain of %d DIP router(s): %d packet(s) reached the sink\n" n
-    !sink_consumed;
+  Printf.printf "chain of %d DIP router(s): %d/%d packet(s) reached the sink\n" n
+    !sink_consumed count;
   List.iter
     (fun (k, v) -> Printf.printf "  %-28s %d\n" k v)
     (Dip_netsim.Stats.Counters.to_list (Dip_netsim.Sim.counters sim));
@@ -264,6 +322,129 @@ let demo proto n no_cache =
           (Dip_netsim.Stats.Counters.get env.Env.counters "progcache.hit")
           (Dip_netsim.Stats.Counters.get env.Env.counters "progcache.miss"))
       routers;
+  (match (metrics, obs) with
+  | Some fmt, Some o ->
+      print_newline ();
+      export_metrics fmt (Obs.metrics o)
+  | _ -> ());
+  0
+
+(* --- trace --- *)
+
+module Trace = Dip_netsim.Trace
+
+(* One packet through the chain, observed from both sides at once:
+   the host-side Trace records what each node did with it, and (for
+   -p ipv4, which composes with F_tel) the routers stamp in-band
+   telemetry records that the sink reads back out of the packet. The
+   two views are merged on the time axis — the in-band timestamp is
+   the engine's [now] in whole microseconds, so with the default
+   1 us link latency each record lands beside its hop's reception. *)
+let trace proto n =
+  if n < 1 then begin
+    Printf.eprintf "need at least one router\n";
+    exit 1
+  end;
+  let sim = Dip_netsim.Sim.create () in
+  (* The engine rewrites the packet in flight (hop limit, telemetry
+     appends), so the default CRC fingerprint would change per hop;
+     there is only one packet, give it a constant identity. *)
+  let tr = Trace.attach ~fingerprint:(fun _ -> 1l) sim in
+  let routers = List.init n (fun i -> mk_chain_router i) in
+  preinstall_pit proto routers;
+  let ids =
+    List.map
+      (fun env ->
+        Dip_netsim.Sim.add_node sim ~name:env.Env.name
+          (Trace.wrap tr ~name:env.Env.name (Engine.handler ~registry env)))
+      routers
+  in
+  (* Telemetry identity needs the node ids: router i reports node_id
+     i+1 and its live egress-queue depth. *)
+  List.iteri
+    (fun i env ->
+      let node = List.nth ids i in
+      Env.set_telemetry_identity env ~node_id:(i + 1)
+        ~queue_depth:(fun () -> Dip_netsim.Sim.queue_depth sim node 1))
+    routers;
+  let sink_id =
+    Dip_netsim.Sim.add_node sim ~name:"sink"
+      (Trace.wrap tr ~name:"sink" (fun _ ~now:_ ~ingress:_ _ ->
+           [ Dip_netsim.Sim.Consume ]))
+  in
+  let rec wire = function
+    | a :: (b :: _ as rest) ->
+        Dip_netsim.Sim.connect sim (a, 1) (b, 0);
+        wire rest
+    | [ last ] -> Dip_netsim.Sim.connect sim (last, 1) (sink_id, 0)
+    | [] -> ()
+  in
+  wire ids;
+  let telemetry = proto = Dip32 in
+  let pkt =
+    if telemetry then
+      Realize.ipv4_telemetry ~max_hops:n ~src:(v4 "192.0.2.7")
+        ~dst:(v4 "10.9.0.42") ~payload:"trace" ()
+    else sample_packet ~hops:n proto
+  in
+  Dip_netsim.Sim.inject sim ~at:0.0 ~node:(List.hd ids) ~port:0 pkt;
+  Dip_netsim.Sim.run sim;
+  let host_lines =
+    List.map
+      (fun e ->
+        ( e.Trace.time,
+          e.Trace.node,
+          match e.Trace.kind with
+          | Trace.Received p -> Printf.sprintf "received on port %d" p
+          | Trace.Consumed -> "consumed"
+          | Trace.Dropped reason -> Printf.sprintf "dropped (%s)" reason ))
+      (Trace.journey tr 1l)
+  in
+  let inband_lines =
+    if not telemetry then []
+    else
+      match
+        List.find_map
+          (fun (_, _, p) ->
+            match Packet.parse p with
+            | Ok view ->
+                Some
+                  (Telemetry.read p ~base:view.Packet.loc_base
+                     ~region_bytes:(Telemetry.region_size ~max_hops:n))
+            | Error _ -> None)
+          (Dip_netsim.Sim.consumed sim)
+      with
+      | None -> []
+      | Some (records, overflow) ->
+          if overflow then
+            print_endline "note: in-band telemetry region overflowed";
+          List.map
+            (fun r ->
+              ( Int32.to_float r.Telemetry.timestamp /. 1e6,
+                Printf.sprintf "r%d" r.Telemetry.node_id,
+                Printf.sprintf "[in-band] F_tel: node %d, queue depth %d"
+                  r.Telemetry.node_id r.Telemetry.queue_depth ))
+            records
+  in
+  (* Host events sort before same-instant in-band records (stable
+     sort, hosts listed first) — reception, then the stamp it made. *)
+  let merged =
+    List.stable_sort
+      (fun (a, _, _) (b, _, _) -> Float.compare a b)
+      (host_lines @ inband_lines)
+  in
+  Printf.printf "packet journey through %d router(s)%s:\n" n
+    (if telemetry then " (host-side trace + in-band F_tel records)" else "");
+  List.iter
+    (fun (t, node, what) -> Printf.printf "  %9.6fs  %-5s %s\n" t node what)
+    merged;
+  if telemetry then
+    Printf.printf "\n%d in-band record(s) read back at the sink for %d hop(s)\n"
+      (List.length inband_lines) n
+  else
+    print_endline
+      "\n(no in-band records: F_tel composes with -p ipv4; other protocols \
+       show the host-side trace only)";
   0
 
 (* --- estimate --- *)
@@ -439,6 +620,25 @@ let no_cache_arg =
           "Disable the per-router decoded-FN-program cache so every packet \
            is cold-parsed (the escape hatch for debugging the fast path).")
 
+let count_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "c"; "count" ] ~docv:"N"
+        ~doc:
+          "Packets to inject (each one freshly built, so from the second on \
+           every router's program cache hits).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Fmt_table) (some metrics_conv) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Export the unified observability registry after the run: per-FN \
+           run/skip counts and execution spans, verdict tallies, program-cache \
+           and link metrics. $(docv) is $(b,table) (default), $(b,json) or \
+           $(b,prom).")
+
 let parallel_arg =
   Arg.(value & flag & info [ "parallel" ] ~doc:"Set the \\S2.2 parallel flag.")
 
@@ -456,7 +656,15 @@ let sizes_cmd =
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run a router-chain simulation for a protocol.")
-    Term.(const demo $ proto_arg $ n_arg $ no_cache_arg)
+    Term.(const demo $ proto_arg $ n_arg $ count_arg $ no_cache_arg $ metrics_arg)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Follow one packet through the chain: the host-side trace merged \
+          with the in-band F_tel telemetry records it accumulated.")
+    Term.(const trace $ proto_arg $ n_arg)
 
 let control_cmd =
   Cmd.v
@@ -504,6 +712,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; estimate_cmd;
-            lint_cmd; control_cmd;
+            catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; trace_cmd;
+            estimate_cmd; lint_cmd; control_cmd;
           ]))

@@ -50,7 +50,29 @@ let critical_path fns = critical_path_over fns ~included:(fun _ -> true)
 
 let no_info = { ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 }
 
-let run ?verify ~registry ~side env ~now ~ingress buf =
+let verdict_class = function
+  | Forwarded _ -> `Forwarded
+  | Delivered -> `Delivered
+  | Responded _ -> `Responded
+  | Quiet -> `Quiet
+  | Dropped _ -> `Dropped
+  | Unsupported _ -> `Unsupported
+
+let run ?obs ?verify ~registry ~side env ~now ~ingress buf =
+  (* Observability is opt-in: with [obs = None] every instrumentation
+     point below is a single match on an immediate — no clock reads,
+     no allocation. [sampled] selects the runs that additionally get
+     monotonic-clock spans (Obs sampling keeps timing overhead off
+     most packets). *)
+  let sampled = match obs with None -> false | Some o -> Obs.begin_packet o in
+  let t_start = if sampled then Dip_obs.Clock.now_ns () else 0L in
+  let observe verdict =
+    match obs with
+    | None -> ()
+    | Some o ->
+        Obs.verdict o (verdict_class verdict);
+        if sampled then Obs.process_ns o (Dip_obs.Clock.elapsed_ns t_start)
+  in
   let parsed =
     (* Fast path: packets of a known program reuse the cached FN
        array (and, below, its memoized verification verdict) instead
@@ -88,7 +110,9 @@ let run ?verify ~registry ~side env ~now ~ingress buf =
             | Error e -> Error ("verify: " ^ e)))
   in
   match checked with
-  | Error e -> (Dropped e, no_info)
+  | Error e ->
+      observe (Dropped e);
+      (Dropped e, no_info)
   | Ok (view, entry) ->
       let budget = Guard.start env.Env.guard in
       let scratch = env.Env.scratch in
@@ -119,6 +143,7 @@ let run ?verify ~registry ~side env ~now ~ingress buf =
               | None -> critical_path view.Packet.fns
           else !ops_run
         in
+        observe verdict;
         ( verdict,
           {
             ops_run = !ops_run;
@@ -147,6 +172,7 @@ let run ?verify ~registry ~side env ~now ~ingress buf =
           in
           if skip_tag then begin
             incr ops_skipped;
+            (match obs with Some o -> Obs.op_skip o fn.Fn.key | None -> ());
             loop (i + 1)
           end
           else
@@ -157,6 +183,9 @@ let run ?verify ~registry ~side env ~now ~ingress buf =
                   (* "Otherwise, the router can simply ignore this
                      FN" (§2.4). *)
                   incr ops_skipped;
+                  (match obs with
+                  | Some o -> Obs.op_skip o fn.Fn.key
+                  | None -> ());
                   loop (i + 1)
                 end
             | Some impl ->
@@ -178,7 +207,20 @@ let run ?verify ~registry ~side env ~now ~ingress buf =
                       budget;
                     }
                   in
-                  match impl ctx with
+                  let outcome =
+                    match obs with
+                    | Some o ->
+                        Obs.op_run o fn.Fn.key;
+                        if sampled then begin
+                          let t0 = Dip_obs.Clock.now_ns () in
+                          let r = impl ctx in
+                          Obs.op_ns o fn.Fn.key (Dip_obs.Clock.elapsed_ns t0);
+                          r
+                        end
+                        else impl ctx
+                    | None -> impl ctx
+                  in
+                  match outcome with
                   | Registry.Continue -> loop (i + 1)
                   | Registry.Set_route ports ->
                       if !route = None then route := Some (`Ports ports);
@@ -188,16 +230,20 @@ let run ?verify ~registry ~side env ~now ~ingress buf =
                       loop (i + 1)
                   | Registry.Respond pkt -> finish (Responded pkt)
                   | Registry.Silent -> finish Quiet
-                  | Registry.Abort reason -> finish (Dropped reason)
+                  | Registry.Abort reason ->
+                      (match obs with
+                      | Some o -> Obs.op_error o fn.Fn.key
+                      | None -> ());
+                      finish (Dropped reason)
                 end
       in
       loop 0
 
-let process ?verify ~registry env ~now ~ingress buf =
-  run ?verify ~registry ~side:`Router env ~now ~ingress buf
+let process ?obs ?verify ~registry env ~now ~ingress buf =
+  run ?obs ?verify ~registry ~side:`Router env ~now ~ingress buf
 
-let host_process ?verify ~registry env ~now ~ingress buf =
-  run ?verify ~registry ~side:`Host env ~now ~ingress buf
+let host_process ?obs ?verify ~registry env ~now ~ingress buf =
+  run ?obs ?verify ~registry ~side:`Host env ~now ~ingress buf
 
 let count env key = Dip_netsim.Stats.Counters.incr env.Env.counters key
 
@@ -224,12 +270,21 @@ let actions_of_verdict env ~ingress buf = function
         Dip_netsim.Sim.Drop ("unsupported-" ^ Opkey.name key);
       ]
 
-let handler ?verify ~registry env _sim ~now ~ingress packet =
-  let verdict, _info = process ?verify ~registry env ~now ~ingress packet in
+let publish_obs obs env =
+  match obs with
+  | None -> ()
+  | Some o -> Obs.publish_cache o env.Env.prog_cache
+
+let handler ?obs ?verify ~registry env _sim ~now ~ingress packet =
+  let verdict, _info = process ?obs ?verify ~registry env ~now ~ingress packet in
   Env.publish_cache_stats env;
+  publish_obs obs env;
   actions_of_verdict env ~ingress packet verdict
 
-let host_handler ?verify ~registry env _sim ~now ~ingress packet =
-  let verdict, _info = host_process ?verify ~registry env ~now ~ingress packet in
+let host_handler ?obs ?verify ~registry env _sim ~now ~ingress packet =
+  let verdict, _info =
+    host_process ?obs ?verify ~registry env ~now ~ingress packet
+  in
   Env.publish_cache_stats env;
+  publish_obs obs env;
   actions_of_verdict env ~ingress packet verdict

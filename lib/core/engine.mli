@@ -64,6 +64,7 @@ val critical_path_over : Fn.t array -> included:(int -> bool) -> int
     skipped. *)
 
 val process :
+  ?obs:Obs.t ->
   ?verify:(Packet.view -> (unit, string) result) ->
   registry:Registry.t ->
   Env.t ->
@@ -78,6 +79,10 @@ val process :
     [Dip_analysis.verifier] to statically reject malformed FN
     programs.
 
+    When [obs] is given, per-opkey run/skip/error counts, verdict
+    tallies and (sampled) execution spans are recorded through it
+    ({!Obs}); without it the loop stays allocation- and clock-free.
+
     Parsing and verification go through the node's
     {!Env.prog_cache}: packets whose basic-header + FN-definition
     prefix was seen before reuse the decoded program and the memoized
@@ -88,6 +93,7 @@ val process :
     to force cold parsing. *)
 
 val host_process :
+  ?obs:Obs.t ->
   ?verify:(Packet.view -> (unit, string) result) ->
   registry:Registry.t ->
   Env.t ->
@@ -99,15 +105,19 @@ val host_process :
     FNs is simply delivered. *)
 
 val handler :
+  ?obs:Obs.t ->
   ?verify:(Packet.view -> (unit, string) result) ->
   registry:Registry.t ->
   Env.t ->
   Dip_netsim.Sim.handler
 (** A DIP router as a simulator node. Unsupported-FN verdicts send
     an {!Errors.fn_unsupported} notification back out the ingress
-    port. *)
+    port. With [obs], the handler additionally mirrors the node's
+    program-cache totals into the [engine.progcache.*] gauges after
+    every packet. *)
 
 val host_handler :
+  ?obs:Obs.t ->
   ?verify:(Packet.view -> (unit, string) result) ->
   registry:Registry.t ->
   Env.t ->

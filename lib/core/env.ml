@@ -91,4 +91,6 @@ let publish_cache_stats t =
   Dip_netsim.Stats.Counters.set t.counters "progcache.hit"
     (Progcache.hits t.prog_cache);
   Dip_netsim.Stats.Counters.set t.counters "progcache.miss"
-    (Progcache.misses t.prog_cache)
+    (Progcache.misses t.prog_cache);
+  Dip_netsim.Stats.Counters.set t.counters "progcache.evict"
+    (Progcache.evictions t.prog_cache)

@@ -108,8 +108,8 @@ val cache_insert : t -> int32 -> string -> unit
     disabled). *)
 
 val publish_cache_stats : t -> unit
-(** Copy the program-cache hit/miss totals into {!field-counters} as
-    ["progcache.hit"] / ["progcache.miss"], the per-node simulator
-    stats. The engine's simulator handlers do this after every
-    packet; call it manually when driving {!Engine.process}
-    directly. *)
+(** Copy the program-cache hit/miss/evict totals into
+    {!field-counters} as ["progcache.hit"] / ["progcache.miss"] /
+    ["progcache.evict"], the per-node simulator stats. The engine's
+    simulator handlers do this after every packet; call it manually
+    when driving {!Engine.process} directly. *)

@@ -40,6 +40,8 @@ let all =
 
 let of_int i = List.find_opt (fun k -> to_int k = i) all
 
+let max_key = List.fold_left (fun acc k -> Stdlib.max acc (to_int k)) 0 all
+
 let name = function
   | F_32_match -> "F_32_match"
   | F_128_match -> "F_128_match"

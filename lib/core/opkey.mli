@@ -37,6 +37,10 @@ val of_int : int -> t option
 val all : t list
 (** In key order. *)
 
+val max_key : int
+(** The largest {!to_int} value — sizes key-indexed dense arrays
+    (e.g. the {!Obs} per-opkey tallies). *)
+
 val name : t -> string
 (** The paper's notation, e.g. ["F_FIB"]. *)
 

@@ -15,6 +15,7 @@ type t = {
   mutable enabled : bool;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ?(capacity = 512) () =
@@ -23,18 +24,21 @@ let create ?(capacity = 512) () =
     enabled = capacity > 0;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let enabled t = t.enabled
 let set_enabled t v = t.enabled <- v
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = t.evictions
 let size t = Lru.size t.table
 let capacity t = Lru.capacity t.table
 
 let reset_counters t =
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.evictions <- 0
 
 let clear t = Lru.clear t.table
 
@@ -76,6 +80,10 @@ let insert t key (view : Packet.view) =
       verdict = None;
     }
   in
+  (* [insert] is only reached on a miss, so the key is new: a full
+     table means the LRU victim is about to be displaced. *)
+  if Lru.size t.table = Lru.capacity t.table then
+    t.evictions <- t.evictions + 1;
   Lru.insert t.table key e;
   e
 

@@ -43,6 +43,11 @@ val set_enabled : t -> bool -> unit
 
 val hits : t -> int
 val misses : t -> int
+val evictions : t -> int
+(** Programs displaced by LRU pressure (capacity overflow). A high
+    evict rate means the working set of distinct programs exceeds
+    the cache — the signal the observability layer watches. *)
+
 val reset_counters : t -> unit
 val size : t -> int
 val capacity : t -> int

@@ -24,6 +24,19 @@ and link_end = {
   mutable queued : int;
 }
 
+(* Optional Dip_obs instrumentation: pre-resolved handles so the
+   per-event cost is a couple of field stores; per-reason and
+   per-link handles are interned lazily (drops and links are few). *)
+and obs = {
+  metrics : Dip_obs.Metrics.t;
+  tx : Dip_obs.Metrics.counter;
+  rx : Dip_obs.Metrics.counter;
+  consumed_c : Dip_obs.Metrics.counter;
+  qdepth : Dip_obs.Metrics.histogram; (* egress depth at each enqueue *)
+  drop_reasons : (string, Dip_obs.Metrics.counter) Hashtbl.t;
+  link_gauges : (node_id * port, Dip_obs.Metrics.gauge) Hashtbl.t;
+}
+
 and t = {
   mutable nodes : node array;
   mutable nnodes : int;
@@ -33,6 +46,7 @@ and t = {
   mutable clock : float;
   mutable delivered : (node_id * float * Dip_bitbuf.Bitbuf.t) list; (* reversed *)
   mutable consume_hooks : (node_id -> float -> Dip_bitbuf.Bitbuf.t -> unit) list;
+  mutable obs : obs option;
 }
 
 let create () =
@@ -45,7 +59,61 @@ let create () =
     clock = 0.0;
     delivered = [];
     consume_hooks = [];
+    obs = None;
   }
+
+let attach_metrics t metrics =
+  let module M = Dip_obs.Metrics in
+  t.obs <-
+    Some
+      {
+        metrics;
+        tx = M.counter metrics "sim.tx" ~help:"packets transmitted onto links";
+        rx = M.counter metrics "sim.rx" ~help:"packet arrivals handled";
+        consumed_c =
+          M.counter metrics "sim.consumed" ~help:"packets delivered locally";
+        qdepth =
+          M.histogram metrics "sim.link.queue_depth"
+            ~help:"egress queue depth observed at each enqueue";
+        drop_reasons = Hashtbl.create 8;
+        link_gauges = Hashtbl.create 16;
+      }
+
+let obs_drop t reason =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      let c =
+        match Hashtbl.find_opt o.drop_reasons reason with
+        | Some c -> c
+        | None ->
+            let c =
+              Dip_obs.Metrics.counter o.metrics ("sim.drop." ^ reason)
+                ~help:"packets dropped, by reason"
+            in
+            Hashtbl.replace o.drop_reasons reason c;
+            c
+      in
+      Dip_obs.Metrics.Counter.incr c
+
+let obs_link_depth t ~id ~port ~name depth =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      Dip_obs.Metrics.Histogram.observe o.qdepth (float_of_int depth);
+      let g =
+        match Hashtbl.find_opt o.link_gauges (id, port) with
+        | Some g -> g
+        | None ->
+            let g =
+              Dip_obs.Metrics.gauge o.metrics
+                (Printf.sprintf "sim.link.%s.p%d.queue_depth" name port)
+                ~help:"packets queued or serializing on this egress"
+            in
+            Hashtbl.replace o.link_gauges (id, port) g;
+            g
+      in
+      Dip_obs.Metrics.Gauge.set g depth
 
 let add_node t ~name handler =
   let node = { name; handler } in
@@ -113,12 +181,19 @@ let on_consume t f = t.consume_hooks <- f :: t.consume_hooks
 let transmit t ~from:(id, port) packet =
   let name = t.nodes.(id).name in
   match Hashtbl.find_opt t.links (id, port) with
-  | None -> Stats.Counters.incr t.stats (name ^ ".drop.unwired-port")
+  | None ->
+      Stats.Counters.incr t.stats (name ^ ".drop.unwired-port");
+      obs_drop t "unwired-port"
   | Some l ->
-      if l.queued >= l.capacity then
-        Stats.Counters.incr t.stats (name ^ ".drop.queue-overflow")
+      if l.queued >= l.capacity then begin
+        Stats.Counters.incr t.stats (name ^ ".drop.queue-overflow");
+        obs_drop t "queue-overflow"
+      end
       else begin
         Stats.Counters.incr t.stats (name ^ ".tx");
+        (match t.obs with
+        | Some o -> Dip_obs.Metrics.Counter.incr o.tx
+        | None -> ());
         let size = float_of_int (Dip_bitbuf.Bitbuf.length packet) in
         let dst, dport = l.peer in
         (* Serialize behind whatever is already on the wire. An
@@ -132,6 +207,7 @@ let transmit t ~from:(id, port) packet =
         let departure = start +. tx_time in
         l.busy_until <- departure;
         l.queued <- l.queued + 1;
+        obs_link_depth t ~id ~port ~name l.queued;
         Event_queue.push t.queue ~time:departure
           (Timer (fun _ -> l.queued <- l.queued - 1));
         Event_queue.push t.queue ~time:(departure +. l.latency)
@@ -141,6 +217,9 @@ let transmit t ~from:(id, port) packet =
 let handle_arrival t id port packet =
   let node = t.nodes.(id) in
   Stats.Counters.incr t.stats (node.name ^ ".rx");
+  (match t.obs with
+  | Some o -> Dip_obs.Metrics.Counter.incr o.rx
+  | None -> ());
   let actions = node.handler t ~now:t.clock ~ingress:port packet in
   List.iter
     (fun action ->
@@ -148,10 +227,14 @@ let handle_arrival t id port packet =
       | Forward (out, pkt) -> transmit t ~from:(id, out) pkt
       | Consume ->
           Stats.Counters.incr t.stats (node.name ^ ".consumed");
+          (match t.obs with
+          | Some o -> Dip_obs.Metrics.Counter.incr o.consumed_c
+          | None -> ());
           t.delivered <- (id, t.clock, packet) :: t.delivered;
           List.iter (fun f -> f id t.clock packet) t.consume_hooks
       | Drop reason ->
-          Stats.Counters.incr t.stats (node.name ^ ".drop." ^ reason))
+          Stats.Counters.incr t.stats (node.name ^ ".drop." ^ reason);
+          obs_drop t reason)
     actions
 
 let run ?(until = Float.infinity) t =

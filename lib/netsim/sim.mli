@@ -82,6 +82,16 @@ val counters : t -> Stats.Counters.t
 (** Global counters: per node, ["<name>.rx"], ["<name>.tx"],
     ["<name>.consumed"], ["<name>.drop.<reason>"]. *)
 
+val attach_metrics : t -> Dip_obs.Metrics.t -> unit
+(** Mirror simulator activity into a {!Dip_obs.Metrics} registry:
+    counters ["sim.tx"] / ["sim.rx"] / ["sim.consumed"] and
+    ["sim.drop.<reason>"] (aggregated across nodes — per-node totals
+    stay in {!counters}), the ["sim.link.queue_depth"] histogram
+    (egress depth observed at each enqueue) and per-link
+    ["sim.link.<node>.p<port>.queue_depth"] gauges. The handles are
+    resolved once at attach / first use, so per-event cost is an
+    integer store. Replaces any previously attached registry. *)
+
 val consumed : t -> (node_id * float * Dip_bitbuf.Bitbuf.t) list
 (** All locally delivered packets, in delivery order, with their
     delivery times. *)

@@ -21,35 +21,84 @@ module Counters = struct
 end
 
 module Series = struct
-  type t = { mutable samples : float list; mutable n : int; mutable sorted : float array option }
+  (* Bounded memory under unbounded sample streams: count, sum,
+     sum-of-squared-deviations (Welford), min and max are maintained
+     exactly over every sample; order statistics come from a
+     fixed-size uniform reservoir (Vitter's Algorithm R) refreshed
+     with a deterministic SplitMix64 stream so runs reproduce. *)
+  type t = {
+    reservoir : float array;
+    mutable n : int; (* total samples observed *)
+    mutable sum : float;
+    mutable mean_acc : float; (* Welford running mean *)
+    mutable m2 : float; (* Welford sum of squared deviations *)
+    mutable mn : float;
+    mutable mx : float;
+    prng : Dip_stdext.Prng.t;
+    mutable sorted : float array option; (* sorted reservoir prefix *)
+  }
 
-  let create () = { samples = []; n = 0; sorted = None }
+  let default_capacity = 4096
+
+  let create ?(capacity = default_capacity) () =
+    if capacity < 1 then invalid_arg "Stats.Series.create: capacity must be >= 1";
+    {
+      reservoir = Array.make capacity 0.0;
+      n = 0;
+      sum = 0.0;
+      mean_acc = 0.0;
+      m2 = 0.0;
+      mn = 0.0;
+      mx = 0.0;
+      prng = Dip_stdext.Prng.create 0x5e12e5_0b5L;
+      sorted = None;
+    }
+
+  let capacity t = Array.length t.reservoir
+  let held t = Stdlib.min t.n (capacity t)
 
   let add t x =
-    t.samples <- x :: t.samples;
+    let cap = capacity t in
+    if t.n < cap then begin
+      t.reservoir.(t.n) <- x;
+      t.sorted <- None
+    end
+    else begin
+      (* Algorithm R: the (n+1)-th sample replaces a random slot with
+         probability cap/(n+1), keeping the reservoir uniform. *)
+      let j = Dip_stdext.Prng.int t.prng (t.n + 1) in
+      if j < cap then begin
+        t.reservoir.(j) <- x;
+        t.sorted <- None
+      end
+    end;
     t.n <- t.n + 1;
-    t.sorted <- None
+    t.sum <- t.sum +. x;
+    let delta = x -. t.mean_acc in
+    t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+    if t.n = 1 then begin
+      t.mn <- x;
+      t.mx <- x
+    end
+    else begin
+      if x < t.mn then t.mn <- x;
+      if x > t.mx then t.mx <- x
+    end
 
   let count t = t.n
-
-  let mean t =
-    if t.n = 0 then 0.0 else List.fold_left ( +. ) 0.0 t.samples /. float_of_int t.n
-
-  let min t = List.fold_left Float.min Float.infinity t.samples
-  let max t = List.fold_left Float.max Float.neg_infinity t.samples
+  let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+  let min t = t.mn
+  let max t = t.mx
 
   let stddev t =
-    if t.n < 2 then 0.0
-    else
-      let m = mean t in
-      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 t.samples in
-      sqrt (ss /. float_of_int (t.n - 1))
+    if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
 
   let sorted t =
     match t.sorted with
     | Some a -> a
     | None ->
-        let a = Array.of_list t.samples in
+        let a = Array.sub t.reservoir 0 (held t) in
         Array.sort Float.compare a;
         t.sorted <- Some a;
         a
@@ -59,8 +108,9 @@ module Series = struct
     if p < 0.0 || p > 100.0 then
       invalid_arg "Stats.Series.percentile: p out of range";
     let a = sorted t in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
-    a.(Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)))
+    let k = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int k)) in
+    a.(Stdlib.max 0 (Stdlib.min (k - 1) (rank - 1)))
 
   let summary t =
     if t.n = 0 then "n=0"

@@ -1,7 +1,10 @@
 (** Measurement collection: counters and latency/size histograms.
 
     Every experiment harness reports through this module so output
-    formats stay uniform across the paper's figures. *)
+    formats stay uniform across the paper's figures. (Hot-path
+    per-packet instrumentation lives in {!Dip_obs.Metrics} instead —
+    this module is for experiment-level series and the simulator's
+    named counters.) *)
 
 (** A monotonically growing set of named counters. *)
 module Counters : sig
@@ -19,24 +22,55 @@ module Counters : sig
   (** Sorted by name. *)
 end
 
-(** A reservoir of float samples with summary statistics. *)
+(** A bounded reservoir of float samples with summary statistics.
+
+    Memory is capped: [count], [mean], [min], [max] and [stddev] are
+    exact over {e every} sample ever added (maintained streamingly),
+    while order statistics ([percentile], and the p50/p99 of
+    [summary]) are computed over a fixed-size uniform random sample
+    of the stream (Algorithm R reservoir, deterministic PRNG). Until
+    the series exceeds its capacity the reservoir holds everything
+    and percentiles are exact; beyond that they are unbiased
+    estimates whose resolution degrades gracefully with the
+    stream/capacity ratio. *)
 module Series : sig
   type t
 
-  val create : unit -> t
+  val default_capacity : int
+  (** 4096 samples — about 32 KiB per series. *)
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] bounds the reservoir (default
+      {!default_capacity}; must be [>= 1]). *)
+
+  val capacity : t -> int
   val add : t -> float -> unit
+
   val count : t -> int
+  (** Total samples added (not the reservoir occupancy). *)
+
   val mean : t -> float
-  (** 0. on an empty series. *)
+  (** Exact over all samples; [0.] on an empty series. *)
 
   val min : t -> float
+  (** Exact over all samples; [0.] on an empty series (consistent
+      with {!mean} — check {!count} to distinguish "no samples" from
+      "samples around zero"). *)
+
   val max : t -> float
+  (** Exact over all samples; [0.] on an empty series. *)
+
   val stddev : t -> float
+  (** Exact sample standard deviation (Welford); [0.] when fewer
+      than two samples. *)
+
   val percentile : t -> float -> float
   (** [percentile s p] with [p] in [\[0,100\]] by nearest-rank on the
-      sorted samples. Raises [Invalid_argument] on an empty series or
-      [p] out of range. *)
+      sorted {e reservoir}: exact while [count s <= capacity s], an
+      unbiased estimate afterwards. Raises [Invalid_argument] on an
+      empty series or [p] out of range. *)
 
   val summary : t -> string
-  (** "n=… mean=… p50=… p99=… max=…" one-liner. *)
+  (** "n=… mean=… p50=… p99=… max=…" one-liner (p50/p99 are
+      reservoir estimates, the rest exact). *)
 end

@@ -2,23 +2,71 @@ type event_kind = Received of Sim.port | Consumed | Dropped of string
 
 type event = { time : float; node : string; kind : event_kind }
 
+(* Events are indexed by packet fingerprint (journeys are the hot
+   query) and carry a global sequence number so full-log views keep a
+   stable order among same-timestamp events. Per-fingerprint lists
+   are reversed (most recent first) for O(1) append. *)
 type t = {
   fingerprint : Dip_bitbuf.Bitbuf.t -> int32;
-  mutable log : (int32 * event) list; (* reversed *)
+  index : (int32, (int * event) list ref) Hashtbl.t;
+  max_events : int;
+  mutable nevents : int;
+  mutable dropped : int;
+  mutable seq : int;
 }
 
 let default_fingerprint buf =
   Dip_stdext.Crc32.digest_bytes (Dip_bitbuf.Bitbuf.to_bytes buf)
 
-let attach ?(fingerprint = default_fingerprint) sim =
-  let t = { fingerprint; log = [] } in
+let default_max_events = 1_000_000
+
+let attach ?(fingerprint = default_fingerprint)
+    ?(max_events = default_max_events) sim =
+  if max_events < 1 then invalid_arg "Trace.attach: max_events must be >= 1";
+  let t =
+    {
+      fingerprint;
+      index = Hashtbl.create 256;
+      max_events;
+      nevents = 0;
+      dropped = 0;
+      seq = 0;
+    }
+  in
   Sim.on_consume sim (fun node time pkt ->
-      t.log <-
-        (t.fingerprint pkt, { time; node = Sim.node_name sim node; kind = Consumed })
-        :: t.log);
+      let fp = t.fingerprint pkt in
+      let e = { time; node = Sim.node_name sim node; kind = Consumed } in
+      if t.nevents >= t.max_events then t.dropped <- t.dropped + 1
+      else begin
+        let cell =
+          match Hashtbl.find_opt t.index fp with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.replace t.index fp c;
+              c
+        in
+        cell := (t.seq, e) :: !cell;
+        t.seq <- t.seq + 1;
+        t.nevents <- t.nevents + 1
+      end);
   t
 
-let record t ~node ~time fp kind = t.log <- (fp, { time; node; kind }) :: t.log
+let record t ~node ~time fp kind =
+  if t.nevents >= t.max_events then t.dropped <- t.dropped + 1
+  else begin
+    let cell =
+      match Hashtbl.find_opt t.index fp with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.replace t.index fp c;
+          c
+    in
+    cell := (t.seq, { time; node; kind }) :: !cell;
+    t.seq <- t.seq + 1;
+    t.nevents <- t.nevents + 1
+  end
 
 let wrap t ~name inner sim ~now ~ingress packet =
   let fp = t.fingerprint packet in
@@ -32,14 +80,26 @@ let wrap t ~name inner sim ~now ~ingress packet =
     actions;
   actions
 
-let by_time evs = List.stable_sort (fun a b -> Float.compare a.time b.time) evs
+let by_time evs =
+  List.sort
+    (fun (sa, a) (sb, b) ->
+      match Float.compare a.time b.time with
+      | 0 -> Int.compare sa sb
+      | c -> c)
+    evs
+  |> List.map snd
 
-let events t = by_time (List.rev_map snd t.log)
+let events t =
+  Hashtbl.fold (fun _ cell acc -> List.rev_append !cell acc) t.index []
+  |> by_time
 
 let journey t fp =
-  List.rev t.log
-  |> List.filter_map (fun (f, e) -> if Int32.equal f fp then Some e else None)
-  |> by_time
+  match Hashtbl.find_opt t.index fp with
+  | None -> []
+  | Some cell -> by_time !cell
+
+let event_count t = t.nevents
+let dropped_events t = t.dropped
 
 let pp_kind fmt = function
   | Received p -> Format.fprintf fmt "received on port %d" p

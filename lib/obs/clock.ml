@@ -1,0 +1,3 @@
+let now_ns = Monotonic_clock.now
+
+let elapsed_ns t0 = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0)

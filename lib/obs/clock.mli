@@ -1,0 +1,14 @@
+(** Monotonic nanosecond clock for span timing.
+
+    A thin wrapper over the CLOCK_MONOTONIC stub that ships with the
+    benchmark toolkit: a single [@@noalloc] external, so reading the
+    clock costs tens of nanoseconds and never allocates — cheap
+    enough for sampled per-operation spans on the packet hot path. *)
+
+val now_ns : unit -> int64
+(** Monotonic time in nanoseconds from an arbitrary origin. Only
+    differences are meaningful. *)
+
+val elapsed_ns : int64 -> int
+(** [elapsed_ns t0] is [now_ns () - t0] as an [int] (nanosecond
+    deltas fit comfortably in 63 bits). *)

@@ -1,0 +1,157 @@
+module M = Metrics
+
+let sanitize name =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let s = String.map (fun c -> if ok c then c else '_') name in
+  if s = "" then "_"
+  else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s
+  else s
+
+(* Render a float the way Prometheus and JSON both accept: finite
+   values as decimals, infinity spelled out. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let prometheus m =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, help, v) ->
+      let n = sanitize name in
+      if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" n help);
+      match v with
+      | M.Counter_v c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n c)
+      | M.Gauge_v g ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n g)
+      | M.Histogram_v h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          let acc = ref 0 in
+          Array.iteri
+            (fun i c ->
+              acc := !acc + c;
+              (* Only emit the buckets up to the last occupied one,
+                 plus +Inf: 40 mostly-empty series per histogram help
+                 nobody. *)
+              if c > 0 then
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n
+                     (float_str (M.Histogram.bound i))
+                     !acc))
+            h.M.counts;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.M.count);
+          Buffer.add_string b (Printf.sprintf "%s_sum %s\n" n (float_str h.M.sum));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n h.M.count))
+    (M.snapshot m);
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_lines m =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, help, v) ->
+      let head kind =
+        Printf.sprintf "{\"name\":\"%s\",\"type\":\"%s\"" (json_escape name) kind
+      in
+      let help_field () =
+        if help = "" then "" else Printf.sprintf ",\"help\":\"%s\"" (json_escape help)
+      in
+      (match v with
+      | M.Counter_v c ->
+          Buffer.add_string b
+            (Printf.sprintf "%s,\"value\":%d%s}" (head "counter") c (help_field ()))
+      | M.Gauge_v g ->
+          Buffer.add_string b
+            (Printf.sprintf "%s,\"value\":%d%s}" (head "gauge") g (help_field ()))
+      | M.Histogram_v h ->
+          Buffer.add_string b (head "histogram");
+          Buffer.add_string b
+            (Printf.sprintf ",\"count\":%d,\"sum\":%s,\"max\":%s,\"buckets\":["
+               h.M.count (float_str h.M.sum) (float_str h.M.max_value));
+          let first = ref true in
+          Array.iteri
+            (fun i c ->
+              if c > 0 then begin
+                if not !first then Buffer.add_char b ',';
+                first := false;
+                Buffer.add_string b
+                  (Printf.sprintf "{\"le\":%s,\"n\":%d}"
+                     (if Float.is_finite (M.Histogram.bound i) then
+                        float_str (M.Histogram.bound i)
+                      else "\"+Inf\"")
+                     c)
+              end)
+            h.M.counts;
+          Buffer.add_string b (Printf.sprintf "]%s}" (help_field ())));
+      Buffer.add_char b '\n')
+    (M.snapshot m);
+  Buffer.contents b
+
+let table m =
+  let t =
+    Dip_stdext.Tabular.create
+      ~aligns:
+        [ Dip_stdext.Tabular.Left; Dip_stdext.Tabular.Left;
+          Dip_stdext.Tabular.Right ]
+      [ "metric"; "type"; "value" ]
+  in
+  List.iter
+    (fun (name, _help, v) ->
+      match v with
+      | M.Counter_v c ->
+          Dip_stdext.Tabular.add_row t [ name; "counter"; string_of_int c ]
+      | M.Gauge_v g ->
+          Dip_stdext.Tabular.add_row t [ name; "gauge"; string_of_int g ]
+      | M.Histogram_v h ->
+          let summary =
+            if h.M.count = 0 then "n=0"
+            else
+              (* Re-derive the quantile estimates from the snapshot
+                 counts (same arithmetic as Histogram.quantile). *)
+              let quant q =
+                let rank =
+                  Stdlib.max 1
+                    (int_of_float (Float.ceil (q *. float_of_int h.M.count)))
+                in
+                let acc = ref 0 and ret = ref h.M.max_value in
+                (try
+                   Array.iteri
+                     (fun i c ->
+                       acc := !acc + c;
+                       if !acc >= rank then begin
+                         ret := Float.min (M.Histogram.bound i) h.M.max_value;
+                         raise Exit
+                       end)
+                     h.M.counts
+                 with Exit -> ());
+                !ret
+              in
+              Printf.sprintf "n=%d mean=%.1f p50<=%s p99<=%s max=%s" h.M.count
+                (h.M.sum /. float_of_int h.M.count)
+                (float_str (quant 0.50)) (float_str (quant 0.99))
+                (float_str h.M.max_value)
+          in
+          Dip_stdext.Tabular.add_row t [ name; "histogram"; summary ])
+    (M.snapshot m);
+  Dip_stdext.Tabular.render t

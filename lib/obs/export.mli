@@ -1,0 +1,23 @@
+(** Pluggable renderings of a {!Metrics} registry.
+
+    Three formats, all over the same {!Metrics.snapshot}:
+
+    - {!prometheus}: the Prometheus text exposition format
+      (["# TYPE"] lines, [_bucket{le="..."}] cumulative histogram
+      series, [_sum] / [_count]). Metric names are sanitized to
+      [[a-zA-Z0-9_:]].
+    - {!json_lines}: one self-contained JSON object per line —
+      grep-able, appendable, trivially machine-parsed.
+    - {!table}: a human-oriented table via {!Dip_stdext.Tabular}
+      (histograms summarized as count/mean/p50/p99/max). *)
+
+val prometheus : Metrics.t -> string
+
+val json_lines : Metrics.t -> string
+
+val table : Metrics.t -> string
+
+val sanitize : string -> string
+(** The Prometheus name mangling: every character outside
+    [[a-zA-Z0-9_:]] becomes ['_']; a leading digit is prefixed with
+    ['_']. Exposed for the export round-trip tests. *)

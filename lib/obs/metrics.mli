@@ -1,0 +1,104 @@
+(** The unified metrics registry: counters, gauges and fixed-bucket
+    log-scale histograms.
+
+    Everything the engine, simulator and program cache measure is
+    registered here under a dotted name and exported uniformly
+    ({!Export}). The design constraint is the per-packet hot path:
+    {e registration} (name lookup) happens once, at instrumentation
+    setup, and returns a handle; {e recording} through a handle is a
+    field store on a mutable record — no hashing, no allocation, no
+    boxing. A packet-processing loop holding pre-resolved handles
+    pays a few nanoseconds per event.
+
+    Histograms use fixed power-of-two buckets (log scale), not
+    reservoirs: observing a value is "find the exponent, bump a slot
+    of an int array". Quantiles read from a histogram are therefore
+    {e estimates} with one-bucket (2x) resolution — the right
+    trade-off for latency distributions on the hot path, where
+    {!Dip_netsim.Stats.Series} reservoir sampling would allocate and
+    resample per packet. *)
+
+type t
+(** A registry: a mutable set of named instruments. *)
+
+type counter
+(** Monotonically increasing integer. *)
+
+type gauge
+(** Integer that can go up and down (queue depth, cache size). *)
+
+type histogram
+(** Log-scale distribution of non-negative values (latency in ns,
+    sizes in bytes). *)
+
+val create : unit -> t
+
+(** {1 Registration}
+
+    Registering the same name twice returns the {e same} handle, so
+    independent instrumentation sites may share an instrument.
+    Registering a name that already exists with a different
+    instrument kind raises [Invalid_argument]. *)
+
+val counter : ?help:string -> t -> string -> counter
+val gauge : ?help:string -> t -> string -> gauge
+val histogram : ?help:string -> t -> string -> histogram
+
+(** {1 Recording through handles} *)
+
+module Counter : sig
+  val incr : ?by:int -> counter -> unit
+  val get : counter -> int
+end
+
+module Gauge : sig
+  val set : gauge -> int -> unit
+  val get : gauge -> int
+end
+
+module Histogram : sig
+  val buckets : int
+  (** Number of buckets. Bucket [0] holds values [< 1]; bucket [i]
+      ([1 <= i < buckets-1]) holds values in [[2{^i-1}, 2{^i})]; the
+      last bucket holds everything larger. *)
+
+  val bound : int -> float
+  (** [bound i] is the exclusive upper bound of bucket [i]
+      ([infinity] for the last). *)
+
+  val observe : histogram -> float -> unit
+  (** Record one value. Negative values count as 0. *)
+
+  val count : histogram -> int
+  val sum : histogram -> float
+  val max_value : histogram -> float
+  (** Largest value observed; [0.] when empty. *)
+
+  val mean : histogram -> float
+  (** [0.] when empty. *)
+
+  val bucket_counts : histogram -> int array
+  (** A copy of the per-bucket counts (length {!buckets}). *)
+
+  val quantile : histogram -> float -> float
+  (** [quantile h q] with [q] in [[0,1]]: an {e estimate} of the
+      q-quantile — the upper bound of the bucket holding the rank,
+      clamped to {!max_value}. Accurate to one power-of-two bucket.
+      [0.] when empty; raises [Invalid_argument] if [q] is outside
+      [[0,1]]. *)
+end
+
+(** {1 Snapshot for exporters} *)
+
+type hsnap = {
+  counts : int array;  (** per-bucket counts, length {!Histogram.buckets} *)
+  count : int;
+  sum : float;
+  max_value : float;
+}
+
+type value = Counter_v of int | Gauge_v of int | Histogram_v of hsnap
+
+val snapshot : t -> (string * string * value) list
+(** [(name, help, value)] for every registered instrument, sorted by
+    name. *)

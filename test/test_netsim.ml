@@ -351,6 +351,53 @@ let test_trace_drop_recorded () =
   | [ { Trace.kind = Trace.Received 0; _ }; { Trace.kind = Trace.Dropped "boom"; _ } ] -> ()
   | l -> Alcotest.failf "unexpected trace (%d events)" (List.length l)
 
+let test_trace_event_cap () =
+  (* Past max_events the trace stops growing and counts the drops;
+     journeys over the kept prefix still work. *)
+  let sim = Sim.create () in
+  let trace = Trace.attach ~max_events:3 sim in
+  let d =
+    Sim.add_node sim ~name:"d"
+      (Trace.wrap trace ~name:"d" (fun _ ~now:_ ~ingress:_ _ -> [ Sim.Drop "full" ]))
+  in
+  for i = 0 to 4 do
+    Sim.inject sim ~at:(float_of_int i) ~node:d ~port:0 (packet "capped")
+  done;
+  Sim.run sim;
+  (* 5 packets x 2 events each (received + dropped), cap 3. *)
+  Alcotest.(check int) "kept" 3 (Trace.event_count trace);
+  Alcotest.(check int) "dropped" 7 (Trace.dropped_events trace);
+  Alcotest.(check int) "events listing matches" 3
+    (List.length (Trace.events trace));
+  Alcotest.(check int) "journey sees the kept prefix" 3
+    (List.length (Trace.journey trace (Dip_stdext.Crc32.digest "capped")));
+  Alcotest.(check bool) "cap must be positive" true
+    (try ignore (Trace.attach ~max_events:0 (Sim.create ())); false
+     with Invalid_argument _ -> true)
+
+let test_trace_journey_isolated () =
+  (* Events are indexed per fingerprint: one packet's journey never
+     scans (or includes) another's events. *)
+  let sim = Sim.create () in
+  let trace = Trace.attach sim in
+  let d =
+    Sim.add_node sim ~name:"d"
+      (Trace.wrap trace ~name:"d" consume_handler)
+  in
+  Sim.inject sim ~at:0.0 ~node:d ~port:0 (packet "aaa");
+  Sim.inject sim ~at:1.0 ~node:d ~port:0 (packet "bbb");
+  Sim.run sim;
+  let ja = Trace.journey trace (Dip_stdext.Crc32.digest "aaa") in
+  let jb = Trace.journey trace (Dip_stdext.Crc32.digest "bbb") in
+  Alcotest.(check int) "a's events" 2 (List.length ja);
+  Alcotest.(check int) "b's events" 2 (List.length jb);
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check bool) "a precedes b" true (e.Trace.time < 1.0))
+    ja;
+  Alcotest.(check int) "nothing for unknown fp" 0
+    (List.length (Trace.journey trace 0xDEADl))
+
 (* --- Stats --- *)
 
 let test_counters () =
@@ -388,6 +435,39 @@ let test_series_guards () =
      with Invalid_argument _ -> true);
   Alcotest.(check bool) "summary non-empty" true
     (String.length (Stats.Series.summary s) > 0)
+
+let test_series_reservoir_cap () =
+  (* Beyond capacity the streaming stats stay exact while percentiles
+     degrade to reservoir estimates — and memory stays bounded. *)
+  let s = Stats.Series.create ~capacity:16 () in
+  Alcotest.(check int) "capacity" 16 (Stats.Series.capacity s);
+  for i = 1 to 1000 do
+    Stats.Series.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "count covers the whole stream" 1000
+    (Stats.Series.count s);
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 (Stats.Series.min s);
+  Alcotest.(check (float 1e-9)) "max exact" 1000.0 (Stats.Series.max s);
+  Alcotest.(check (float 1e-6)) "mean exact" 500.5 (Stats.Series.mean s);
+  let p50 = Stats.Series.percentile s 50.0 in
+  Alcotest.(check bool) "p50 is an in-range estimate" true
+    (p50 >= 1.0 && p50 <= 1000.0);
+  (* Within capacity percentiles are exact even after many adds. *)
+  let exact = Stats.Series.create ~capacity:16 () in
+  List.iter (Stats.Series.add exact) [ 9.0; 7.0; 8.0 ];
+  Alcotest.(check (float 1e-9)) "exact under capacity" 8.0
+    (Stats.Series.percentile exact 50.0);
+  Alcotest.(check int) "default capacity" Stats.Series.default_capacity
+    (Stats.Series.capacity (Stats.Series.create ()))
+
+let test_series_empty_and_capacity_guard () =
+  let s = Stats.Series.create () in
+  Alcotest.(check (float 0.0)) "empty min" 0.0 (Stats.Series.min s);
+  Alcotest.(check (float 0.0)) "empty max" 0.0 (Stats.Series.max s);
+  Alcotest.(check (float 0.0)) "empty stddev" 0.0 (Stats.Series.stddev s);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Stats.Series.create: capacity must be >= 1") (fun () ->
+      ignore (Stats.Series.create ~capacity:0 ()))
 
 (* --- Workload --- *)
 
@@ -469,12 +549,18 @@ let () =
         [
           Alcotest.test_case "journey" `Quick test_trace_journey;
           Alcotest.test_case "drop recorded" `Quick test_trace_drop_recorded;
+          Alcotest.test_case "event cap" `Quick test_trace_event_cap;
+          Alcotest.test_case "journey isolated" `Quick
+            test_trace_journey_isolated;
         ] );
       ( "stats",
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "series summary" `Quick test_series_summary;
           Alcotest.test_case "series guards" `Quick test_series_guards;
+          Alcotest.test_case "reservoir cap" `Quick test_series_reservoir_cap;
+          Alcotest.test_case "empty + capacity guard" `Quick
+            test_series_empty_and_capacity_guard;
         ] );
       ( "workload",
         [

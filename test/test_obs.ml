@@ -1,0 +1,356 @@
+(* Tests for the unified observability layer: the Dip_obs metrics
+   registry and exporters, the engine span recorder (Dip_core.Obs),
+   the simulator mirror, and the program-cache eviction counter. *)
+
+open Dip_core
+module Metrics = Dip_obs.Metrics
+module Export = Dip_obs.Export
+module Ipaddr = Dip_tables.Ipaddr
+
+let v4 = Ipaddr.V4.of_string
+let v6 = Ipaddr.V6.of_string
+let registry = Ops.default_registry ()
+
+(* Snapshot readers for assertions. *)
+let value m name =
+  match List.find_opt (fun (n, _, _) -> n = name) (Metrics.snapshot m) with
+  | Some (_, _, v) -> v
+  | None -> Alcotest.failf "metric %S not in snapshot" name
+
+let counted m name =
+  match value m name with
+  | Metrics.Counter_v v -> v
+  | _ -> Alcotest.failf "%S is not a counter" name
+
+let gauged m name =
+  match value m name with
+  | Metrics.Gauge_v v -> v
+  | _ -> Alcotest.failf "%S is not a gauge" name
+
+let hsnap m name =
+  match value m name with
+  | Metrics.Histogram_v h -> h
+  | _ -> Alcotest.failf "%S is not a histogram" name
+
+(* --- Metrics registry --- *)
+
+let test_counter_gauge_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "requests" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.Counter.get c);
+  let g = Metrics.gauge m "depth" in
+  Metrics.Gauge.set g 9;
+  Metrics.Gauge.set g 2;
+  Alcotest.(check int) "gauge keeps last" 2 (Metrics.Gauge.get g);
+  Alcotest.(check int) "snapshot counter" 5 (counted m "requests");
+  Alcotest.(check int) "snapshot gauge" 2 (gauged m "depth")
+
+let test_same_name_shares_handle () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m "shared" in
+  let b = Metrics.counter m "shared" in
+  Metrics.Counter.incr a;
+  Metrics.Counter.incr b;
+  Alcotest.(check int) "both increments visible" 2 (Metrics.Counter.get a)
+
+let test_kind_mismatch_rejected () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics.gauge: \"x\" is already a counter") (fun () ->
+      ignore (Metrics.gauge m "x"));
+  Alcotest.check_raises "histogram over counter"
+    (Invalid_argument "Metrics.histogram: \"x\" is already a counter") (fun () ->
+      ignore (Metrics.histogram m "x"))
+
+let test_histogram_buckets () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  List.iter
+    (Metrics.Histogram.observe h)
+    [ 0.25; 1.0; 3.0; 1000.0; -5.0 (* clamps to 0 *) ];
+  Alcotest.(check int) "count" 5 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 1004.25 (Metrics.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "max" 1000.0 (Metrics.Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" (1004.25 /. 5.0) (Metrics.Histogram.mean h);
+  let counts = Metrics.Histogram.bucket_counts h in
+  Alcotest.(check int) "bucket 0 (v < 1)" 2 counts.(0);
+  Alcotest.(check int) "bucket 1 ([1,2))" 1 counts.(1);
+  Alcotest.(check int) "bucket 2 ([2,4))" 1 counts.(2);
+  Alcotest.(check int) "bucket 10 ([512,1024))" 1 counts.(10)
+
+let test_histogram_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "q" in
+  Alcotest.(check (float 0.0)) "empty -> 0" 0.0 (Metrics.Histogram.quantile h 0.5);
+  List.iter (Metrics.Histogram.observe h) [ 2.0; 2.0; 2.0; 1000.0 ];
+  (* Estimates carry one-bucket (2x) resolution: the p50 of three 2s
+     is reported as its bucket's upper bound. *)
+  Alcotest.(check (float 1e-9)) "p50 bucket bound" 4.0
+    (Metrics.Histogram.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "p100 clamped to max" 1000.0
+    (Metrics.Histogram.quantile h 1.0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Metrics.Histogram.quantile") (fun () ->
+      ignore (Metrics.Histogram.quantile h 1.5))
+
+(* --- exporters --- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains what out needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s contains %S" what needle)
+    true (contains ~needle out)
+
+let sample_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter ~help:"packets seen" m "engine.packets" in
+  Metrics.Counter.incr ~by:3 c;
+  let g = Metrics.gauge m "q.depth" in
+  Metrics.Gauge.set g 7;
+  let h = Metrics.histogram m "lat.ns" in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 3.0; 1000.0 ];
+  m
+
+let test_export_prometheus () =
+  let out = Export.prometheus (sample_registry ()) in
+  check_contains "prom" out "# TYPE engine_packets counter";
+  check_contains "prom" out "# HELP engine_packets packets seen";
+  check_contains "prom" out "engine_packets 3";
+  check_contains "prom" out "# TYPE q_depth gauge";
+  check_contains "prom" out "q_depth 7";
+  check_contains "prom" out "# TYPE lat_ns histogram";
+  (* Cumulative buckets: 0.5 <= 1, 3.0 <= 4, 1000 <= 1024. *)
+  check_contains "prom" out "lat_ns_bucket{le=\"1\"} 1";
+  check_contains "prom" out "lat_ns_bucket{le=\"4\"} 2";
+  check_contains "prom" out "lat_ns_bucket{le=\"1024\"} 3";
+  check_contains "prom" out "lat_ns_bucket{le=\"+Inf\"} 3";
+  check_contains "prom" out "lat_ns_count 3";
+  check_contains "prom" out "lat_ns_sum 1003.5"
+
+let test_export_json_lines () =
+  let out = Export.json_lines (sample_registry ()) in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int) "one line per metric" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "object per line" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  check_contains "json" out "\"name\":\"engine.packets\"";
+  check_contains "json" out "\"type\":\"counter\"";
+  check_contains "json" out "\"value\":3";
+  check_contains "json" out "\"name\":\"q.depth\"";
+  check_contains "json" out "\"count\":3";
+  check_contains "json" out "\"help\":\"packets seen\""
+
+let test_export_table () =
+  let out = Export.table (sample_registry ()) in
+  check_contains "table" out "engine.packets";
+  check_contains "table" out "q.depth";
+  check_contains "table" out "lat.ns";
+  check_contains "table" out "histogram";
+  check_contains "table" out "n=3"
+
+let test_sanitize () =
+  Alcotest.(check string) "dots" "a_b_c" (Export.sanitize "a.b-c");
+  Alcotest.(check string) "leading digit" "_9lives" (Export.sanitize "9lives");
+  Alcotest.(check string) "kept" "ok_name:x" (Export.sanitize "ok_name:x")
+
+(* --- the engine span recorder --- *)
+
+let fwd_env () =
+  let env = Env.create ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  Dip_ip.Ipv6.add_route env.Env.v6_routes
+    (Ipaddr.Prefix.of_string "2001:db8::/32") 1;
+  env
+
+let ipv4_pkt () =
+  Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.1.2.3") ~payload:"x" ()
+
+let test_engine_counts () =
+  let m = Metrics.create () in
+  let obs = Obs.create ~sample_every:1 m in
+  let env = fwd_env () in
+  for _ = 1 to 5 do
+    match Engine.process ~obs ~registry env ~now:0.0 ~ingress:0 (ipv4_pkt ()) with
+    | Engine.Forwarded _, _ -> ()
+    | v, _ ->
+        Alcotest.failf "unexpected verdict %s"
+          (match v with Engine.Dropped r -> r | _ -> "?")
+  done;
+  Alcotest.(check int) "packets" 5 (counted m "engine.packets");
+  Alcotest.(check int) "F_32_match runs" 5 (counted m "engine.op.F_32_match.run");
+  Alcotest.(check int) "F_source runs" 5 (counted m "engine.op.F_source.run");
+  Alcotest.(check int) "no F_FIB runs" 0 (counted m "engine.op.F_FIB.run");
+  Alcotest.(check int) "forwarded verdicts" 5
+    (counted m "engine.verdict.forwarded");
+  Alcotest.(check int) "latency spans" 5 (hsnap m "engine.process_ns").Metrics.count;
+  Alcotest.(check bool) "sampled nanos accumulated" true
+    (counted m "engine.op.F_32_match.ns" > 0);
+  (* The handle mirror of the program cache. *)
+  Obs.publish_cache obs env.Env.prog_cache;
+  Alcotest.(check int) "cache hits" 4 (gauged m "engine.progcache.hit");
+  Alcotest.(check int) "cache misses" 1 (gauged m "engine.progcache.miss")
+
+let test_engine_sampling () =
+  (* sample_every:4 over 8 packets: every packet counted, packets 4
+     and 8 span-timed. *)
+  let m = Metrics.create () in
+  let obs = Obs.create ~sample_every:4 m in
+  let env = fwd_env () in
+  for _ = 1 to 8 do
+    ignore (Engine.process ~obs ~registry env ~now:0.0 ~ingress:0 (ipv4_pkt ()))
+  done;
+  Alcotest.(check int) "all packets counted" 8 (counted m "engine.packets");
+  Alcotest.(check int) "all runs counted" 8 (counted m "engine.op.F_32_match.run");
+  Alcotest.(check int) "two spans" 2 (hsnap m "engine.process_ns").Metrics.count
+
+let test_engine_skips_and_unsupported () =
+  let m = Metrics.create () in
+  let obs = Obs.create ~sample_every:1 m in
+  (* A router processing an OPT packet skips the host-tagged F_ver. *)
+  let env = fwd_env () in
+  Env.set_opt_identity env
+    ~secret:(Dip_opt.Drkey.secret_of_string "obs-test-secret!")
+    ~hop:1;
+  let opt_pkt () =
+    Realize.opt ~hops:1 ~session_id:7L ~timestamp:1l
+      ~dest_key:(String.make 16 'd') ~payload:"x" ()
+  in
+  ignore (Engine.process ~obs ~registry env ~now:0.0 ~ingress:0 (opt_pkt ()));
+  Alcotest.(check int) "F_ver tag-skipped" 1 (counted m "engine.op.F_ver.skip");
+  Alcotest.(check int) "F_mac ran" 1 (counted m "engine.op.F_MAC.run");
+  (* A registry without the mandatory F_parm yields Unsupported. *)
+  let minimal = Registry.restrict registry [ Opkey.F_32_match; Opkey.F_source ] in
+  (match
+     Engine.process ~obs ~registry:minimal env ~now:0.0 ~ingress:0 (opt_pkt ())
+   with
+  | Engine.Unsupported k, _ ->
+      Alcotest.(check string) "key" "F_parm" (Opkey.name k)
+  | _ -> Alcotest.fail "expected Unsupported");
+  Alcotest.(check int) "unsupported verdict" 1
+    (counted m "engine.verdict.unsupported")
+
+let test_engine_drop_counted () =
+  let m = Metrics.create () in
+  let obs = Obs.create ~sample_every:1 m in
+  let env = Env.create ~name:"r" () in
+  (* No route installed: F_32_match aborts the run. *)
+  (match
+     Engine.process ~obs ~registry env ~now:0.0 ~ingress:0 (ipv4_pkt ())
+   with
+  | Engine.Dropped "no-route", _ -> ()
+  | _ -> Alcotest.fail "expected drop");
+  Alcotest.(check int) "dropped verdict" 1 (counted m "engine.verdict.dropped");
+  Alcotest.(check int) "abort charged to the FN" 1
+    (counted m "engine.op.F_32_match.error");
+  Alcotest.(check int) "span still recorded" 1
+    (hsnap m "engine.process_ns").Metrics.count
+
+let test_obs_create_validates () =
+  Alcotest.check_raises "sample_every >= 1"
+    (Invalid_argument "Obs.create: sample_every must be >= 1") (fun () ->
+      ignore (Obs.create ~sample_every:0 (Metrics.create ())))
+
+(* --- simulator mirror --- *)
+
+let test_sim_attach_metrics () =
+  let m = Metrics.create () in
+  let sim = Dip_netsim.Sim.create () in
+  Dip_netsim.Sim.attach_metrics sim m;
+  let fwd = Dip_netsim.Sim.add_node sim ~name:"fwd" (fun _ ~now:_ ~ingress:_ p ->
+      [ Dip_netsim.Sim.Forward (1, p) ]) in
+  let sink = Dip_netsim.Sim.add_node sim ~name:"sink" (fun _ ~now:_ ~ingress:_ _ ->
+      [ Dip_netsim.Sim.Consume ]) in
+  let dropper = Dip_netsim.Sim.add_node sim ~name:"drop" (fun _ ~now:_ ~ingress:_ _ ->
+      [ Dip_netsim.Sim.Drop "policy" ]) in
+  Dip_netsim.Sim.connect sim (fwd, 1) (sink, 0);
+  let pkt () = Dip_bitbuf.Bitbuf.create 8 in
+  Dip_netsim.Sim.inject sim ~at:0.0 ~node:fwd ~port:0 (pkt ());
+  Dip_netsim.Sim.inject sim ~at:0.0 ~node:dropper ~port:0 (pkt ());
+  Dip_netsim.Sim.run sim;
+  Alcotest.(check int) "tx" 1 (counted m "sim.tx");
+  Alcotest.(check int) "rx" 3 (counted m "sim.rx");
+  Alcotest.(check int) "consumed" 1 (counted m "sim.consumed");
+  Alcotest.(check int) "drop reason" 1 (counted m "sim.drop.policy");
+  Alcotest.(check int) "queue-depth samples" 1
+    (hsnap m "sim.link.queue_depth").Metrics.count;
+  Alcotest.(check bool) "per-link gauge present" true
+    (List.exists
+       (fun (n, _, _) -> n = "sim.link.fwd.p1.queue_depth")
+       (Metrics.snapshot m))
+
+(* --- program-cache evictions --- *)
+
+let test_progcache_evictions () =
+  let env = Env.create ~prog_cache_capacity:1 ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+  Dip_ip.Ipv6.add_route env.Env.v6_routes
+    (Ipaddr.Prefix.of_string "2001:db8::/32") 1;
+  let p4 () = ipv4_pkt () in
+  let p6 () =
+    Realize.ipv6 ~src:(v6 "2001:db8::1") ~dst:(v6 "2001:db8::42") ~payload:"x" ()
+  in
+  let run pkt = ignore (Engine.process ~registry env ~now:0.0 ~ingress:0 pkt) in
+  run (p4 ());
+  Alcotest.(check int) "first insert evicts nothing" 0
+    (Progcache.evictions env.Env.prog_cache);
+  run (p6 ());
+  Alcotest.(check int) "second program evicts the first" 1
+    (Progcache.evictions env.Env.prog_cache);
+  run (p4 ());
+  Alcotest.(check int) "thrash keeps evicting" 2
+    (Progcache.evictions env.Env.prog_cache);
+  Env.publish_cache_stats env;
+  Alcotest.(check int) "published to node counters" 2
+    (Dip_netsim.Stats.Counters.get env.Env.counters "progcache.evict");
+  (* A repeat of the cached program is a hit, not an eviction. *)
+  run (p4 ());
+  Alcotest.(check int) "hit does not evict" 2
+    (Progcache.evictions env.Env.prog_cache)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter + gauge" `Quick test_counter_gauge_basics;
+          Alcotest.test_case "same name shares handle" `Quick
+            test_same_name_shares_handle;
+          Alcotest.test_case "kind mismatch rejected" `Quick
+            test_kind_mismatch_rejected;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus" `Quick test_export_prometheus;
+          Alcotest.test_case "json lines" `Quick test_export_json_lines;
+          Alcotest.test_case "table" `Quick test_export_table;
+          Alcotest.test_case "sanitize" `Quick test_sanitize;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "per-opkey counts" `Quick test_engine_counts;
+          Alcotest.test_case "sampling" `Quick test_engine_sampling;
+          Alcotest.test_case "skips + unsupported" `Quick
+            test_engine_skips_and_unsupported;
+          Alcotest.test_case "drops counted" `Quick test_engine_drop_counted;
+          Alcotest.test_case "create validates" `Quick test_obs_create_validates;
+        ] );
+      ( "sim",
+        [ Alcotest.test_case "attach_metrics" `Quick test_sim_attach_metrics ] );
+      ( "progcache",
+        [ Alcotest.test_case "evictions" `Quick test_progcache_evictions ] );
+    ]

@@ -1,0 +1,193 @@
+(* Tests for the in-band telemetry region (F_tel, key 14): wire-level
+   round-trips, the two overflow conditions (region capacity and the
+   7-bit count clamp), and the size/capacity edge cases. The
+   engine-level behaviour (records collected along a path, overflow
+   never blocks forwarding) is covered in test_netfence.ml. *)
+
+open Dip_core
+module Bitbuf = Dip_bitbuf.Bitbuf
+
+let r ?(node_id = 1) ?(timestamp = 0l) ?(queue_depth = 0) () =
+  { Telemetry.node_id; timestamp; queue_depth }
+
+let mk max_hops =
+  let region_bytes = Telemetry.region_size ~max_hops in
+  let buf = Bitbuf.create region_bytes in
+  Telemetry.init buf ~base:0;
+  (buf, region_bytes)
+
+(* --- round-trip --- *)
+
+let test_round_trip () =
+  let buf, region_bytes = mk 4 in
+  let records =
+    [
+      r ~node_id:1 ~timestamp:17l ~queue_depth:0 ();
+      r ~node_id:0xFFFF ~timestamp:Int32.max_int ~queue_depth:0xFFFF ();
+      r ~node_id:7 ~timestamp:(-1l) ~queue_depth:42 ();
+    ]
+  in
+  List.iter
+    (fun rc ->
+      Alcotest.(check bool)
+        "append" true
+        (Telemetry.append buf ~base:0 ~region_bytes rc))
+    records;
+  let got, overflow = Telemetry.read buf ~base:0 ~region_bytes in
+  Alcotest.(check bool) "no overflow" false overflow;
+  Alcotest.(check int) "count" 3 (List.length got);
+  List.iter2
+    (fun want have ->
+      Alcotest.(check int) "node_id" want.Telemetry.node_id have.Telemetry.node_id;
+      Alcotest.(check int32) "timestamp" want.Telemetry.timestamp
+        have.Telemetry.timestamp;
+      Alcotest.(check int) "queue_depth" want.Telemetry.queue_depth
+        have.Telemetry.queue_depth)
+    records got
+
+let test_round_trip_nonzero_base () =
+  (* The region floats inside the FN locations; base must offset
+     every access. *)
+  let max_hops = 2 in
+  let region_bytes = Telemetry.region_size ~max_hops in
+  let base = 5 in
+  let buf = Bitbuf.create (base + region_bytes + 3) in
+  Telemetry.init buf ~base;
+  Alcotest.(check bool)
+    "append" true
+    (Telemetry.append buf ~base ~region_bytes
+       (r ~node_id:9 ~timestamp:100l ~queue_depth:3 ()));
+  let got, overflow = Telemetry.read buf ~base ~region_bytes in
+  Alcotest.(check bool) "no overflow" false overflow;
+  (match got with
+  | [ only ] ->
+      Alcotest.(check int) "node_id" 9 only.Telemetry.node_id;
+      Alcotest.(check int) "queue_depth" 3 only.Telemetry.queue_depth
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l));
+  (* Nothing before the region was touched. *)
+  for i = 0 to base - 1 do
+    Alcotest.(check int) "prefix untouched" 0 (Bitbuf.get_uint8 buf i)
+  done
+
+let test_wide_values_masked () =
+  (* node_id and queue_depth are 16-bit on the wire; wider values are
+     truncated rather than corrupting neighbours. *)
+  let buf, region_bytes = mk 2 in
+  Alcotest.(check bool)
+    "append" true
+    (Telemetry.append buf ~base:0 ~region_bytes
+       (r ~node_id:0x1_2345 ~queue_depth:0xF_00FF ()));
+  match fst (Telemetry.read buf ~base:0 ~region_bytes) with
+  | [ only ] ->
+      Alcotest.(check int) "node_id masked" 0x2345 only.Telemetry.node_id;
+      Alcotest.(check int) "queue_depth masked" 0x00FF only.Telemetry.queue_depth
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l)
+
+(* --- overflow --- *)
+
+let test_overflow_at_capacity () =
+  let buf, region_bytes = mk 2 in
+  Alcotest.(check bool) "1 fits" true
+    (Telemetry.append buf ~base:0 ~region_bytes (r ~node_id:1 ()));
+  Alcotest.(check bool) "2 fits" true
+    (Telemetry.append buf ~base:0 ~region_bytes (r ~node_id:2 ()));
+  Alcotest.(check bool) "3 refused" false
+    (Telemetry.append buf ~base:0 ~region_bytes (r ~node_id:3 ()));
+  let got, overflow = Telemetry.read buf ~base:0 ~region_bytes in
+  Alcotest.(check bool) "overflow flagged" true overflow;
+  Alcotest.(check (list int)) "first two kept" [ 1; 2 ]
+    (List.map (fun x -> x.Telemetry.node_id) got);
+  (* Refusal is sticky: later appends keep failing, the kept records
+     stay intact. *)
+  Alcotest.(check bool) "still refused" false
+    (Telemetry.append buf ~base:0 ~region_bytes (r ~node_id:4 ()));
+  Alcotest.(check int) "still two records" 2
+    (List.length (fst (Telemetry.read buf ~base:0 ~region_bytes)))
+
+let test_overflow_at_count_clamp () =
+  (* The hop count is 7 bits: even with room for more, the 128th
+     record must be refused (a count of 128 would wrap to 0). *)
+  let buf, region_bytes = mk 130 in
+  for i = 1 to 127 do
+    Alcotest.(check bool)
+      (Printf.sprintf "record %d fits" i)
+      true
+      (Telemetry.append buf ~base:0 ~region_bytes (r ~node_id:i ()))
+  done;
+  Alcotest.(check bool) "128th refused" false
+    (Telemetry.append buf ~base:0 ~region_bytes (r ~node_id:128 ()));
+  let got, overflow = Telemetry.read buf ~base:0 ~region_bytes in
+  Alcotest.(check bool) "overflow flagged" true overflow;
+  Alcotest.(check int) "127 records" 127 (List.length got);
+  Alcotest.(check int) "last is node 127" 127
+    (List.nth got 126).Telemetry.node_id
+
+(* --- size / capacity edges --- *)
+
+let test_region_size_edges () =
+  Alcotest.(check int) "one hop" 9 (Telemetry.region_size ~max_hops:1);
+  Alcotest.(check int) "eight hops" 65 (Telemetry.region_size ~max_hops:8);
+  Alcotest.check_raises "zero hops rejected"
+    (Invalid_argument "Telemetry.region_size") (fun () ->
+      ignore (Telemetry.region_size ~max_hops:0));
+  Alcotest.check_raises "negative hops rejected"
+    (Invalid_argument "Telemetry.region_size") (fun () ->
+      ignore (Telemetry.region_size ~max_hops:(-3)))
+
+let test_capacity_edges () =
+  (* The header byte always comes off the top; partial record slots
+     don't count. *)
+  Alcotest.(check int) "empty region" 0 (Telemetry.capacity ~region_bytes:1);
+  Alcotest.(check int) "header only + 7" 0 (Telemetry.capacity ~region_bytes:8);
+  Alcotest.(check int) "exactly one" 1 (Telemetry.capacity ~region_bytes:9);
+  Alcotest.(check int) "one + partial" 1 (Telemetry.capacity ~region_bytes:16);
+  Alcotest.(check int) "round-trips region_size" 5
+    (Telemetry.capacity ~region_bytes:(Telemetry.region_size ~max_hops:5))
+
+let test_append_into_header_only_region () =
+  (* A region too small for any record overflows immediately. *)
+  let buf = Bitbuf.create 1 in
+  Telemetry.init buf ~base:0;
+  Alcotest.(check bool) "refused" false
+    (Telemetry.append buf ~base:0 ~region_bytes:1 (r ()));
+  let got, overflow = Telemetry.read buf ~base:0 ~region_bytes:1 in
+  Alcotest.(check int) "no records" 0 (List.length got);
+  Alcotest.(check bool) "overflow flagged" true overflow
+
+let test_read_clamps_forged_count () =
+  (* A forged count larger than the region's capacity must not read
+     past the region. *)
+  let buf, region_bytes = mk 2 in
+  ignore (Telemetry.append buf ~base:0 ~region_bytes (r ~node_id:1 ()));
+  (* Forge count = 100 (fits in 7 bits, overflow bit clear). *)
+  Bitbuf.set_uint8 buf 0 100;
+  let got, overflow = Telemetry.read buf ~base:0 ~region_bytes in
+  Alcotest.(check int) "clamped to capacity" 2 (List.length got);
+  Alcotest.(check bool) "no overflow bit" false overflow
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "round-trip",
+        [
+          Alcotest.test_case "append/read round-trip" `Quick test_round_trip;
+          Alcotest.test_case "non-zero base" `Quick test_round_trip_nonzero_base;
+          Alcotest.test_case "wide values masked" `Quick test_wide_values_masked;
+        ] );
+      ( "overflow",
+        [
+          Alcotest.test_case "at region capacity" `Quick
+            test_overflow_at_capacity;
+          Alcotest.test_case "at the 127-count clamp" `Quick
+            test_overflow_at_count_clamp;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "region_size" `Quick test_region_size_edges;
+          Alcotest.test_case "capacity" `Quick test_capacity_edges;
+          Alcotest.test_case "header-only region" `Quick
+            test_append_into_header_only_region;
+          Alcotest.test_case "forged count clamped" `Quick
+            test_read_clamps_forged_count;
+        ] );
+    ]
