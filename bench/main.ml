@@ -25,6 +25,14 @@
      obs-smoke         quick CI variant of obs: asserts the overhead
                        stays under the 15% budget and the counters
                        agree with the packets processed
+     faults            reliable delivery + p99 latency vs injected loss
+                       rate, with and without retransmission (writes
+                       BENCH_PR4.json in the current directory)
+     faults-smoke      quick CI variant of faults: fixed seed, 5% loss
+                       + corruption + duplication + link flap; asserts
+                       100% deduplicated delivery with retransmission,
+                       at least one fault of each enabled kind, and a
+                       seed-reproducible fault schedule
      all               everything above (default; excludes the smokes)
 
    Usage: dune exec bench/main.exe [-- <target>] *)
@@ -987,6 +995,120 @@ let bench_obs ?(smoke = false) () =
   end;
   print_newline ()
 
+(* --- faults: the PR-4 fault layer + recovery path -------------------- *)
+
+(* Delivery rate and latency of the reliable host pair (Chaos harness:
+   sender — 3 routers — receiver) across a sweep of drop rates, with
+   retransmission on and off. Everything is seeded, so the numbers are
+   machine-independent (simulated time, not wall clock). *)
+
+let bench_faults ?(smoke = false) () =
+  print_endline "== faults: reliable delivery under injected loss ==";
+  let packets = if smoke then 120 else 400 in
+  let no_retx =
+    { Host.Reliable.default_config with Host.Reliable.max_retries = 0 }
+  in
+  let case ~drop ~retx =
+    Chaos.run
+      {
+        Chaos.default with
+        packets;
+        spec = Dip_netsim.Faults.spec ~drop ();
+        reliable = (if retx then Host.Reliable.default_config else no_retx);
+      }
+  in
+  let rates = [ 0.01; 0.05; 0.1; 0.2 ] in
+  let results =
+    List.map (fun drop -> (drop, case ~drop ~retx:true, case ~drop ~retx:false)) rates
+  in
+  let t =
+    Tabular.create
+      ~aligns:
+        [ Tabular.Right; Tabular.Right; Tabular.Right; Tabular.Right;
+          Tabular.Right; Tabular.Right ]
+      [ "loss rate"; "delivered (retx)"; "p99 (retx)"; "delivered (no retx)";
+        "p99 (no retx)"; "retx tx" ]
+  in
+  List.iter
+    (fun (drop, r, r0) ->
+      Tabular.add_row t
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. drop);
+          Printf.sprintf "%.1f%%" (100.0 *. r.Chaos.delivery_rate);
+          Printf.sprintf "%.1f ms" (1e3 *. r.Chaos.latency_p99);
+          Printf.sprintf "%.1f%%" (100.0 *. r0.Chaos.delivery_rate);
+          Printf.sprintf "%.1f ms" (1e3 *. r0.Chaos.latency_p99);
+          string_of_int r.Chaos.transmissions;
+        ])
+    results;
+  Tabular.print t;
+  let oc = open_out "BENCH_PR4.json" in
+  let case_json drop retx r =
+    Printf.sprintf
+      "    { \"loss_rate\": %.2f, \"retransmit\": %b, \"sent\": %d, \
+       \"delivered\": %d, \"delivery_rate\": %.4f, \"p99_latency_s\": %.6f, \
+       \"mean_latency_s\": %.6f, \"transmissions\": %d }"
+      drop retx r.Chaos.sent r.Chaos.delivered r.Chaos.delivery_rate
+      r.Chaos.latency_p99 r.Chaos.latency_mean r.Chaos.transmissions
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"pr4-faults\",\n\
+    \  \"topology\": \"sender - 3 DIP routers - receiver\",\n\
+    \  \"packets\": %d,\n\
+    \  \"seed\": 42,\n\
+    \  \"cases\": [\n%s\n  ]\n}\n"
+    packets
+    (String.concat ",\n"
+       (List.concat_map
+          (fun (drop, r, r0) ->
+            [ case_json drop true r; case_json drop false r0 ])
+          results));
+  close_out oc;
+  print_endline "wrote BENCH_PR4.json";
+  if smoke then begin
+    (* The §2.4-style degradation regime the tentpole targets: loss +
+       corruption + duplication + a link flap, all seeded. The
+       reliable pair must still get every payload across, exactly
+       once, and the schedule must reproduce from the seed. *)
+    let cfg =
+      {
+        Chaos.default with
+        packets = 150;
+        spec =
+          Dip_netsim.Faults.spec ~drop:0.05 ~corrupt:0.03 ~duplicate:0.03 ();
+        flap = Some (0.4, 0.6);
+      }
+    in
+    let r = Chaos.run cfg in
+    let r2 = Chaos.run cfg in
+    if r.Chaos.events <> r2.Chaos.events then begin
+      prerr_endline "SMOKE FAIL: same seed produced different fault schedules";
+      exit 1
+    end;
+    if r.Chaos.delivered <> r.Chaos.sent then begin
+      Printf.eprintf
+        "SMOKE FAIL: only %d/%d payloads delivered under 5%% loss with \
+         retransmission\n"
+        r.Chaos.delivered r.Chaos.sent;
+      exit 1
+    end;
+    List.iter
+      (fun kind ->
+        match List.assoc_opt kind r.Chaos.faults with
+        | Some n when n >= 1 -> ()
+        | _ ->
+            Printf.eprintf "SMOKE FAIL: no %S fault was injected\n" kind;
+            exit 1)
+      [ "drop"; "corrupt"; "duplicate"; "link-down" ];
+    Printf.printf
+      "smoke ok: %d/%d delivered (%d duplicates deduped, %d integrity drops, \
+       %d faults injected), schedule reproducible\n"
+      r.Chaos.delivered r.Chaos.sent r.Chaos.duplicates r.Chaos.rejected
+      (List.fold_left (fun a (_, n) -> a + n) 0 r.Chaos.faults)
+  end;
+  print_newline ()
+
 (* --- driver --------------------------------------------------------- *)
 
 let targets =
@@ -1005,6 +1127,7 @@ let targets =
     ("ablation-epic", ablation_epic);
     ("cache", fun () -> bench_cache ());
     ("obs", fun () -> bench_obs ());
+    ("faults", fun () -> bench_faults ());
   ]
 
 let () =
@@ -1018,11 +1141,14 @@ let () =
         targets
   | "cache-smoke" -> bench_cache ~smoke:true ()
   | "obs-smoke" -> bench_obs ~smoke:true ()
+  | "faults-smoke" -> bench_faults ~smoke:true ()
   | name -> (
       match List.assoc_opt name targets with
       | Some f -> f ()
       | None ->
-          Printf.eprintf "unknown target %S; available: all cache-smoke obs-smoke %s\n"
+          Printf.eprintf
+            "unknown target %S; available: all cache-smoke obs-smoke \
+             faults-smoke %s\n"
             name
             (String.concat " " (List.map fst targets));
           exit 1)

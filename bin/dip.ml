@@ -12,6 +12,8 @@
      dip estimate -p <protocol>       PISA cost-model estimate per hop
      dip lint [-p <protocol>|--all|--hex H]
                                       statically verify FN programs
+     dip chaos [--drop P ...]         reliable host pair over a faulty chain
+                                      (seeded fault injection + recovery report)
 
    Everything here drives the same public API the examples use. *)
 
@@ -554,6 +556,90 @@ let lint proto all hex strict =
     targets;
   if !failed then 1 else 0
 
+(* --- chaos: fault injection + reliable delivery --- *)
+
+let chaos n count interval seed drop corrupt duplicate jitter flap crash
+    no_retx json metrics =
+  let spec =
+    try Dip_netsim.Faults.spec ~drop ~corrupt ~duplicate ~jitter ()
+    with Invalid_argument e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  in
+  let reliable =
+    if no_retx then { Host.Reliable.default_config with max_retries = 0 }
+    else Host.Reliable.default_config
+  in
+  let cfg =
+    {
+      Chaos.default with
+      routers = n;
+      packets = count;
+      interval;
+      seed = Int64.of_int seed;
+      spec;
+      flap;
+      crash;
+      reliable;
+    }
+  in
+  let m =
+    match metrics with None -> None | Some _ -> Some (Dip_obs.Metrics.create ())
+  in
+  let r =
+    try Chaos.run ?metrics:m cfg
+    with Invalid_argument e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  in
+  if json then begin
+    let faults =
+      String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) r.Chaos.faults)
+    in
+    Printf.printf
+      "{\"sent\":%d,\"delivered\":%d,\"delivery_rate\":%.6f,\"duplicates\":%d,\
+       \"rejected\":%d,\"transmissions\":%d,\"acked\":%d,\"gave_up\":%d,\
+       \"in_flight\":%d,\"latency_mean\":%.6f,\"latency_p50\":%.6f,\
+       \"latency_p99\":%.6f,\"faults\":{%s}}\n"
+      r.Chaos.sent r.Chaos.delivered r.Chaos.delivery_rate r.Chaos.duplicates
+      r.Chaos.rejected r.Chaos.transmissions r.Chaos.acked r.Chaos.gave_up
+      r.Chaos.in_flight r.Chaos.latency_mean r.Chaos.latency_p50
+      r.Chaos.latency_p99 faults
+  end
+  else begin
+    Printf.printf
+      "%d router(s), %d packet(s), seed %d%s:\n  delivered %d/%d (%.1f%%), %d \
+       duplicate(s) deduped, %d integrity drop(s)\n  %d transmission(s), %d \
+       acked, %d abandoned, %d unresolved\n  latency mean %.4fs  p50 %.4fs  \
+       p99 %.4fs\n"
+      n count seed
+      (if no_retx then " (retransmission off)" else "")
+      r.Chaos.delivered r.Chaos.sent
+      (100.0 *. r.Chaos.delivery_rate)
+      r.Chaos.duplicates r.Chaos.rejected r.Chaos.transmissions r.Chaos.acked
+      r.Chaos.gave_up r.Chaos.in_flight r.Chaos.latency_mean r.Chaos.latency_p50
+      r.Chaos.latency_p99;
+    if r.Chaos.faults <> [] then begin
+      let t =
+        Dip_stdext.Tabular.create
+          ~aligns:[ Dip_stdext.Tabular.Left; Dip_stdext.Tabular.Right ]
+          [ "injected fault"; "count" ]
+      in
+      List.iter
+        (fun (k, v) -> Dip_stdext.Tabular.add_row t [ k; string_of_int v ])
+        r.Chaos.faults;
+      Dip_stdext.Tabular.print t
+    end
+    else print_endline "no faults injected"
+  end;
+  (match (metrics, m) with
+  | Some fmt, Some m ->
+      print_newline ();
+      export_metrics fmt m
+  | _ -> ());
+  0
+
 (* --- control: runtime FN management demo --- *)
 
 let control () =
@@ -705,6 +791,73 @@ let lint_cmd =
        ~doc:"Statically verify FN programs (bounds, races, dependencies, keys).")
     Term.(const lint $ lint_proto_arg $ lint_all_arg $ lint_hex_arg $ lint_strict_arg)
 
+let chaos_count_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "c"; "count" ] ~docv:"N" ~doc:"Payloads to deliver reliably.")
+
+let interval_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Spacing between sends.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Fault-schedule seed. Equal seeds reproduce byte-identical fault \
+           schedules.")
+
+let prob_arg name doc =
+  Arg.(value & opt float 0.0 & info [ name ] ~docv:"PROB" ~doc)
+
+let jitter_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "link-jitter" ] ~docv:"SECONDS"
+        ~doc:"Max extra per-packet link delay (causes reordering).")
+
+let window_conv = Arg.(pair ~sep:':' float float)
+
+let flap_arg =
+  Arg.(
+    value
+    & opt (some window_conv) None
+    & info [ "flap" ] ~docv:"FROM:UNTIL"
+        ~doc:"Down window for the link after the middle router.")
+
+let crash_arg =
+  Arg.(
+    value
+    & opt (some window_conv) None
+    & info [ "crash" ] ~docv:"FROM:UNTIL"
+        ~doc:"Crash window for the middle router.")
+
+let no_retx_arg =
+  Arg.(
+    value & flag
+    & info [ "no-retransmit" ]
+        ~doc:"Send each payload exactly once (measure raw loss).")
+
+let chaos_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a reliable host pair across a router chain with seeded fault \
+          injection (drop, corruption, duplication, reordering, link flap, \
+          router crash) and report delivery and recovery statistics.")
+    Term.(
+      const chaos $ n_arg $ chaos_count_arg $ interval_arg $ seed_arg
+      $ prob_arg "drop" "Per-transmission drop probability."
+      $ prob_arg "corrupt" "Per-transmission byte-corruption probability."
+      $ prob_arg "duplicate" "Per-transmission duplication probability."
+      $ jitter_arg $ flap_arg $ crash_arg $ no_retx_arg $ chaos_json_arg
+      $ metrics_arg)
+
 let () =
   let doc = "DIP: unified L3 protocols from shared field operations" in
   let info = Cmd.info "dip" ~version:"0.1.0" ~doc in
@@ -713,5 +866,5 @@ let () =
        (Cmd.group info
           [
             catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; trace_cmd;
-            estimate_cmd; lint_cmd; control_cmd;
+            estimate_cmd; lint_cmd; chaos_cmd; control_cmd;
           ]))

@@ -1,0 +1,140 @@
+module Sim = Dip_netsim.Sim
+module Faults = Dip_netsim.Faults
+module Stats = Dip_netsim.Stats
+module Ipaddr = Dip_tables.Ipaddr
+module Reliable = Host.Reliable
+
+type config = {
+  routers : int;
+  packets : int;
+  interval : float;
+  payload_size : int;
+  seed : int64;
+  spec : Faults.spec;
+  flap : (float * float) option;
+  crash : (float * float) option;
+  reliable : Reliable.config;
+}
+
+let default =
+  {
+    routers = 3;
+    packets = 200;
+    interval = 0.01;
+    payload_size = 32;
+    seed = 42L;
+    spec = Faults.spec ();
+    flap = None;
+    crash = None;
+    reliable = Reliable.default_config;
+  }
+
+type report = {
+  sent : int;
+  delivered : int;
+  duplicates : int;
+  rejected : int;
+  transmissions : int;
+  acked : int;
+  gave_up : int;
+  in_flight : int;
+  delivery_rate : float;
+  latency_mean : float;
+  latency_p50 : float;
+  latency_p99 : float;
+  faults : (string * int) list;
+  events : Faults.event list;
+  counters : (string * int) list;
+}
+
+(* Sender and receiver sit in distinct prefixes so every router can
+   route data (10/8, toward the receiver) and ACKs (192.168/16, back
+   toward the sender) with two static entries. *)
+let sender_addr = Ipaddr.V4.of_string "192.168.0.1"
+let receiver_addr = Ipaddr.V4.of_string "10.0.0.1"
+
+let payload_for cfg i =
+  let s = Printf.sprintf "chaos-%06d-" i in
+  let n = max 1 cfg.payload_size in
+  if String.length s >= n then String.sub s 0 n
+  else s ^ String.make (n - String.length s) 'x'
+
+let run ?metrics cfg =
+  if cfg.routers < 1 then invalid_arg "Chaos.run: need at least one router";
+  if cfg.packets < 0 then invalid_arg "Chaos.run: negative packet count";
+  if cfg.interval <= 0.0 then invalid_arg "Chaos.run: non-positive interval";
+  let sim = Sim.create () in
+  (match metrics with Some m -> Sim.attach_metrics sim m | None -> ());
+  let registry = Ops.default_registry () in
+  let routers =
+    Array.init cfg.routers (fun i ->
+        let name = Printf.sprintf "r%d" (i + 1) in
+        let env = Env.create ~name () in
+        Dip_ip.Ipv4.add_route env.Env.v4_routes
+          (Ipaddr.Prefix.of_string "10.0.0.0/8")
+          1;
+        Dip_ip.Ipv4.add_route env.Env.v4_routes
+          (Ipaddr.Prefix.of_string "192.168.0.0/16")
+          0;
+        Sim.add_node sim ~name (Engine.handler ~registry env))
+  in
+  let sender =
+    Reliable.add_sender ~config:cfg.reliable sim ~name:"sender"
+      ~seed:(Int64.add cfg.seed 1L) ~src:sender_addr ~dst:receiver_addr
+      ~out_port:0
+  in
+  let recv, recv_node = Reliable.add_receiver sim ~name:"receiver" in
+  let link a b = Sim.connect sim ~latency:1e-3 a b in
+  link (Reliable.sender_node sender, 0) (routers.(0), 0);
+  for i = 0 to cfg.routers - 2 do
+    link (routers.(i), 1) (routers.(i + 1), 0)
+  done;
+  link (routers.(cfg.routers - 1), 1) (recv_node, 0);
+  (* The fault layer draws from [seed] itself; the sender's timer
+     jitter uses seed+1 (above), so the two streams are independent
+     but both reproducible. *)
+  let faults = Faults.attach ~seed:cfg.seed sim in
+  Faults.all_links faults cfg.spec;
+  let mid = routers.(cfg.routers / 2) in
+  (match cfg.flap with
+  | Some (a, b) -> Faults.link_down faults (mid, 1) ~from_:a ~until:b
+  | None -> ());
+  (match cfg.crash with
+  | Some (a, b) -> Faults.crash_node faults mid ~at:a ~until:b
+  | None -> ());
+  for i = 0 to cfg.packets - 1 do
+    Reliable.send sender
+      ~at:(float_of_int i *. cfg.interval)
+      ~payload:(payload_for cfg i)
+  done;
+  Sim.run sim;
+  let ss = Reliable.sender_stats sender in
+  let lat = Stats.Series.create () in
+  List.iter
+    (fun (seq, t) ->
+      Stats.Series.add lat
+        (t -. (float_of_int (Int32.to_int seq) *. cfg.interval)))
+    (Reliable.deliveries recv);
+  let pct p =
+    if Stats.Series.count lat = 0 then 0.0 else Stats.Series.percentile lat p
+  in
+  let delivered = Reliable.delivered recv in
+  {
+    sent = ss.Reliable.sent;
+    delivered;
+    duplicates = Reliable.duplicates recv;
+    rejected = Reliable.rejected recv;
+    transmissions = ss.Reliable.transmissions;
+    acked = ss.Reliable.acked;
+    gave_up = ss.Reliable.gave_up;
+    in_flight = ss.Reliable.in_flight;
+    delivery_rate =
+      (if ss.Reliable.sent = 0 then 1.0
+       else float_of_int delivered /. float_of_int ss.Reliable.sent);
+    latency_mean = Stats.Series.mean lat;
+    latency_p50 = pct 50.0;
+    latency_p99 = pct 99.0;
+    faults = Faults.counts faults;
+    events = Faults.events faults;
+    counters = Stats.Counters.to_list (Sim.counters sim);
+  }

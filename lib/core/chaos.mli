@@ -1,0 +1,54 @@
+(** A canned fault-injection experiment: a reliable host pair
+    ({!Host.Reliable}) across a chain of DIP routers with a
+    {!Dip_netsim.Faults} layer attached.
+
+    The topology is [sender — r1 — … — rN — receiver]; every router
+    runs the full engine (Algorithm 1) over DIP-32 FNs with static
+    routes (data toward 10/8, ACKs toward 192.168/16). Faults apply
+    to every link; the optional link-flap window hits the link
+    downstream of the middle router and the optional crash window
+    hits the middle router itself.
+
+    Shared by [dip chaos], [bench faults] and the test suite so that
+    all three exercise the identical recovery path. Fully
+    deterministic per [seed]. *)
+
+type config = {
+  routers : int;  (** chain length, ≥ 1 *)
+  packets : int;  (** unique payloads to send *)
+  interval : float;  (** seconds between sends *)
+  payload_size : int;  (** bytes per payload *)
+  seed : int64;  (** drives faults (seed) and sender jitter (seed+1) *)
+  spec : Dip_netsim.Faults.spec;  (** applied to all links *)
+  flap : (float * float) option;  (** middle-link down window *)
+  crash : (float * float) option;  (** middle-router crash window *)
+  reliable : Host.Reliable.config;
+      (** set [max_retries = 0] to measure without retransmission *)
+}
+
+val default : config
+(** 3 routers, 200 packets at 10 ms spacing, 32-byte payloads, seed
+    42, no faults, default reliable config. *)
+
+type report = {
+  sent : int;
+  delivered : int;  (** unique sequences that reached the receiver *)
+  duplicates : int;
+  rejected : int;  (** integrity-check drops at the endpoints *)
+  transmissions : int;  (** data packets put on the wire *)
+  acked : int;
+  gave_up : int;
+  in_flight : int;  (** unacked at drain — 0 when every fate resolved *)
+  delivery_rate : float;  (** delivered / sent *)
+  latency_mean : float;  (** send-to-first-delivery, seconds *)
+  latency_p50 : float;
+  latency_p99 : float;
+  faults : (string * int) list;  (** injected faults by kind *)
+  events : Dip_netsim.Faults.event list;  (** full fault schedule *)
+  counters : (string * int) list;  (** simulator counters *)
+}
+
+val run : ?metrics:Dip_obs.Metrics.t -> config -> report
+(** Build the network, inject the workload, drain the simulator and
+    summarize. [metrics] additionally mirrors simulator and fault
+    activity into a Dip_obs registry ([sim.*], [sim.fault.*]). *)

@@ -250,7 +250,14 @@ let count env key = Dip_netsim.Stats.Counters.incr env.Env.counters key
 let actions_of_verdict env ~ingress buf = function
   | Forwarded ports ->
       count env "dip.forwarded";
-      List.map (fun p -> Dip_netsim.Sim.Forward (p, buf)) ports
+      (* Fan-out copies must not share storage: every downstream hop
+         mutates its packet in place (hop limit, tag updates), so two
+         in-flight copies aliasing one Bitbuf.t would corrupt each
+         other. The first port keeps the original buffer. *)
+      List.mapi
+        (fun i p ->
+          Dip_netsim.Sim.Forward (p, if i = 0 then buf else Bitbuf.copy buf))
+        ports
   | Delivered ->
       count env "dip.delivered";
       [ Dip_netsim.Sim.Consume ]

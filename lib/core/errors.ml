@@ -2,6 +2,7 @@ module Bitbuf = Dip_bitbuf.Bitbuf
 
 let next_header_value = 0xFE
 let echo_limit = 64
+let integrity_reason = "integrity-check-failed"
 
 type t = { key : Opkey.t; echo : string }
 

@@ -15,6 +15,11 @@
 val next_header_value : int
 (** The reserved next-header code for DIP control messages (0xFE). *)
 
+val integrity_reason : string
+(** The drop reason ["integrity-check-failed"] shared by every
+    checksum-guarded receive path (see {!Host.Reliable}), so corrupted
+    packets are distinguishable from policy drops in the counters. *)
+
 val fn_unsupported :
   key:Opkey.t -> rejected:Dip_bitbuf.Bitbuf.t -> Dip_bitbuf.Bitbuf.t
 (** Build the notification for a packet we refused. *)

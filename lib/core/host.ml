@@ -97,3 +97,257 @@ let send_opt t ?hop_limit ~session_id ~timestamp ~payload () =
 
 let receive t ~registry ~now packet =
   fst (Engine.host_process ~registry t.env ~now ~ingress:0 packet)
+
+module Reliable = struct
+  module Sim = Dip_netsim.Sim
+  module Bitbuf = Dip_bitbuf.Bitbuf
+  module Prng = Dip_stdext.Prng
+  module Crc32 = Dip_stdext.Crc32
+  module Ipaddr = Dip_tables.Ipaddr
+
+  (* Wire format: a plain DIP-32 packet (F_32_match + F_source route
+     it like any IPv4-style flow) whose locations region carries two
+     extra words the network never interprets:
+
+       byte   0..4    destination address   (F_32_match target)
+       byte   4..8    source address        (F_source target)
+       byte   8..12   sequence number       (big-endian)
+       byte  12..16   CRC-32                (big-endian)
+
+     The CRC covers locations[0..12) then the payload — everything
+     that must survive the path unchanged. The basic header is
+     excluded on purpose: hop limit legitimately mutates in flight. *)
+
+  let data_next_header = 0xFD
+  let ack_next_header = 0xFC
+  let self_port = 99
+  let loc_len = 16
+
+  type config = {
+    rto : float;
+    backoff : float;
+    max_jitter : float;
+    max_retries : int;
+  }
+
+  let default_config =
+    { rto = 0.05; backoff = 2.0; max_jitter = 0.005; max_retries = 8 }
+
+  let fns =
+    [
+      Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+      Fn.v ~loc:32 ~len:32 Opkey.F_source;
+    ]
+
+  let crc_of_view (view : Packet.view) =
+    let covered = Bitbuf.sub_string view.Packet.buf ~pos:view.Packet.loc_base ~len:12 in
+    Crc32.digest ~init:(Crc32.digest covered) (Packet.payload view)
+
+  let build ~next_header ~dst ~src ~seq ~payload =
+    let loc = Bytes.create loc_len in
+    Bytes.blit_string (Ipaddr.V4.to_wire dst) 0 loc 0 4;
+    Bytes.blit_string (Ipaddr.V4.to_wire src) 0 loc 4 4;
+    Bytes.set_int32_be loc 8 seq;
+    let crc =
+      Crc32.digest ~init:(Crc32.digest_sub loc ~pos:0 ~len:12) payload
+    in
+    Bytes.set_int32_be loc 12 crc;
+    Packet.build ~next_header ~fns ~locations:(Bytes.to_string loc) ~payload ()
+
+  (* A validated reliable-protocol packet. *)
+  type frame = { f_dst : Ipaddr.V4.t; f_src : Ipaddr.V4.t; seq : int32 }
+
+  let classify packet =
+    match Packet.parse packet with
+    | Error e -> `Invalid ("parse: " ^ e)
+    | Ok view ->
+        let nh = view.Packet.header.Header.next_header in
+        if nh <> data_next_header && nh <> ack_next_header then `Other
+        else if view.Packet.header.Header.fn_loc_len < loc_len then
+          `Invalid "reliable: short locations region"
+        else begin
+          let base = view.Packet.loc_base in
+          let stored = Bitbuf.get_uint32 view.Packet.buf (base + 12) in
+          if not (Int32.equal stored (crc_of_view view)) then `Corrupt
+          else
+            let frame =
+              {
+                f_dst = Ipaddr.V4.of_wire (Bitbuf.sub_string view.Packet.buf ~pos:base ~len:4);
+                f_src = Ipaddr.V4.of_wire (Bitbuf.sub_string view.Packet.buf ~pos:(base + 4) ~len:4);
+                seq = Bitbuf.get_uint32 view.Packet.buf (base + 8);
+              }
+            in
+            if nh = data_next_header then `Data frame else `Ack frame
+        end
+
+  type pending = { packet : Bitbuf.t; mutable tries : int }
+
+  type sender_stats = {
+    sent : int;  (** unique payloads handed to {!send} *)
+    transmissions : int;  (** wire transmissions incl. retransmits *)
+    acked : int;
+    gave_up : int;
+    in_flight : int;
+  }
+
+  type sender = {
+    sim : Sim.t;
+    mutable node : Sim.node_id;
+    cfg : config;
+    rng : Prng.t;
+    src : Ipaddr.V4.t;
+    dst : Ipaddr.V4.t;
+    out_port : Sim.port;
+    pending : (int32, pending) Hashtbl.t;
+    mutable next_seq : int32;
+    mutable s_sent : int;
+    mutable s_tx : int;
+    mutable s_acked : int;
+    mutable s_gave_up : int;
+  }
+
+  let timeout_after s tries =
+    (s.cfg.rto *. (s.cfg.backoff ** float_of_int (tries - 1)))
+    +. (if s.cfg.max_jitter > 0.0 then Prng.float s.rng s.cfg.max_jitter
+        else 0.0)
+
+  (* Timers cannot return [Forward] actions, so every (re)transmission
+     goes through self-injection: the timer injects the packet on
+     [self_port] and the node handler turns that arrival into the
+     actual [Forward]. *)
+  let arm s seq =
+    match Hashtbl.find_opt s.pending seq with
+    | None -> ()
+    | Some p ->
+        let at = Sim.now s.sim +. timeout_after s p.tries in
+        Sim.schedule s.sim ~at (fun sim ->
+            match Hashtbl.find_opt s.pending seq with
+            | None -> () (* acked meanwhile *)
+            | Some p ->
+                if p.tries > s.cfg.max_retries then begin
+                  Hashtbl.remove s.pending seq;
+                  s.s_gave_up <- s.s_gave_up + 1
+                end
+                else begin
+                  p.tries <- p.tries + 1;
+                  Sim.inject sim ~at:(Sim.now sim) ~node:s.node
+                    ~port:self_port (Bitbuf.copy p.packet)
+                end)
+
+  let sender_handler s _sim ~now:_ ~ingress packet =
+    if ingress = self_port then begin
+      (match classify packet with
+      | `Data frame ->
+          if not (Hashtbl.mem s.pending frame.seq) then
+            Hashtbl.replace s.pending frame.seq
+              { packet = Bitbuf.copy packet; tries = 1 };
+          if s.cfg.max_retries > 0 then arm s frame.seq
+      | `Ack _ | `Other | `Invalid _ | `Corrupt -> ());
+      s.s_tx <- s.s_tx + 1;
+      [ Sim.Forward (s.out_port, packet) ]
+    end
+    else
+      match classify packet with
+      | `Ack frame ->
+          if Hashtbl.mem s.pending frame.seq then begin
+            Hashtbl.remove s.pending frame.seq;
+            s.s_acked <- s.s_acked + 1
+          end;
+          [ Sim.Consume ]
+      | `Corrupt -> [ Sim.Drop Errors.integrity_reason ]
+      | `Invalid e -> [ Sim.Drop e ]
+      | `Data _ | `Other -> [ Sim.Drop "reliable-unexpected" ]
+
+  let add_sender ?(config = default_config) sim ~name ~seed ~src ~dst
+      ~out_port =
+    if config.rto <= 0.0 then invalid_arg "Reliable: rto must be positive";
+    if config.backoff < 1.0 then invalid_arg "Reliable: backoff must be >= 1";
+    if config.max_jitter < 0.0 || config.max_retries < 0 then
+      invalid_arg "Reliable: negative jitter or retries";
+    let s =
+      {
+        sim;
+        node = -1;
+        cfg = config;
+        rng = Prng.create seed;
+        src;
+        dst;
+        out_port;
+        pending = Hashtbl.create 32;
+        next_seq = 0l;
+        s_sent = 0;
+        s_tx = 0;
+        s_acked = 0;
+        s_gave_up = 0;
+      }
+    in
+    s.node <-
+      Sim.add_node sim ~name (fun sim ~now ~ingress packet ->
+          sender_handler s sim ~now ~ingress packet);
+    s
+
+  let send s ~at ~payload =
+    let seq = s.next_seq in
+    s.next_seq <- Int32.add s.next_seq 1l;
+    s.s_sent <- s.s_sent + 1;
+    let packet =
+      build ~next_header:data_next_header ~dst:s.dst ~src:s.src ~seq ~payload
+    in
+    Sim.inject s.sim ~at ~node:s.node ~port:self_port packet
+
+  let sender_node s = s.node
+
+  let sender_stats s =
+    {
+      sent = s.s_sent;
+      transmissions = s.s_tx;
+      acked = s.s_acked;
+      gave_up = s.s_gave_up;
+      in_flight = Hashtbl.length s.pending;
+    }
+
+  type receiver = {
+    seen : (int32, unit) Hashtbl.t;
+    mutable deliveries : (int32 * float) list; (* reversed *)
+    mutable r_dups : int;
+    mutable r_rejected : int;
+  }
+
+  let receiver_handler r _sim ~now ~ingress packet =
+    match classify packet with
+    | `Data frame ->
+        (* ACK every valid copy — re-acking duplicates is what stops
+           the sender retransmitting when the first ACK was lost. *)
+        let ack =
+          build ~next_header:ack_next_header ~dst:frame.f_src
+            ~src:frame.f_dst ~seq:frame.seq ~payload:""
+        in
+        if Hashtbl.mem r.seen frame.seq then begin
+          r.r_dups <- r.r_dups + 1;
+          [ Sim.Forward (ingress, ack); Sim.Drop "reliable-duplicate" ]
+        end
+        else begin
+          Hashtbl.replace r.seen frame.seq ();
+          r.deliveries <- (frame.seq, now) :: r.deliveries;
+          [ Sim.Forward (ingress, ack); Sim.Consume ]
+        end
+    | `Corrupt ->
+        r.r_rejected <- r.r_rejected + 1;
+        [ Sim.Drop Errors.integrity_reason ]
+    | `Invalid e -> [ Sim.Drop e ]
+    | `Ack _ | `Other -> [ Sim.Drop "reliable-unexpected" ]
+
+  let add_receiver sim ~name =
+    let r =
+      { seen = Hashtbl.create 64; deliveries = []; r_dups = 0; r_rejected = 0 }
+    in
+    let node = Sim.add_node sim ~name (fun sim ~now ~ingress packet ->
+        receiver_handler r sim ~now ~ingress packet)
+    in
+    (r, node)
+
+  let deliveries r = List.rev r.deliveries
+  let delivered r = Hashtbl.length r.seen
+  let duplicates r = r.r_dups
+  let rejected r = r.r_rejected
+end

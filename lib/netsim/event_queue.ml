@@ -1,24 +1,32 @@
-type 'a cell = { time : float; seq : int; payload : 'a }
+(* Slots are a variant rather than bare cells so that vacated heap
+   positions can be reset to [Empty]: a popped cell left reachable at
+   t.heap.(t.len) would pin its payload (a whole packet buffer) until
+   some later push overwrites the slot — a space leak on long soak
+   runs. The inline record keeps a push at one allocation, same as
+   the previous bare-record representation. *)
+type 'a slot =
+  | Empty
+  | Cell of { time : float; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable heap : 'a cell array;
+  mutable heap : 'a slot array;
   mutable len : int;
   mutable next_seq : int;
 }
-
-let dummy payload = { time = 0.0; seq = 0; payload }
 
 let create () = { heap = [||]; len = 0; next_seq = 0 }
 let size t = t.len
 let is_empty t = t.len = 0
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let earlier a b =
+  match (a, b) with
+  | Cell a, Cell b -> a.time < b.time || (a.time = b.time && a.seq < b.seq)
+  | Empty, _ | _, Empty -> invalid_arg "Event_queue: empty slot in heap"
 
-let grow t c =
+let grow t =
   let cap = Array.length t.heap in
   if t.len = cap then begin
-    let ncap = max 16 (2 * cap) in
-    let nh = Array.make ncap (dummy c.payload) in
+    let nh = Array.make (max 16 (2 * cap)) Empty in
     Array.blit t.heap 0 nh 0 t.len;
     t.heap <- nh
   end
@@ -50,26 +58,38 @@ let push t ~time payload =
   if not (Float.is_finite time) then
     invalid_arg "Event_queue.push: time must be finite";
   if time < 0.0 then invalid_arg "Event_queue.push: negative time";
-  let c = { time; seq = t.next_seq; payload } in
+  let c = Cell { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  grow t c;
+  grow t;
   t.heap.(t.len) <- c;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
 
 let pop t =
   if t.len = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.len <- t.len - 1;
-    if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
-      sift_down t 0
-    end;
-    Some (top.time, top.payload)
-  end
+  else
+    match t.heap.(0) with
+    | Empty -> invalid_arg "Event_queue: empty slot in heap"
+    | Cell top ->
+        t.len <- t.len - 1;
+        if t.len > 0 then begin
+          t.heap.(0) <- t.heap.(t.len);
+          t.heap.(t.len) <- Empty;
+          sift_down t 0
+        end
+        else t.heap.(0) <- Empty;
+        Some (top.time, top.payload)
 
-let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+let peek_time t =
+  if t.len = 0 then None
+  else match t.heap.(0) with Empty -> None | Cell c -> Some c.time
+
+let vacant_slots_cleared t =
+  let ok = ref true in
+  for i = t.len to Array.length t.heap - 1 do
+    match t.heap.(i) with Empty -> () | Cell _ -> ok := false
+  done;
+  !ok
 
 let clear t =
   t.heap <- [||];

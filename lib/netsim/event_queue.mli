@@ -20,4 +20,9 @@ val pop : 'a t -> (float * 'a) option
 val peek_time : 'a t -> float option
 (** Time of the earliest event without removing it. *)
 
+val vacant_slots_cleared : 'a t -> bool
+(** [true] iff no slot beyond the live heap still holds a popped
+    event. Always [true] for a correct implementation — exposed so
+    tests can assert that popping does not retain dead payloads. *)
+
 val clear : 'a t -> unit

@@ -1,0 +1,159 @@
+module Prng = Dip_stdext.Prng
+module Bitbuf = Dip_bitbuf.Bitbuf
+
+type spec = { drop : float; corrupt : float; duplicate : float; jitter : float }
+
+let check_prob name p =
+  if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Faults.spec: %s must be in [0,1]" name)
+
+let spec ?(drop = 0.0) ?(corrupt = 0.0) ?(duplicate = 0.0) ?(jitter = 0.0) () =
+  check_prob "drop" drop;
+  check_prob "corrupt" corrupt;
+  check_prob "duplicate" duplicate;
+  if not (Float.is_finite jitter) || jitter < 0.0 then
+    invalid_arg "Faults.spec: jitter must be non-negative";
+  { drop; corrupt; duplicate; jitter }
+
+let silent = { drop = 0.0; corrupt = 0.0; duplicate = 0.0; jitter = 0.0 }
+
+type event = { time : float; kind : string; node : Sim.node_id; port : Sim.port }
+
+type t = {
+  sim : Sim.t;
+  rng : Prng.t;
+  mutable default : spec;
+  link_specs : (Sim.node_id * Sim.port, spec) Hashtbl.t;
+  (* Down windows per directed egress, unordered; the hook scans them
+     (links have few windows). *)
+  down : (Sim.node_id * Sim.port, (float * float) list) Hashtbl.t;
+  counters : Stats.Counters.t;
+  obs_counters : (string, Dip_obs.Metrics.counter) Hashtbl.t;
+  mutable events : event list; (* reversed *)
+}
+
+let record t ~kind ~node ~port =
+  Stats.Counters.incr (Sim.counters t.sim) ("fault." ^ kind);
+  Stats.Counters.incr t.counters kind;
+  t.events <- { time = Sim.now t.sim; kind; node; port } :: t.events;
+  match Sim.metrics t.sim with
+  | None -> ()
+  | Some m ->
+      let c =
+        match Hashtbl.find_opt t.obs_counters kind with
+        | Some c -> c
+        | None ->
+            let c =
+              Dip_obs.Metrics.counter m ("sim.fault." ^ kind)
+                ~help:"injected simulator faults, by kind"
+            in
+            Hashtbl.replace t.obs_counters kind c;
+            c
+      in
+      Dip_obs.Metrics.Counter.incr c
+
+let spec_for t key =
+  match Hashtbl.find_opt t.link_specs key with
+  | Some s -> s
+  | None -> t.default
+
+let is_down t key now =
+  match Hashtbl.find_opt t.down key with
+  | None -> false
+  | Some windows -> List.exists (fun (a, b) -> now >= a && now < b) windows
+
+(* Draws happen in a fixed order (drop, corrupt, jitter, duplicate,
+   duplicate-jitter) and only for enabled fault kinds, so the stream
+   consumption — hence the whole schedule — is a deterministic
+   function of (seed, spec, packet sequence). *)
+let hook t _sim ~from packet =
+  let node, port = from in
+  if is_down t from (Sim.now t.sim) then begin
+    record t ~kind:"link-down" ~node ~port;
+    []
+  end
+  else begin
+    let s = spec_for t from in
+    if s.drop > 0.0 && Prng.float t.rng 1.0 < s.drop then begin
+      record t ~kind:"drop" ~node ~port;
+      []
+    end
+    else begin
+      let packet =
+        if s.corrupt > 0.0 && Prng.float t.rng 1.0 < s.corrupt then begin
+          (* Corrupt a copy: the sender may retransmit from the same
+             buffer, and in-flight duplicates must not share damage. *)
+          let p = Bitbuf.copy packet in
+          let i = Prng.int t.rng (max 1 (Bitbuf.length p)) in
+          if Bitbuf.length p > 0 then
+            Bitbuf.set_uint8 p i
+              (Bitbuf.get_uint8 p i lxor (1 + Prng.int t.rng 255));
+          record t ~kind:"corrupt" ~node ~port;
+          p
+        end
+        else packet
+      in
+      let draw_jitter () =
+        if s.jitter > 0.0 then begin
+          let d = Prng.float t.rng s.jitter in
+          record t ~kind:"reorder" ~node ~port;
+          d
+        end
+        else 0.0
+      in
+      let first = { Sim.packet; extra_delay = draw_jitter () } in
+      if s.duplicate > 0.0 && Prng.float t.rng 1.0 < s.duplicate then begin
+        record t ~kind:"duplicate" ~node ~port;
+        [
+          first;
+          { Sim.packet = Bitbuf.copy packet; extra_delay = draw_jitter () };
+        ]
+      end
+      else [ first ]
+    end
+  end
+
+let attach ~seed sim =
+  let t =
+    {
+      sim;
+      rng = Prng.create seed;
+      default = silent;
+      link_specs = Hashtbl.create 8;
+      down = Hashtbl.create 8;
+      counters = Stats.Counters.create ();
+      obs_counters = Hashtbl.create 8;
+      events = [];
+    }
+  in
+  Sim.set_egress_hook sim (hook t);
+  t
+
+let detach t = Sim.clear_egress_hook t.sim
+let all_links t s = t.default <- s
+let on_link t key s = Hashtbl.replace t.link_specs key s
+
+let add_window t key w =
+  let ws = Option.value ~default:[] (Hashtbl.find_opt t.down key) in
+  Hashtbl.replace t.down key (w :: ws)
+
+let link_down t (node, port) ~from_ ~until =
+  if until <= from_ then invalid_arg "Faults.link_down: empty window";
+  match Sim.neighbor t.sim node port with
+  | None -> invalid_arg "Faults.link_down: unwired port"
+  | Some peer ->
+      add_window t (node, port) (from_, until);
+      add_window t peer (from_, until)
+
+let crash_node t node ~at ~until =
+  if until <= at then invalid_arg "Faults.crash_node: empty window";
+  Sim.schedule t.sim ~at (fun sim ->
+      let original = Sim.node_handler sim node in
+      Sim.set_handler sim node (fun _ ~now:_ ~ingress:_ _ ->
+          record t ~kind:"node-crash" ~node ~port:(-1);
+          [ Sim.Drop "node-crash" ]);
+      Sim.schedule sim ~at:until (fun sim ->
+          Sim.set_handler sim node original))
+
+let events t = List.rev t.events
+let counts t = Stats.Counters.to_list t.counters

@@ -1,0 +1,79 @@
+(** Deterministic fault injection for the simulator.
+
+    Attaches to a {!Sim.t} through its egress hook and handler-swap
+    API and injects link-level faults — probabilistic drop, single
+    byte corruption, duplication, extra-delay jitter (reordering) —
+    plus scheduled link down/up windows and node crash/restart.
+
+    All randomness comes from one {!Dip_stdext.Prng} stream seeded at
+    {!attach}: because the simulator's event order is itself
+    deterministic, the same seed over the same workload produces a
+    byte-identical fault schedule ({!events}). Every injected fault is
+    counted in the simulator's {!Sim.counters} (["fault.<kind>"]), in
+    {!counts}, and — when {!Sim.attach_metrics} was used — as
+    ["sim.fault.<kind>"] counters in the Dip_obs registry. *)
+
+type t
+
+(** Per-egress fault probabilities. All probabilities are per
+    transmission, in [\[0, 1\]]; [jitter] is the maximum extra
+    propagation delay in seconds (uniform draw in [\[0, jitter)]). *)
+type spec = {
+  drop : float;
+  corrupt : float;  (** XOR a random nonzero value into one random byte. *)
+  duplicate : float;  (** Transmit an extra, independently jittered copy. *)
+  jitter : float;
+}
+
+val spec :
+  ?drop:float ->
+  ?corrupt:float ->
+  ?duplicate:float ->
+  ?jitter:float ->
+  unit ->
+  spec
+(** All fields default to 0 (fault disabled). Raises
+    [Invalid_argument] on a probability outside [\[0, 1\]] or a
+    negative [jitter]. *)
+
+val attach : seed:int64 -> Sim.t -> t
+(** Install the fault layer (replaces any existing egress hook). With
+    no specs or windows configured it passes every packet through
+    untouched. *)
+
+val detach : t -> unit
+(** Remove the egress hook. Scheduled windows already in the event
+    queue still fire (restoring handlers), but stop injecting. *)
+
+val all_links : t -> spec -> unit
+(** Set the default spec applied to every wired egress without a
+    per-link override. *)
+
+val on_link : t -> Sim.node_id * Sim.port -> spec -> unit
+(** Override the spec for one {e directed} egress (packets leaving
+    [node] via [port]). *)
+
+val link_down : t -> Sim.node_id * Sim.port -> from_:float -> until:float -> unit
+(** Schedule a down window for the link wired at [(node, port)]:
+    within [\[from_, until)] every transmission in {e either}
+    direction is dropped (kind ["link-down"]). Raises
+    [Invalid_argument] if the port is unwired or the window is
+    empty. *)
+
+val crash_node : t -> Sim.node_id -> at:float -> until:float -> unit
+(** Schedule a crash: at [at] the node's handler is replaced by a
+    black hole that drops every arrival (kind ["node-crash"]); at
+    [until] the original handler is restored. Any state the handler
+    closure held survives — the crash models a dataplane outage, not
+    a state wipe. Windows for one node must not overlap. *)
+
+(** One injected fault, in injection order. [port] is [-1] for node
+    faults. *)
+type event = { time : float; kind : string; node : Sim.node_id; port : Sim.port }
+
+val events : t -> event list
+(** Every injected fault so far, oldest first. Two runs with equal
+    seeds, topology and workload yield structurally equal lists. *)
+
+val counts : t -> (string * int) list
+(** Total faults by kind, sorted by kind name. *)

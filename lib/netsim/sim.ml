@@ -6,6 +6,8 @@ type action =
   | Consume
   | Drop of string
 
+type egress = { packet : Dip_bitbuf.Bitbuf.t; extra_delay : float }
+
 type event =
   | Arrival of node_id * port * Dip_bitbuf.Bitbuf.t
   | Timer of (t -> unit)
@@ -47,6 +49,11 @@ and t = {
   mutable delivered : (node_id * float * Dip_bitbuf.Bitbuf.t) list; (* reversed *)
   mutable consume_hooks : (node_id -> float -> Dip_bitbuf.Bitbuf.t -> unit) list;
   mutable obs : obs option;
+  (* Consulted on every transmission over a wired link; lets a fault
+     layer drop / mangle / duplicate / delay packets without the
+     simulator knowing anything about fault policy. *)
+  mutable egress_hook :
+    (t -> from:node_id * port -> Dip_bitbuf.Bitbuf.t -> egress list) option;
 }
 
 let create () =
@@ -60,6 +67,7 @@ let create () =
     delivered = [];
     consume_hooks = [];
     obs = None;
+    egress_hook = None;
   }
 
 let attach_metrics t metrics =
@@ -96,11 +104,15 @@ let obs_drop t reason =
       in
       Dip_obs.Metrics.Counter.incr c
 
-let obs_link_depth t ~id ~port ~name depth =
+(* The per-link gauge tracks the live depth (updated on enqueue and
+   dequeue); the histogram samples depth at enqueue only, so its
+   count stays one-per-transmission. *)
+let obs_link_depth ?(enqueue = false) t ~id ~port ~name depth =
   match t.obs with
   | None -> ()
   | Some o ->
-      Dip_obs.Metrics.Histogram.observe o.qdepth (float_of_int depth);
+      if enqueue then
+        Dip_obs.Metrics.Histogram.observe o.qdepth (float_of_int depth);
       let g =
         match Hashtbl.find_opt o.link_gauges (id, port) with
         | Some g -> g
@@ -177,6 +189,55 @@ let now t = t.clock
 let counters t = t.stats
 let consumed t = List.rev t.delivered
 let on_consume t f = t.consume_hooks <- f :: t.consume_hooks
+let metrics t = Option.map (fun o -> o.metrics) t.obs
+let set_egress_hook t hook = t.egress_hook <- Some hook
+let clear_egress_hook t = t.egress_hook <- None
+
+let set_handler t id handler =
+  check_node t id;
+  t.nodes.(id) <- { t.nodes.(id) with handler }
+
+let node_handler t id =
+  check_node t id;
+  t.nodes.(id).handler
+
+let transmit_on t ~id ~port ~name l ~extra_delay packet =
+  if l.queued >= l.capacity then begin
+    Stats.Counters.incr t.stats (name ^ ".drop.queue-overflow");
+    obs_drop t "queue-overflow"
+  end
+  else begin
+    Stats.Counters.incr t.stats (name ^ ".tx");
+    (match t.obs with
+    | Some o -> Dip_obs.Metrics.Counter.incr o.tx
+    | None -> ());
+    let size = float_of_int (Dip_bitbuf.Bitbuf.length packet) in
+    let dst, dport = l.peer in
+    (* Serialize behind whatever is already on the wire. An
+       infinite-bandwidth link serializes in zero time but still
+       occupies a queue slot until its departure instant, so the
+       capacity check above binds on both kinds of link. *)
+    let tx_time =
+      if Float.is_finite l.bandwidth then size /. l.bandwidth else 0.0
+    in
+    let start = Float.max t.clock l.busy_until in
+    let departure = start +. tx_time in
+    l.busy_until <- departure;
+    l.queued <- l.queued + 1;
+    obs_link_depth ~enqueue:true t ~id ~port ~name l.queued;
+    Event_queue.push t.queue ~time:departure
+      (Timer
+         (fun _ ->
+           l.queued <- l.queued - 1;
+           obs_link_depth t ~id ~port ~name l.queued));
+    (* [extra_delay] models fault-layer jitter: it delays propagation
+       of this one packet without holding the egress queue slot, so a
+       delayed packet can be overtaken (reordering). *)
+    let delay = Float.max 0.0 extra_delay in
+    Event_queue.push t.queue
+      ~time:(departure +. l.latency +. delay)
+      (Arrival (dst, dport, packet))
+  end
 
 let transmit t ~from:(id, port) packet =
   let name = t.nodes.(id).name in
@@ -184,35 +245,17 @@ let transmit t ~from:(id, port) packet =
   | None ->
       Stats.Counters.incr t.stats (name ^ ".drop.unwired-port");
       obs_drop t "unwired-port"
-  | Some l ->
-      if l.queued >= l.capacity then begin
-        Stats.Counters.incr t.stats (name ^ ".drop.queue-overflow");
-        obs_drop t "queue-overflow"
-      end
-      else begin
-        Stats.Counters.incr t.stats (name ^ ".tx");
-        (match t.obs with
-        | Some o -> Dip_obs.Metrics.Counter.incr o.tx
-        | None -> ());
-        let size = float_of_int (Dip_bitbuf.Bitbuf.length packet) in
-        let dst, dport = l.peer in
-        (* Serialize behind whatever is already on the wire. An
-           infinite-bandwidth link serializes in zero time but still
-           occupies a queue slot until its departure instant, so the
-           capacity check above binds on both kinds of link. *)
-        let tx_time =
-          if Float.is_finite l.bandwidth then size /. l.bandwidth else 0.0
-        in
-        let start = Float.max t.clock l.busy_until in
-        let departure = start +. tx_time in
-        l.busy_until <- departure;
-        l.queued <- l.queued + 1;
-        obs_link_depth t ~id ~port ~name l.queued;
-        Event_queue.push t.queue ~time:departure
-          (Timer (fun _ -> l.queued <- l.queued - 1));
-        Event_queue.push t.queue ~time:(departure +. l.latency)
-          (Arrival (dst, dport, packet))
-      end
+  | Some l -> (
+      (* The hook runs only for wired ports: an unwired-port drop is a
+         topology bug, not an injected fault. *)
+      match t.egress_hook with
+      | None -> transmit_on t ~id ~port ~name l ~extra_delay:0.0 packet
+      | Some hook ->
+          List.iter
+            (fun e ->
+              transmit_on t ~id ~port ~name l ~extra_delay:e.extra_delay
+                e.packet)
+            (hook t ~from:(id, port) packet))
 
 let handle_arrival t id port packet =
   let node = t.nodes.(id) in

@@ -33,6 +33,14 @@ val add_node : t -> name:string -> handler -> node_id
 val node_name : t -> node_id -> string
 val node_count : t -> int
 
+val set_handler : t -> node_id -> handler -> unit
+(** Replace a node's handler in place (the node keeps its id, name,
+    and links). Used by {!Faults} to crash and restart nodes. *)
+
+val node_handler : t -> node_id -> handler
+(** The node's current handler — save it before {!set_handler} to be
+    able to restore it. *)
+
 val connect :
   t ->
   ?latency:float ->
@@ -98,3 +106,24 @@ val consumed : t -> (node_id * float * Dip_bitbuf.Bitbuf.t) list
 
 val on_consume : t -> (node_id -> float -> Dip_bitbuf.Bitbuf.t -> unit) -> unit
 (** Additional hook invoked at each local delivery. *)
+
+val metrics : t -> Dip_obs.Metrics.t option
+(** The registry passed to {!attach_metrics}, if any — lets add-on
+    layers (e.g. {!Faults}) export into the same registry. *)
+
+type egress = { packet : Dip_bitbuf.Bitbuf.t; extra_delay : float }
+(** One transmission produced by an egress hook: the (possibly
+    rewritten) packet, plus extra propagation delay in seconds
+    (clamped to ≥ 0; does not occupy the egress queue slot, so a
+    delayed packet can be overtaken — i.e. reordered). *)
+
+val set_egress_hook :
+  t -> (t -> from:node_id * port -> Dip_bitbuf.Bitbuf.t -> egress list) -> unit
+(** Install a hook consulted on every transmission over a {e wired}
+    link (unwired-port drops bypass it). The hook maps the outgoing
+    packet to the transmissions that actually happen: [[]] drops it,
+    one entry passes (or corrupts / delays) it, two entries duplicate
+    it. Normal queue accounting (capacity, serialization, tx counters)
+    applies to each returned entry. Replaces any previous hook. *)
+
+val clear_egress_hook : t -> unit

@@ -1,0 +1,215 @@
+(* Tests for the fault-injection layer (Dip_netsim.Faults) and the
+   reliable host pair (Dip_core.Host.Reliable) that recovers from it,
+   including the canned chaos experiment (Dip_core.Chaos). *)
+
+open Dip_netsim
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Ipaddr = Dip_tables.Ipaddr
+module Reliable = Dip_core.Host.Reliable
+module Chaos = Dip_core.Chaos
+
+let packet s = Bitbuf.of_string s
+
+let relay_handler _sim ~now:_ ~ingress pkt =
+  [ Sim.Forward ((if ingress = 0 then 1 else 0), pkt) ]
+
+let consume_handler _sim ~now:_ ~ingress:_ _pkt = [ Sim.Consume ]
+
+(* A relay [r] feeding a consumer [d] over one faulted link. *)
+let relay_pair () =
+  let sim = Sim.create () in
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let d = Sim.add_node sim ~name:"d" consume_handler in
+  Sim.connect sim ~latency:1e-3 (r, 1) (d, 0);
+  (sim, r, d)
+
+(* --- Fault kinds in isolation --- *)
+
+let test_drop_all () =
+  let sim, r, _ = relay_pair () in
+  let faults = Faults.attach ~seed:1L sim in
+  Faults.all_links faults (Faults.spec ~drop:1.0 ());
+  for i = 0 to 9 do
+    Sim.inject sim ~at:(0.001 *. float_of_int i) ~node:r ~port:0 (packet "x")
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "nothing delivered" 0 (List.length (Sim.consumed sim));
+  Alcotest.(check (list (pair string int))) "all counted" [ ("drop", 10) ]
+    (Faults.counts faults);
+  Alcotest.(check int) "sim counter mirrors" 10
+    (Stats.Counters.get (Sim.counters sim) "fault.drop")
+
+let test_duplicate_all () =
+  let sim, r, d = relay_pair () in
+  let faults = Faults.attach ~seed:1L sim in
+  Faults.all_links faults (Faults.spec ~duplicate:1.0 ());
+  for i = 0 to 4 do
+    Sim.inject sim ~at:(0.001 *. float_of_int i) ~node:r ~port:0 (packet "x")
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "every packet doubled" 10
+    (List.length (Sim.consumed sim));
+  Alcotest.(check bool) "all at d" true
+    (List.for_all (fun (n, _, _) -> n = d) (Sim.consumed sim));
+  Alcotest.(check (option int)) "duplicates counted" (Some 5)
+    (List.assoc_opt "duplicate" (Faults.counts faults))
+
+let test_corrupt_all () =
+  let sim, r, _ = relay_pair () in
+  let faults = Faults.attach ~seed:1L sim in
+  Faults.all_links faults (Faults.spec ~corrupt:1.0 ());
+  let original = "corrupt-me" in
+  Sim.inject sim ~at:0.0 ~node:r ~port:0 (packet original);
+  Sim.run sim;
+  (match Sim.consumed sim with
+  | [ (_, _, pkt) ] ->
+      let s = Bitbuf.to_string pkt in
+      Alcotest.(check int) "length unchanged" (String.length original)
+        (String.length s);
+      Alcotest.(check bool) "bytes damaged in flight" true (s <> original)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l));
+  Alcotest.(check (option int)) "corruption counted" (Some 1)
+    (List.assoc_opt "corrupt" (Faults.counts faults))
+
+let test_link_down_window () =
+  let sim, r, _ = relay_pair () in
+  let faults = Faults.attach ~seed:1L sim in
+  Faults.link_down faults (r, 1) ~from_:0.0 ~until:0.1;
+  Sim.inject sim ~at:0.05 ~node:r ~port:0 (packet "lost");
+  Sim.inject sim ~at:0.2 ~node:r ~port:0 (packet "alive");
+  Sim.run sim;
+  (match Sim.consumed sim with
+  | [ (_, _, pkt) ] ->
+      Alcotest.(check string) "only the post-window packet" "alive"
+        (Bitbuf.to_string pkt)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l));
+  Alcotest.(check (option int)) "down-window drop counted" (Some 1)
+    (List.assoc_opt "link-down" (Faults.counts faults))
+
+let test_node_crash_and_restart () =
+  let sim, r, _ = relay_pair () in
+  let faults = Faults.attach ~seed:1L sim in
+  Faults.crash_node faults r ~at:0.0 ~until:1.0;
+  Sim.inject sim ~at:0.5 ~node:r ~port:0 (packet "blackholed");
+  Sim.inject sim ~at:1.5 ~node:r ~port:0 (packet "recovered");
+  Sim.run sim;
+  (match Sim.consumed sim with
+  | [ (_, _, pkt) ] ->
+      Alcotest.(check string) "handler restored after the window"
+        "recovered" (Bitbuf.to_string pkt)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l));
+  Alcotest.(check (option int)) "crash drop counted" (Some 1)
+    (List.assoc_opt "node-crash" (Faults.counts faults));
+  Alcotest.(check int) "drop reason at the node" 1
+    (Stats.Counters.get (Sim.counters sim) "r.drop.node-crash")
+
+(* --- Integrity check at the reliable endpoints --- *)
+
+let test_corruption_detected_not_delivered () =
+  (* Every transmission (data and ACK) is corrupted: nothing may be
+     delivered as valid data, and at least some corruptions must be
+     caught by the CRC specifically (others land in the basic header
+     and fail parsing instead — also a drop, never a delivery). *)
+  let sim = Sim.create () in
+  let sender =
+    Reliable.add_sender
+      ~config:{ Reliable.default_config with max_retries = 2 }
+      sim ~name:"s" ~seed:9L
+      ~src:(Ipaddr.V4.of_string "192.168.0.1")
+      ~dst:(Ipaddr.V4.of_string "10.0.0.1")
+      ~out_port:0
+  in
+  let recv, recv_node = Reliable.add_receiver sim ~name:"d" in
+  Sim.connect sim ~latency:1e-3 (Reliable.sender_node sender, 0) (recv_node, 0);
+  let faults = Faults.attach ~seed:9L sim in
+  Faults.all_links faults (Faults.spec ~corrupt:1.0 ());
+  for i = 0 to 2 do
+    Reliable.send sender ~at:(0.001 *. float_of_int i)
+      ~payload:(Printf.sprintf "payload-%d" i)
+  done;
+  Sim.run sim;
+  let ss = Reliable.sender_stats sender in
+  Alcotest.(check int) "nothing delivered" 0 (Reliable.delivered recv);
+  Alcotest.(check int) "every sequence abandoned" 3 ss.Reliable.gave_up;
+  Alcotest.(check bool) "CRC caught corruptions" true
+    (Reliable.rejected recv >= 1);
+  Alcotest.(check int) "integrity drops counted" (Reliable.rejected recv)
+    (Stats.Counters.get (Sim.counters sim)
+       ("d.drop." ^ Dip_core.Errors.integrity_reason))
+
+(* --- End-to-end recovery and determinism (via Chaos) --- *)
+
+let chaos_cfg =
+  {
+    Chaos.default with
+    Chaos.packets = 80;
+    seed = 7L;
+    spec = Faults.spec ~drop:0.05 ~corrupt:0.03 ~duplicate:0.03 ();
+    flap = Some (0.2, 0.3);
+  }
+
+let test_reliable_full_recovery () =
+  let r = Chaos.run chaos_cfg in
+  Alcotest.(check int) "all unique payloads delivered" r.Chaos.sent
+    r.Chaos.delivered;
+  Alcotest.(check int) "every fate resolved" 0 r.Chaos.in_flight;
+  Alcotest.(check bool) "recovery cost extra transmissions" true
+    (r.Chaos.transmissions > r.Chaos.sent);
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool) (kind ^ " injected at least once") true
+        (match List.assoc_opt kind r.Chaos.faults with
+        | Some n -> n >= 1
+        | None -> false))
+    [ "drop"; "corrupt"; "duplicate"; "link-down" ]
+
+let test_same_seed_same_schedule () =
+  let a = Chaos.run chaos_cfg in
+  let b = Chaos.run chaos_cfg in
+  Alcotest.(check bool) "schedules non-trivial" true
+    (List.length a.Chaos.events > 0);
+  Alcotest.(check bool) "fault schedules identical" true
+    (a.Chaos.events = b.Chaos.events);
+  Alcotest.(check int) "deliveries identical" a.Chaos.delivered
+    b.Chaos.delivered;
+  let c = Chaos.run { chaos_cfg with Chaos.seed = 8L } in
+  Alcotest.(check bool) "a different seed reschedules" true
+    (a.Chaos.events <> c.Chaos.events)
+
+let test_no_retransmit_loses_packets () =
+  let r =
+    Chaos.run
+      {
+        chaos_cfg with
+        Chaos.reliable = { Reliable.default_config with max_retries = 0 };
+      }
+  in
+  Alcotest.(check bool) "losses stick without retransmission" true
+    (r.Chaos.delivered < r.Chaos.sent);
+  Alcotest.(check int) "one transmission per payload" r.Chaos.sent
+    r.Chaos.transmissions
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "drop all" `Quick test_drop_all;
+          Alcotest.test_case "duplicate all" `Quick test_duplicate_all;
+          Alcotest.test_case "corrupt all" `Quick test_corrupt_all;
+          Alcotest.test_case "link down window" `Quick test_link_down_window;
+          Alcotest.test_case "node crash + restart" `Quick
+            test_node_crash_and_restart;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "corruption never delivered" `Quick
+            test_corruption_detected_not_delivered;
+          Alcotest.test_case "full recovery under faults" `Quick
+            test_reliable_full_recovery;
+          Alcotest.test_case "seeded schedule reproducible" `Quick
+            test_same_seed_same_schedule;
+          Alcotest.test_case "no-retransmit baseline loses" `Quick
+            test_no_retransmit_loses_packets;
+        ] );
+    ]

@@ -404,6 +404,45 @@ let prop_engine_total_on_random_constructions =
       | exception e ->
           QCheck.Test.fail_reportf "engine raised %s" (Printexc.to_string e))
 
+(* --- 7. PIT multicast fanout delivers independent copies --- *)
+
+let test_pit_fanout_independent_copies () =
+  (* Regression: the engine handler used to hand the {e same} buffer
+     to every fanout port, so a downstream mutation (hop-limit
+     decrement, header rewrite) bled into the sibling deliveries. *)
+  let sim = Sim.create () in
+  let env = Env.create ~name:"r" () in
+  let name = Name.of_string "/fan/out" in
+  let key = Name.hash32 name in
+  ignore (Dip_tables.Pit.insert env.Env.pit ~key ~port:1 ~now:0.0 ~lifetime:10.0);
+  ignore (Dip_tables.Pit.insert env.Env.pit ~key ~port:2 ~now:0.0 ~lifetime:10.0);
+  let r = Sim.add_node sim ~name:"r" (Engine.handler ~registry env) in
+  let got = ref [] in
+  let sink _ ~now:_ ~ingress:_ pkt =
+    got := pkt :: !got;
+    [ Sim.Consume ]
+  in
+  let a = Sim.add_node sim ~name:"a" sink in
+  let b = Sim.add_node sim ~name:"b" sink in
+  Sim.connect sim (r, 1) (a, 0);
+  Sim.connect sim (r, 2) (b, 0);
+  Sim.inject sim ~at:0.0 ~node:r ~port:3
+    (Realize.ndn_data ~name ~content:"multicast" ());
+  Sim.run sim;
+  match !got with
+  | [ p2; p1 ] ->
+      Alcotest.(check string) "same bytes on both ports"
+        (Bitbuf.to_string p1) (Bitbuf.to_string p2);
+      (* Clobber one copy end to end; the sibling must not move. *)
+      let sibling = Bitbuf.to_string p2 in
+      for i = 0 to Bitbuf.length p1 - 1 do
+        Bitbuf.set_uint8 p1 i 0xFF
+      done;
+      Alcotest.(check string) "hop limit and payload independent" sibling
+        (Bitbuf.to_string p2)
+  | l -> Alcotest.failf "expected a 2-port fanout, got %d deliveries"
+           (List.length l)
+
 let prop_compiled_interpreter_parity =
   (* Randomized destinations through both engines must agree. *)
   let env = Env.create ~name:"par" () in
@@ -441,6 +480,8 @@ let () =
             test_opt_three_hop_simulation;
           Alcotest.test_case "telemetry reads real queues" `Quick
             test_telemetry_reports_real_queue;
+          Alcotest.test_case "PIT fanout copies independent" `Quick
+            test_pit_fanout_independent_copies;
         ] );
       ( "fuzz",
         [

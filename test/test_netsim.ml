@@ -59,6 +59,32 @@ let test_eq_many_random () =
   in
   Alcotest.(check int) "all popped" 1000 (drain 0.0 0)
 
+(* Regression: [pop] used to leave the moved root's old slot pointing
+   at a live cell, so the array retained every payload ever popped
+   (a space leak) — and a later heap bug could have resurfaced stale
+   cells. Times are drawn from a tiny range to force plenty of
+   same-timestamp ties. *)
+let prop_eq_fifo_ties_and_cleared_slots =
+  QCheck.Test.make ~name:"ties pop FIFO and vacated slots are cleared"
+    ~count:300
+    QCheck.(list (int_bound 7))
+    (fun raw ->
+      let q = Event_queue.create () in
+      let pushed = List.mapi (fun i t -> (float_of_int t, i)) raw in
+      List.iter (fun (t, i) -> Event_queue.push q ~time:t i) pushed;
+      let rec drain acc cleared =
+        match Event_queue.pop q with
+        | None -> (List.rev acc, cleared)
+        | Some (t, i) ->
+            drain ((t, i) :: acc)
+              (cleared && Event_queue.vacant_slots_cleared q)
+      in
+      let popped, cleared = drain [] (Event_queue.vacant_slots_cleared q) in
+      let expected =
+        List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) pushed
+      in
+      cleared && popped = expected)
+
 (* --- Sim core --- *)
 
 let packet s = Bitbuf.of_string s
@@ -266,6 +292,27 @@ let test_sim_queue_depth_observable () =
     (Printf.sprintf "depth was %d" !observed)
     true (!observed >= 3);
   Alcotest.(check int) "drains to zero" 0 (Sim.queue_depth sim r 1)
+
+let test_sim_depth_gauge_drains () =
+  (* Regression: the per-link depth gauge in an attached metrics
+     registry was written only on enqueue, so after the queue drained
+     it kept reading the last enqueue-time depth instead of 0. *)
+  let sim = Sim.create () in
+  let m = Dip_obs.Metrics.create () in
+  Sim.attach_metrics sim m;
+  let r = Sim.add_node sim ~name:"r" relay_handler in
+  let b = Sim.add_node sim ~name:"b" consume_handler in
+  Sim.connect sim ~latency:1e-3 ~bandwidth:1000.0 (r, 1) (b, 0);
+  for _ = 1 to 4 do
+    Sim.inject sim ~at:0.0 ~node:r ~port:0 (Bitbuf.create 100)
+  done;
+  Sim.run sim;
+  (* Registering an existing name returns the same handle. *)
+  let g = Dip_obs.Metrics.gauge m "sim.link.r.p1.queue_depth" in
+  Alcotest.(check int) "gauge drained with the queue" 0
+    (Dip_obs.Metrics.Gauge.get g);
+  Alcotest.(check int) "matches the simulator's own view" 0
+    (Sim.queue_depth sim r 1)
 
 (* --- Topology --- *)
 
@@ -515,6 +562,7 @@ let () =
           Alcotest.test_case "peek/size" `Quick test_eq_peek;
           Alcotest.test_case "invalid times" `Quick test_eq_invalid_times;
           Alcotest.test_case "random stress" `Quick test_eq_many_random;
+          QCheck_alcotest.to_alcotest prop_eq_fifo_ties_and_cleared_slots;
         ] );
       ( "sim",
         [
@@ -535,6 +583,7 @@ let () =
           Alcotest.test_case "in-flight count infinite bw" `Quick
             test_sim_counters_infinite_bw_in_flight;
           Alcotest.test_case "queue depth observable" `Quick test_sim_queue_depth_observable;
+          Alcotest.test_case "depth gauge drains" `Quick test_sim_depth_gauge_drains;
         ] );
       ( "topology",
         [
