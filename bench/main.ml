@@ -33,6 +33,14 @@
                        100% deduplicated delivery with retransmission,
                        at least one fault of each enabled kind, and a
                        seed-reproducible fault schedule
+     mcore             domain-parallel batched data plane: throughput
+                       scaling at 1/2/4/8 worker domains vs the
+                       sequential engine (writes BENCH_PR5.json in the
+                       current directory)
+     mcore-smoke       quick CI variant of mcore: verifies batch
+                       results, and on machines with >= 4 cores
+                       asserts >= 1.5x throughput at 4 domains vs 1
+                       (skips the ratio check on smaller machines)
      all               everything above (default; excludes the smokes)
 
    Usage: dune exec bench/main.exe [-- <target>] *)
@@ -1109,6 +1117,158 @@ let bench_faults ?(smoke = false) () =
   end;
   print_newline ()
 
+(* --- mcore: the PR-5 domain-parallel data plane ---------------------- *)
+
+(* Throughput of the batched engine across worker-domain counts, on a
+   steady-state DIP-32 forwarding workload spread over many flows
+   (each flow lands on one worker via the match-field hash). Wall
+   clock, not simulated time: parallel speedup is exactly what this
+   measures, so the numbers are machine-dependent by nature. *)
+
+let bench_mcore ?(smoke = false) () =
+  print_endline "== mcore: domain-parallel batched data plane ==";
+  let nflows = 64 in
+  let npackets = if smoke then 4096 else 8192 in
+  let batch_size = 256 in
+  let pkts =
+    Array.init npackets (fun i ->
+        Realize.ipv4 ~src:(v4 "192.0.2.1")
+          ~dst:(v4 (Printf.sprintf "10.1.%d.%d" (i mod nflows) (i / nflows mod 250)))
+          ~payload:(String.make 100 'x') ())
+  in
+  let items =
+    Array.map (fun pkt -> { Dip_mcore.Pool.now = 0.0; ingress = 0; pkt }) pkts
+  in
+  let batches =
+    let n = (npackets + batch_size - 1) / batch_size in
+    Array.init n (fun b ->
+        Array.sub items (b * batch_size)
+          (Stdlib.min batch_size (npackets - (b * batch_size))))
+  in
+  let reset () = Array.iter (fun p -> Bitbuf.set_uint8 p 2 64) pkts in
+  let mk_env _w =
+    let env = Env.create ~name:"mcore" () in
+    Dip_ip.Ipv4.add_route env.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+    env
+  in
+  let snap = Dip_mcore.Snapshot.v ~registry ~mk_env () in
+  let min_time = if smoke then 0.25 else 0.6 in
+  let timed pass =
+    pass () (* warm the program caches and the worker domains *);
+    let t0 = Unix.gettimeofday () in
+    let passes = ref 0 in
+    while Unix.gettimeofday () -. t0 < min_time do
+      pass ();
+      incr passes
+    done;
+    float_of_int (!passes * npackets) /. (Unix.gettimeofday () -. t0)
+  in
+  (* Sequential baseline: a plain Engine.process fold, no batch API,
+     no pool. *)
+  let seq_pps =
+    let env = mk_env 0 in
+    timed (fun () ->
+        reset ();
+        Array.iter
+          (fun pkt ->
+            ignore
+              (Sys.opaque_identity
+                 (Engine.process ~registry env ~now:0.0 ~ingress:0 pkt)))
+          pkts)
+  in
+  let pool_pps domains =
+    let pool = Dip_mcore.Pool.create ~domains snap in
+    let pps =
+      timed (fun () ->
+          reset ();
+          Array.iter
+            (fun b -> ignore (Sys.opaque_identity (Dip_mcore.Pool.process_batch pool b)))
+            batches)
+    in
+    (* Sanity: every packet of the last pass forwarded. *)
+    reset ();
+    let verdicts = Dip_mcore.Pool.process_batch pool items in
+    let forwarded =
+      Array.fold_left
+        (fun acc (v, _) -> match v with Engine.Forwarded _ -> acc + 1 | _ -> acc)
+        0 verdicts
+    in
+    Dip_mcore.Pool.shutdown pool;
+    if forwarded <> npackets then begin
+      Printf.eprintf "BUG: %d/%d packets forwarded at %d domain(s)\n" forwarded
+        npackets domains;
+      exit 1
+    end;
+    pps
+  in
+  let recommended = Domain.recommended_domain_count () in
+  let domain_counts = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let results = List.map (fun d -> (d, pool_pps d)) domain_counts in
+  let base = List.assoc 1 results in
+  let t =
+    Tabular.create
+      ~aligns:[ Tabular.Right; Tabular.Right; Tabular.Right ]
+      [ "domains"; "pkts/s"; "speedup vs 1" ]
+  in
+  List.iter
+    (fun (d, pps) ->
+      Tabular.add_row t
+        [
+          string_of_int d;
+          Printf.sprintf "%.0f" pps;
+          Printf.sprintf "%.2fx" (pps /. base);
+        ])
+    results;
+  Tabular.print t;
+  Printf.printf
+    "sequential Engine.process baseline: %.0f pkts/s (1-domain batched: %.2fx)\n"
+    seq_pps (base /. seq_pps);
+  Printf.printf "recommended_domain_count on this machine: %d\n" recommended;
+  let speedup4 =
+    match List.assoc_opt 4 results with Some p -> p /. base | None -> Float.nan
+  in
+  let oc = open_out "BENCH_PR5.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"pr5-mcore\",\n\
+    \  \"workload\": \"DIP-32 forwarding, 100-byte payload, %d flows\",\n\
+    \  \"packets\": %d,\n\
+    \  \"batch_size\": %d,\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"sequential_pps\": %.0f,\n\
+    \  \"scaling\": [\n%s\n  ],\n\
+    \  \"speedup4\": %.3f\n\
+     }\n"
+    nflows npackets batch_size recommended seq_pps
+    (String.concat ",\n"
+       (List.map
+          (fun (d, pps) ->
+            Printf.sprintf
+              "    { \"domains\": %d, \"pps\": %.0f, \"speedup\": %.3f }" d pps
+              (pps /. base))
+          results))
+    speedup4;
+  close_out oc;
+  print_endline "wrote BENCH_PR5.json";
+  if smoke then begin
+    (* Scaling needs real cores; on smaller machines the correctness
+       part above already ran, so skip only the ratio assertion. *)
+    if recommended < 4 then
+      Printf.printf
+        "smoke skip: scaling assertion needs 4 cores, this machine recommends \
+         %d domain(s)\n"
+        recommended
+    else if speedup4 < 1.5 then begin
+      Printf.eprintf
+        "SMOKE FAIL: 4-domain throughput only %.2fx of 1-domain (need >= 1.5x)\n"
+        speedup4;
+      exit 1
+    end
+    else
+      Printf.printf "smoke ok: 4-domain throughput %.2fx of 1-domain\n" speedup4
+  end;
+  print_newline ()
+
 (* --- driver --------------------------------------------------------- *)
 
 let targets =
@@ -1128,6 +1288,7 @@ let targets =
     ("cache", fun () -> bench_cache ());
     ("obs", fun () -> bench_obs ());
     ("faults", fun () -> bench_faults ());
+    ("mcore", fun () -> bench_mcore ());
   ]
 
 let () =
@@ -1142,13 +1303,14 @@ let () =
   | "cache-smoke" -> bench_cache ~smoke:true ()
   | "obs-smoke" -> bench_obs ~smoke:true ()
   | "faults-smoke" -> bench_faults ~smoke:true ()
+  | "mcore-smoke" -> bench_mcore ~smoke:true ()
   | name -> (
       match List.assoc_opt name targets with
       | Some f -> f ()
       | None ->
           Printf.eprintf
             "unknown target %S; available: all cache-smoke obs-smoke \
-             faults-smoke %s\n"
+             faults-smoke mcore-smoke %s\n"
             name
             (String.concat " " (List.map fst targets));
           exit 1)

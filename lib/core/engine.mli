@@ -104,6 +104,64 @@ val host_process :
 (** Host-side: executes only host-tagged FNs; a packet with no host
     FNs is simply delivered. *)
 
+val actions_of_verdict :
+  Env.t ->
+  ingress:Env.port ->
+  Dip_bitbuf.Bitbuf.t ->
+  verdict ->
+  Dip_netsim.Sim.action list
+(** The router-side verdict → simulator-action translation {!handler}
+    applies: [Forwarded] becomes per-port transmissions (with fan-out
+    buffer copies), [Unsupported] becomes the §2.3 FN-unsupported
+    notification plus a drop, and so on. Counts the verdict into
+    [env]'s counters. Exposed so batched dispatchers
+    ({!Dip_mcore.Pool}) can produce action lists off the handler
+    path. *)
+
+(** {1 Batch processing}
+
+    The data-plane entry points for {!Dip_mcore}-style batched
+    dispatch. A batch shares one progcache hint across its packets —
+    a run of same-program packets costs one byte-compare each instead
+    of a key allocation plus an LRU probe — and publishes cache
+    stats / obs gauges once per batch rather than once per packet. *)
+
+type batch
+
+val batch_start :
+  ?obs:Obs.t ->
+  ?verify:(Packet.view -> (unit, string) result) ->
+  registry:Registry.t ->
+  Env.t ->
+  batch
+(** Open a router-side batch on [env]. The batch must not outlive
+    control-plane changes to [env]'s program cache or registry (its
+    parse hint pins cache entries — see {!Progcache.hint}). *)
+
+val batch_step :
+  batch -> now:float -> ingress:Env.port -> Dip_bitbuf.Bitbuf.t -> verdict * info
+(** Process one packet of the batch; semantically identical to
+    {!process} with the batch's [obs]/[verify]/[registry]. *)
+
+val batch_finish : batch -> unit
+(** Publish the per-batch deferred accounting (progcache counters
+    into [env]'s {!Dip_netsim.Stats.Counters}, obs cache gauges). *)
+
+val process_batch :
+  ?obs:Obs.t ->
+  ?verify:(Packet.view -> (unit, string) result) ->
+  registry:Registry.t ->
+  Env.t ->
+  now:float ->
+  ingress:Env.port ->
+  Dip_bitbuf.Bitbuf.t array ->
+  (verdict * info) array
+(** [batch_start] / [batch_step] over every buffer / [batch_finish].
+    Equivalent to folding {!process} over the array (same verdicts,
+    drops, and per-opkey obs counts) — the batch property the test
+    suite checks — but with the per-packet setup amortized. Packets
+    are mutated in place exactly as {!process} does. *)
+
 val handler :
   ?obs:Obs.t ->
   ?verify:(Packet.view -> (unit, string) result) ->

@@ -114,6 +114,70 @@ let parse t buf =
               t.misses <- t.misses + 1;
               Ok (view, Some (insert t key view))))
 
+(* --- batch parse hint -------------------------------------------- *)
+
+type hint = { mutable hkey : string; mutable hentry : entry option }
+
+let hint () = { hkey = ""; hentry = None }
+
+(* Does [buf]'s program prefix equal [key], hop-limit byte ignored?
+   Byte 1 of the key is FN_Num, so byte equality implies the two
+   prefixes have the same length — no allocation, no hashing. *)
+let key_matches buf key =
+  let klen = String.length key in
+  klen > 0
+  && Bitbuf.length buf >= klen
+  && begin
+       let i = ref 0 in
+       while
+         !i < klen
+         && (!i = 2
+            || Bitbuf.get_uint8 buf !i = Char.code (String.unsafe_get key !i))
+       do
+         incr i
+       done;
+       !i = klen
+     end
+
+let parse_hinted t h buf =
+  match h.hentry with
+  | Some e when key_matches buf h.hkey ->
+      (* Same program as the previous packet of the batch: skip the
+         key allocation and the LRU probe entirely. Counted as a hit
+         so batch and per-packet accounting agree. *)
+      if e.header_len > Bitbuf.length buf then
+        Error "header exceeds packet bounds"
+      else begin
+        t.hits <- t.hits + 1;
+        Ok (view_of_entry e buf, Some e)
+      end
+  | _ -> (
+      match key_of buf with
+      | None -> (
+          match Packet.parse buf with
+          | Ok view -> Ok (view, None)
+          | Error e -> Error e)
+      | Some key -> (
+          match Lru.find t.table key with
+          | Some e ->
+              if e.header_len > Bitbuf.length buf then
+                Error "header exceeds packet bounds"
+              else begin
+                t.hits <- t.hits + 1;
+                h.hkey <- key;
+                h.hentry <- Some e;
+                Ok (view_of_entry e buf, Some e)
+              end
+          | None -> (
+              match Packet.parse buf with
+              | Error _ as err -> err
+              | Ok view ->
+                  t.misses <- t.misses + 1;
+                  let e = insert t key view in
+                  h.hkey <- key;
+                  h.hentry <- Some e;
+                  Ok (view, Some e))))
+
 let invalidate_key t key =
   let victims =
     Lru.fold

@@ -65,6 +65,25 @@ val parse : t -> Dip_bitbuf.Bitbuf.t -> (Packet.view * entry option, string) res
     malformed to be keyed. Cached parse and cold parse agree on every
     packet, including errors. *)
 
+type hint
+(** A one-batch parse memo: remembers the last program prefix parsed
+    through it so a run of same-program packets (the steady state of
+    a forwarding router, and the common shape of a batch) skips both
+    the key allocation and the LRU probe. A hint must not outlive the
+    batch it was created for: cache invalidation ({!clear},
+    {!invalidate_key}, {!Control} updates) does not reach into live
+    hints. *)
+
+val hint : unit -> hint
+
+val parse_hinted :
+  t -> hint -> Dip_bitbuf.Bitbuf.t -> (Packet.view * entry option, string) result
+(** {!parse}, amortized: when the packet's prefix matches the hint's
+    remembered program (hop-limit byte ignored), the cached entry is
+    reused without touching the LRU; otherwise it falls back to
+    {!parse} semantics and re-arms the hint. Hit/miss accounting is
+    identical to {!parse}. *)
+
 val clear : t -> unit
 (** Drop every entry (registry changed outside {!Control}). *)
 

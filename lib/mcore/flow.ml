@@ -1,0 +1,53 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Header = Dip_core.Header
+module Opkey = Dip_core.Opkey
+module Registry = Dip_core.Registry
+module Crc32 = Dip_stdext.Crc32
+
+let fold = Int32.to_int
+
+(* Fallback when there is no parsable forwarding FN: hash everything.
+   Deterministic, just without the same-flow-same-worker guarantee
+   (there is no flow to speak of). *)
+let whole buf =
+  fold (Crc32.digest_bytes (Bitbuf.to_bytes buf)) land max_int
+
+let hash buf =
+  match Header.decode buf with
+  | Error _ -> whole buf
+  | Ok h ->
+      if Header.header_length h > Bitbuf.length buf then whole buf
+      else begin
+        (* First FN whose operation key is declared [forwarding] —
+           the one whose target field decides where the packet goes.
+           Read the raw triples; a full Fn.decode per packet would
+           defeat the point of hashing before parsing. *)
+        let rec find i =
+          if i >= h.Header.fn_num then None
+          else
+            let pos = Header.fn_offset i in
+            match Opkey.of_int (Bitbuf.get_uint16 buf (pos + 4) land 0x7fff) with
+            | Some k when (Registry.access k).Registry.forwarding ->
+                Some (Bitbuf.get_uint16 buf pos, Bitbuf.get_uint16 buf (pos + 2))
+            | _ -> find (i + 1)
+        in
+        match find 0 with
+        | None -> whole buf
+        | Some (loc_bits, len_bits) ->
+            (* Hash the bytes covering the target-field bit range.
+               Byte granularity over-covers by at most 7 bits on each
+               side — harmless, since it is the same bytes for every
+               packet of the flow. *)
+            let base_bits = 8 * Header.locations_offset h in
+            let first = (base_bits + loc_bits) / 8 in
+            let last = (base_bits + loc_bits + len_bits + 7) / 8 in
+            let last = Stdlib.min last (Bitbuf.length buf) in
+            if first < 0 || first >= last then whole buf
+            else
+              fold
+                (Crc32.digest_sub (Bitbuf.to_bytes buf) ~pos:first
+                   ~len:(last - first))
+              land max_int
+      end
+
+let shard buf ~workers = if workers <= 1 then 0 else hash buf mod workers

@@ -1,0 +1,211 @@
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Engine = Dip_core.Engine
+module Env = Dip_core.Env
+module Obs = Dip_core.Obs
+module Metrics = Dip_obs.Metrics
+module Counters = Dip_netsim.Stats.Counters
+
+type item = { now : float; ingress : Env.port; pkt : Bitbuf.t }
+
+(* One unit of work handed to a worker: its shard of a caller batch.
+   [idxs.(k)] is where [items.(k)]'s result goes in the caller's
+   arrays, so workers write results directly into caller-order slots
+   and the dispatcher never reshuffles. *)
+type job = {
+  j_items : item array;
+  j_idxs : int array;
+  j_verdicts : (Engine.verdict * Engine.info) array; (* caller-indexed *)
+  j_actions : Dip_netsim.Sim.action list array; (* caller-indexed; [||] if unwanted *)
+  j_want_actions : bool;
+  j_done : bool Atomic.t;
+}
+
+(* Everything a worker reads per batch, swapped as one pointer
+   (RCU-style): treat all of it as immutable once published. *)
+type published = {
+  snap : Snapshot.t;
+  envs : Env.t array;
+  obses : Obs.t option array;
+  metricses : Metrics.t option array;
+}
+
+type t = {
+  ndomains : int;
+  current : published Atomic.t;
+  rings : job Spsc.t array;
+  stop : bool Atomic.t;
+  mutable doms : unit Domain.t array;
+  lock : Mutex.t; (* guards completion signalling only *)
+  job_done : Condition.t;
+  with_metrics : bool;
+  obs_sample_every : int option;
+}
+
+let build_published ?sample_every ~metrics snap ndomains =
+  let metricses =
+    Array.init ndomains (fun _ -> if metrics then Some (Metrics.create ()) else None)
+  in
+  let obses = Array.map (Option.map (fun m -> Obs.create ?sample_every m)) metricses in
+  let envs = Array.init ndomains snap.Snapshot.mk_env in
+  { snap; envs; obses; metricses }
+
+let worker t w =
+  let stop () = Atomic.get t.stop in
+  let rec loop () =
+    match Spsc.pop_wait t.rings.(w) ~stop with
+    | None -> ()
+    | Some job ->
+        let pub = Atomic.get t.current in
+        let env = pub.envs.(w) in
+        let b =
+          Engine.batch_start ?obs:pub.obses.(w)
+            ?verify:pub.snap.Snapshot.verify ~registry:pub.snap.Snapshot.registry
+            env
+        in
+        Array.iteri
+          (fun k it ->
+            let ((verdict, _) as r) =
+              Engine.batch_step b ~now:it.now ~ingress:it.ingress it.pkt
+            in
+            job.j_verdicts.(job.j_idxs.(k)) <- r;
+            if job.j_want_actions then
+              job.j_actions.(job.j_idxs.(k)) <-
+                Engine.actions_of_verdict env ~ingress:it.ingress it.pkt verdict)
+          job.j_items;
+        Engine.batch_finish b;
+        Atomic.set job.j_done true;
+        Mutex.lock t.lock;
+        Condition.broadcast t.job_done;
+        Mutex.unlock t.lock;
+        loop ()
+  in
+  loop ()
+
+let create ?(queue_capacity = 64) ?(metrics = false) ?obs_sample_every ~domains
+    snap =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      ndomains = domains;
+      current =
+        Atomic.make
+          (build_published ?sample_every:obs_sample_every ~metrics snap domains);
+      rings = Array.init domains (fun _ -> Spsc.create ~capacity:queue_capacity);
+      stop = Atomic.make false;
+      doms = [||];
+      lock = Mutex.create ();
+      job_done = Condition.create ();
+      with_metrics = metrics;
+      obs_sample_every;
+    }
+  in
+  t.doms <- Array.init domains (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let domains t = t.ndomains
+let epoch t = (Atomic.get t.current).snap.Snapshot.epoch
+
+let publish t snap =
+  Atomic.set t.current
+    (build_published ?sample_every:t.obs_sample_every ~metrics:t.with_metrics
+       snap t.ndomains)
+
+let nil_info =
+  { Engine.ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 }
+
+let dispatch t ~want_actions items =
+  let n = Array.length items in
+  let verdicts = Array.make n (Engine.Quiet, nil_info) in
+  let actions = if want_actions then Array.make n [] else [||] in
+  if n > 0 then begin
+    (* Shard by flow hash; stable within a worker, so per-flow
+       arrival order is preserved. *)
+    let shard_of = Array.make n 0 in
+    let counts = Array.make t.ndomains 0 in
+    for i = 0 to n - 1 do
+      let w = Flow.shard items.(i).pkt ~workers:t.ndomains in
+      shard_of.(i) <- w;
+      counts.(w) <- counts.(w) + 1
+    done;
+    let jobs =
+      Array.init t.ndomains (fun w ->
+          if counts.(w) = 0 then None
+          else
+            Some
+              {
+                j_items = Array.make counts.(w) items.(0);
+                j_idxs = Array.make counts.(w) 0;
+                j_verdicts = verdicts;
+                j_actions = actions;
+                j_want_actions = want_actions;
+                j_done = Atomic.make false;
+              })
+    in
+    let fill = Array.make t.ndomains 0 in
+    for i = 0 to n - 1 do
+      let w = shard_of.(i) in
+      match jobs.(w) with
+      | None -> ()
+      | Some j ->
+          j.j_items.(fill.(w)) <- items.(i);
+          j.j_idxs.(fill.(w)) <- i;
+          fill.(w) <- fill.(w) + 1
+    done;
+    Array.iteri
+      (fun w jo ->
+        match jo with
+        | None -> ()
+        | Some j ->
+            (* The ring holds batches, not packets; it only fills if
+               the caller outruns the worker by [queue_capacity]
+               whole batches, so backing off is fine. *)
+            while not (Spsc.push t.rings.(w) j) do
+              Domain.cpu_relax ()
+            done)
+      jobs;
+    let all_done () =
+      Array.for_all
+        (function None -> true | Some j -> Atomic.get j.j_done)
+        jobs
+    in
+    Mutex.lock t.lock;
+    while not (all_done ()) do
+      Condition.wait t.job_done t.lock
+    done;
+    Mutex.unlock t.lock
+  end;
+  (verdicts, actions)
+
+let process_batch t items = fst (dispatch t ~want_actions:false items)
+let handle_batch t items = snd (dispatch t ~want_actions:true items)
+
+let counters t =
+  let pub = Atomic.get t.current in
+  let acc = Counters.create () in
+  Array.iter
+    (fun env ->
+      List.iter
+        (fun (k, v) -> Counters.incr ~by:v acc k)
+        (Counters.to_list env.Env.counters))
+    pub.envs;
+  acc
+
+let metrics t =
+  if not t.with_metrics then None
+  else begin
+    let pub = Atomic.get t.current in
+    let acc = Metrics.create () in
+    Array.iter
+      (function
+        | None -> () | Some m -> Metrics.absorb acc (Metrics.snapshot m))
+      pub.metricses;
+    Some acc
+  end
+
+let shutdown t =
+  if not (Atomic.get t.stop) then begin
+    Atomic.set t.stop true;
+    Array.iter Spsc.wake t.rings;
+    Array.iter Domain.join t.doms;
+    t.doms <- [||]
+  end

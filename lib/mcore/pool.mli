@@ -1,0 +1,86 @@
+(** A pool of worker domains executing the DIP engine over sharded
+    packet batches — one logical router as [N] parallel line cards.
+
+    Architecture (DESIGN.md §12):
+
+    - [N] worker domains, each fed by its own bounded {!Spsc} ring
+      and owning a private {!Dip_core.Env.t} (built from the
+      snapshot's [mk_env]) plus, optionally, a private
+      {!Dip_obs.Metrics.t}/{!Dip_core.Obs.t} pair. Workers share
+      {e no} mutable state; the only cross-domain traffic is the
+      rings, the published-snapshot pointer, and job-completion
+      flags.
+    - Packets are sharded to workers by {!Flow.hash} over the match
+      field, so all packets of a flow execute in arrival order on
+      one worker (per-flow ordering, coherent per-flow state) while
+      distinct flows run concurrently.
+    - Configuration is read through an [Atomic] snapshot pointer
+      ({!Snapshot}); {!publish} swaps it wholesale. Workers pick up
+      the new epoch at their next batch; in-flight batches finish on
+      the old one.
+
+    {!process_batch} and {!handle_batch} are synchronous: the
+    calling domain blocks until every worker finished its share, and
+    results are returned in the caller's input order. Between calls
+    the pool is quiescent, which is when {!counters} / {!metrics}
+    snapshots are exact. *)
+
+type t
+
+type item = {
+  now : float;
+  ingress : Dip_core.Env.port;
+  pkt : Dip_bitbuf.Bitbuf.t;
+}
+
+val create :
+  ?queue_capacity:int ->
+  ?metrics:bool ->
+  ?obs_sample_every:int ->
+  domains:int ->
+  Snapshot.t ->
+  t
+(** [create ~domains snap] spawns [domains] worker domains (≥ 1).
+    [queue_capacity] (default 64) bounds each worker's ring —
+    batches, not packets, occupy slots. [metrics] (default false)
+    gives each worker a private metrics registry and engine observer
+    (merged on {!metrics}); [obs_sample_every] tunes its span
+    sampling. Call {!shutdown} when done — worker domains are not
+    daemons. *)
+
+val domains : t -> int
+val epoch : t -> int
+(** Epoch of the currently published snapshot. *)
+
+val publish : t -> Snapshot.t -> unit
+(** Atomically replace the configuration snapshot: fresh per-worker
+    environments, registry and verifier. Lock-free for workers;
+    takes effect at each worker's next batch. Counters and metrics
+    accumulated under the old snapshot are discarded with it — read
+    them first if they matter. *)
+
+val process_batch : t -> item array -> (Dip_core.Engine.verdict * Dip_core.Engine.info) array
+(** Execute the router-side engine over the batch, sharded across
+    the workers; blocks until done. Result [i] corresponds to input
+    [i]. Packets are mutated in place exactly as
+    {!Dip_core.Engine.process} would. *)
+
+val handle_batch : t -> item array -> Dip_netsim.Sim.action list array
+(** Like {!process_batch} but additionally translates each verdict
+    into simulator actions ({!Dip_core.Engine.actions_of_verdict})
+    on the worker, returning the per-packet action lists — the shape
+    {!Runner} feeds to {!Dip_netsim.Sim.run_batched}. *)
+
+val counters : t -> Dip_netsim.Stats.Counters.t
+(** Sum of the per-worker environment counters (forwarded/dropped
+    tallies, progcache hit/miss/evict, …) under the current
+    snapshot. Exact when the pool is quiescent. *)
+
+val metrics : t -> Dip_obs.Metrics.t option
+(** Per-worker metrics registries merged into a fresh registry
+    ({!Dip_obs.Metrics.absorb}) — [None] unless [create ~metrics:true].
+    Exact when the pool is quiescent. *)
+
+val shutdown : t -> unit
+(** Drain the rings, stop and join the worker domains. The pool must
+    not be used afterwards. Idempotent. *)

@@ -1,0 +1,25 @@
+(** Plugging worker pools into the discrete-event simulator.
+
+    {!run_parallel} drives {!Dip_netsim.Sim.run_batched} with an
+    [exec] that fans each batch out to the routers' {!Pool}s: batch
+    items are grouped per node, each node's share is executed on its
+    pool's worker domains ({!Pool.handle_batch}), and the resulting
+    action lists are returned in batch order for the simulator to
+    apply on the calling domain. Delivery counts and counters are
+    therefore identical whatever [domains] each pool was created
+    with — the determinism property the test suite checks. *)
+
+val run_parallel :
+  ?until:float ->
+  ?window:float ->
+  Dip_netsim.Sim.t ->
+  pools:(Dip_netsim.Sim.node_id * Pool.t) list ->
+  unit
+(** [run_parallel sim ~pools] runs [sim] to completion, executing
+    arrivals at each listed node through its pool; all other nodes
+    (and timers) run their normal handlers. [window] (default 0:
+    same-instant arrivals only) widens batches to arrivals within
+    that many seconds of the first — bigger batches, more
+    parallelism, at the cost of acting on slightly stale arrival
+    interleavings (see {!Dip_netsim.Sim.run_batched}). The caller
+    keeps ownership of the pools and must {!Pool.shutdown} them. *)

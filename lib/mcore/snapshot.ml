@@ -1,0 +1,16 @@
+type t = {
+  epoch : int;
+  registry : Dip_core.Registry.t;
+  mk_env : int -> Dip_core.Env.t;
+  verify : (Dip_core.Packet.view -> (unit, string) result) option;
+}
+
+let v ?verify ~registry ~mk_env () = { epoch = 0; registry; mk_env; verify }
+
+let next ?verify ?registry ?mk_env t =
+  {
+    epoch = t.epoch + 1;
+    registry = Option.value registry ~default:t.registry;
+    mk_env = Option.value mk_env ~default:t.mk_env;
+    verify;
+  }

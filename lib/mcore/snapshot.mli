@@ -1,0 +1,46 @@
+(** Immutable configuration snapshots for the parallel data plane.
+
+    Worker domains never take a lock to read configuration: a
+    {!Pool} holds one [Atomic.t] pointer to the {e current} snapshot,
+    workers dereference it at batch start, and the control plane
+    replaces the whole pointer ({!Pool.publish}) instead of mutating
+    anything in place. A snapshot must therefore be treated as
+    immutable once published — build a new one ({!next}) for every
+    configuration change, RCU-style.
+
+    Because {!Dip_core.Env.t} is deeply mutable (PIT, routes, OPT
+    secrets), a snapshot does not carry environments; it carries a
+    {e factory} [mk_env] from which the pool builds one private
+    environment per worker. Flow-hash sharding ({!Flow}) guarantees
+    each flow only ever sees one worker's environment, so per-flow
+    state stays coherent without sharing. *)
+
+type t = {
+  epoch : int;  (** Monotone publication counter. *)
+  registry : Dip_core.Registry.t;
+      (** Installed operation modules. Treat as frozen: enabling or
+          disabling an op means publishing a new snapshot. *)
+  mk_env : int -> Dip_core.Env.t;
+      (** [mk_env w] builds worker [w]'s private environment —
+          identical configuration, disjoint mutable state. *)
+  verify : (Dip_core.Packet.view -> (unit, string) result) option;
+      (** Static program verifier, e.g. [Dip_analysis.verifier]. *)
+}
+
+val v :
+  ?verify:(Dip_core.Packet.view -> (unit, string) result) ->
+  registry:Dip_core.Registry.t ->
+  mk_env:(int -> Dip_core.Env.t) ->
+  unit ->
+  t
+(** A fresh epoch-0 snapshot. *)
+
+val next :
+  ?verify:(Dip_core.Packet.view -> (unit, string) result) ->
+  ?registry:Dip_core.Registry.t ->
+  ?mk_env:(int -> Dip_core.Env.t) ->
+  t ->
+  t
+(** [next t] is [t] with the given fields replaced and the epoch
+    bumped — the value to hand to {!Pool.publish}. An omitted
+    [verify] clears it (pass it explicitly to keep verification). *)

@@ -1,0 +1,70 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* consumer cursor: next slot to pop *)
+  tail : int Atomic.t; (* producer cursor: next slot to fill *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.make !cap None;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let capacity t = t.mask + 1
+let size t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = size t = 0
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- Some v;
+    (* Release store: publishes the slot write to the consumer. *)
+    Atomic.set t.tail (tail + 1);
+    Mutex.lock t.lock;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock;
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then None
+  else begin
+    let v = t.slots.(head land t.mask) in
+    t.slots.(head land t.mask) <- None;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+(* No lost wakeup: if the producer pushes between our failed [pop] and
+   taking the lock, the re-check under the lock sees the ring
+   non-empty and skips the wait. *)
+let rec pop_wait t ~stop =
+  match pop t with
+  | Some _ as v -> v
+  | None ->
+      if stop () then None
+      else begin
+        Mutex.lock t.lock;
+        if is_empty t && not (stop ()) then Condition.wait t.nonempty t.lock;
+        Mutex.unlock t.lock;
+        pop_wait t ~stop
+      end
+
+let wake t =
+  Mutex.lock t.lock;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock

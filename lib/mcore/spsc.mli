@@ -1,0 +1,44 @@
+(** Bounded single-producer/single-consumer ring queue.
+
+    The feed path between the dispatcher and one worker domain
+    ({!Pool}). The fast path is lock-free — one [Atomic] load and one
+    [Atomic] store per operation, the slot array itself accessed
+    plainly (the release store of the cursor publishes the slot
+    write) — which is sound {e only} under the SPSC contract: exactly
+    one domain pushes and exactly one domain pops.
+
+    The mutex/condition pair exists solely so the consumer can
+    {e block} when the ring runs dry instead of spinning. On a
+    machine with fewer cores than domains a spinning worker would
+    steal the dispatcher's CPU and deadlock progress; blocking makes
+    the pool correct (if slow) even on one core. It costs the
+    producer an uncontended lock/signal per push and the consumer
+    nothing while items flow. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] holds at least [capacity] items (rounded up to
+    a power of two). Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** Producer side. [false] when the ring is full (the producer should
+    back off and retry). *)
+
+val pop : 'a t -> 'a option
+(** Consumer side, non-blocking. *)
+
+val pop_wait : 'a t -> stop:(unit -> bool) -> 'a option
+(** Consumer side, blocking. Waits until an item is available or
+    [stop ()] becomes true; returns [None] only when the ring is
+    empty {e and} stopped, so queued work always drains before
+    shutdown. The producer must call {!wake} after flipping the stop
+    flag. *)
+
+val wake : 'a t -> unit
+(** Wake a consumer blocked in {!pop_wait} (e.g. after setting the
+    stop flag). *)

@@ -84,6 +84,13 @@ let peek_time t =
   if t.len = 0 then None
   else match t.heap.(0) with Empty -> None | Cell c -> Some c.time
 
+let peek t =
+  if t.len = 0 then None
+  else
+    match t.heap.(0) with
+    | Empty -> None
+    | Cell c -> Some (c.time, c.payload)
+
 let vacant_slots_cleared t =
   let ok = ref true in
   for i = t.len to Array.length t.heap - 1 do

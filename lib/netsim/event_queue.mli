@@ -20,6 +20,11 @@ val pop : 'a t -> (float * 'a) option
 val peek_time : 'a t -> float option
 (** Time of the earliest event without removing it. *)
 
+val peek : 'a t -> (float * 'a) option
+(** The earliest event without removing it — what a batching run
+    loop inspects to decide whether the head joins the current
+    batch. *)
+
 val vacant_slots_cleared : 'a t -> bool
 (** [true] iff no slot beyond the live heap still holds a popped
     event. Always [true] for a correct implementation — exposed so

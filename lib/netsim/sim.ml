@@ -296,3 +296,114 @@ let run ?(until = Float.infinity) t =
             loop ())
   in
   loop ()
+
+(* --- batched execution ------------------------------------------- *)
+
+type batch_item = {
+  b_node : node_id;
+  b_port : port;
+  b_time : float;
+  b_packet : Dip_bitbuf.Bitbuf.t;
+}
+
+(* Apply one batched item's results exactly as [handle_arrival] would
+   have: clock rewound to the item's arrival instant, rx accounting,
+   then the actions. *)
+let apply_batch_result t item actions =
+  t.clock <- item.b_time;
+  let node = t.nodes.(item.b_node) in
+  Stats.Counters.incr t.stats (node.name ^ ".rx");
+  (match t.obs with
+  | Some o -> Dip_obs.Metrics.Counter.incr o.rx
+  | None -> ());
+  List.iter
+    (fun action ->
+      match action with
+      | Forward (out, pkt) -> transmit t ~from:(item.b_node, out) pkt
+      | Consume ->
+          Stats.Counters.incr t.stats (node.name ^ ".consumed");
+          (match t.obs with
+          | Some o -> Dip_obs.Metrics.Counter.incr o.consumed_c
+          | None -> ());
+          t.delivered <- (item.b_node, t.clock, item.b_packet) :: t.delivered;
+          List.iter (fun f -> f item.b_node t.clock item.b_packet) t.consume_hooks
+      | Drop reason ->
+          Stats.Counters.incr t.stats (node.name ^ ".drop." ^ reason);
+          obs_drop t reason)
+    actions
+
+let run_batched ?(until = Float.infinity) ?(window = 0.0) t ~batchable ~exec =
+  if window < 0.0 then invalid_arg "Sim.run_batched: negative window";
+  (* The pending batch, newest first, plus the time of its oldest
+     member (the window anchor). *)
+  let pending = ref [] in
+  let npending = ref 0 in
+  let anchor = ref 0.0 in
+  let flush () =
+    match !pending with
+    | [] -> ()
+    | items ->
+        let arr = Array.make !npending (List.hd items) in
+        List.iteri (fun i item -> arr.(!npending - 1 - i) <- item) items;
+        pending := [];
+        npending := 0;
+        let results = exec arr in
+        if Array.length results <> Array.length arr then
+          invalid_arg "Sim.run_batched: exec returned a mismatched array";
+        (* Results are applied in arrival order, so everything a
+           handler could observe sequentially (per-link serialization,
+           counters, consume order) is independent of how [exec]
+           scheduled the work. *)
+        Array.iteri (fun i item -> apply_batch_result t item results.(i)) arr
+  in
+  let rec loop () =
+    match Event_queue.peek t.queue with
+    | None ->
+        (* Flushing the tail batch can schedule new events; re-enter
+           so they run rather than being stranded in the queue. *)
+        if !npending > 0 then begin
+          flush ();
+          loop ()
+        end
+    | Some (time, _) when time > until ->
+        (* Same: a flush can schedule events at or before [until]. *)
+        if !npending > 0 then begin
+          flush ();
+          loop ()
+        end
+    | Some (time, ev) ->
+        let joins =
+          match ev with
+          | Arrival (id, _, _) ->
+              batchable id && (!npending = 0 || time <= !anchor +. window)
+          | Timer _ -> false
+        in
+        if (not joins) && !npending > 0 then begin
+          (* The batch must retire before this event runs: its actions
+             may schedule earlier events than the head. Re-peek after
+             flushing. *)
+          flush ();
+          loop ()
+        end
+        else begin
+          (match Event_queue.pop t.queue with
+          | None -> ()
+          | Some (time, ev) -> (
+              match ev with
+              | Arrival (id, port, packet) when joins ->
+                  if !npending = 0 then anchor := time;
+                  pending :=
+                    { b_node = id; b_port = port; b_time = time;
+                      b_packet = packet }
+                    :: !pending;
+                  incr npending
+              | Arrival (id, port, packet) ->
+                  t.clock <- time;
+                  handle_arrival t id port packet
+              | Timer f ->
+                  t.clock <- time;
+                  f t));
+          loop ()
+        end
+  in
+  loop ()

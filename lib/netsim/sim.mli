@@ -86,6 +86,34 @@ val run : ?until:float -> t -> unit
 (** Process events in order until the queue drains or the clock
     passes [until]. *)
 
+type batch_item = {
+  b_node : node_id;
+  b_port : port;  (** ingress port *)
+  b_time : float;  (** arrival instant *)
+  b_packet : Dip_bitbuf.Bitbuf.t;
+}
+
+val run_batched :
+  ?until:float ->
+  ?window:float ->
+  t ->
+  batchable:(node_id -> bool) ->
+  exec:(batch_item array -> action list array) ->
+  unit
+(** {!run}, except that maximal runs of consecutive arrivals at
+    [batchable] nodes spanning at most [window] seconds (default 0 —
+    same-instant arrivals only) are collected and handed to [exec]
+    as one batch instead of going through the nodes' handlers. This
+    is the hook a domain-parallel data plane ({!Dip_mcore}) plugs
+    into: [exec] may compute the per-packet action lists on worker
+    domains, but the results are {e applied} on the calling domain,
+    in arrival order, before any later event runs — so the schedule
+    (and hence delivery counts and counters) is a function of
+    [window] and the workload only, never of how many domains [exec]
+    used. Timer events and arrivals at non-batchable nodes flush the
+    pending batch and run normally. [exec] must return exactly one
+    action list per item; it must not touch the simulator. *)
+
 val counters : t -> Stats.Counters.t
 (** Global counters: per node, ["<name>.rx"], ["<name>.tx"],
     ["<name>.consumed"], ["<name>.drop.<reason>"]. *)

@@ -109,8 +109,19 @@ module Series = struct
       invalid_arg "Stats.Series.percentile: p out of range";
     let a = sorted t in
     let k = Array.length a in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int k)) in
-    a.(Stdlib.max 0 (Stdlib.min (k - 1) (rank - 1)))
+    if k = 1 then a.(0)
+    else begin
+      (* Linear interpolation between order statistics (Hyndman–Fan
+         type 7, the R/NumPy default). A ceiling-rank estimator
+         degenerates on tiny reservoirs — with k samples every
+         p ≥ 100·(k−1)/k collapses onto the max, so a 2-sample
+         series reported its maximum as p75, p90 and p99 alike. *)
+      let h = float_of_int (k - 1) *. p /. 100.0 in
+      let lo = int_of_float (Float.floor h) in
+      let hi = Stdlib.min (k - 1) (lo + 1) in
+      let frac = h -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
 
   let summary t =
     if t.n = 0 then "n=0"

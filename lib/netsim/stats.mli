@@ -65,10 +65,14 @@ module Series : sig
       than two samples. *)
 
   val percentile : t -> float -> float
-  (** [percentile s p] with [p] in [\[0,100\]] by nearest-rank on the
-      sorted {e reservoir}: exact while [count s <= capacity s], an
-      unbiased estimate afterwards. Raises [Invalid_argument] on an
-      empty series or [p] out of range. *)
+  (** [percentile s p] with [p] in [\[0,100\]] by linear interpolation
+      between order statistics of the sorted {e reservoir}
+      (Hyndman–Fan type 7, the R/NumPy default): exact while
+      [count s <= capacity s], an unbiased estimate afterwards.
+      Interpolation keeps tiny reservoirs honest — with k samples a
+      nearest-rank rule would return the max for every
+      [p >= 100·(k−1)/k]. Raises [Invalid_argument] on an empty
+      series or [p] out of range. *)
 
   val summary : t -> string
   (** "n=… mean=… p50=… p99=… max=…" one-liner (p50/p99 are

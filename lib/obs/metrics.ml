@@ -120,6 +120,22 @@ type hsnap = {
 
 type value = Counter_v of int | Gauge_v of int | Histogram_v of hsnap
 
+let absorb t snap =
+  List.iter
+    (fun (name, help, v) ->
+      match v with
+      | Counter_v n -> Counter.incr ~by:n (counter ~help t name)
+      | Gauge_v n ->
+          let g = gauge ~help t name in
+          Gauge.set g (Gauge.get g + n)
+      | Histogram_v s ->
+          let h = histogram ~help t name in
+          Array.iteri (fun i n -> h.slots.(i) <- h.slots.(i) + n) s.counts;
+          h.hcount <- h.hcount + s.count;
+          h.hsum <- h.hsum +. s.sum;
+          if s.max_value > h.hmax then h.hmax <- s.max_value)
+    snap
+
 let snapshot t =
   Hashtbl.fold
     (fun name (help, i) acc ->

@@ -102,3 +102,11 @@ type value = Counter_v of int | Gauge_v of int | Histogram_v of hsnap
 val snapshot : t -> (string * string * value) list
 (** [(name, help, value)] for every registered instrument, sorted by
     name. *)
+
+val absorb : t -> (string * string * value) list -> unit
+(** Merge a {!snapshot} of another registry into [t], registering
+    instruments as needed: counters and histogram buckets (count,
+    sum, max) add; gauges add too, so a merged gauge reads as the
+    sum across the absorbed registries — the aggregation a
+    multi-domain data plane wants when per-worker registries are
+    folded together on drain ({!Dip_mcore}). *)

@@ -1,0 +1,483 @@
+(* Tests for Dip_mcore, the domain-parallel batched data plane: the
+   SPSC rings, flow-hash sharding, batch ≡ sequential-fold
+   equivalence (engine-level and pool-level), snapshot publication,
+   per-worker metrics merging, and the headline determinism property:
+   an N-domain simulator run delivers exactly what the single-domain
+   run delivers. *)
+
+open Dip_core
+module Mcore = Dip_mcore
+module Sim = Dip_netsim.Sim
+module Bitbuf = Dip_bitbuf.Bitbuf
+module Ipaddr = Dip_tables.Ipaddr
+module Name = Dip_tables.Name
+
+let v4 = Ipaddr.V4.of_string
+let v6 = Ipaddr.V6.of_string
+let registry = Ops.default_registry ()
+
+(* --- Spsc --- *)
+
+let test_spsc_fifo () =
+  let q = Mcore.Spsc.create ~capacity:8 in
+  Alcotest.(check int) "rounded capacity" 8 (Mcore.Spsc.capacity q);
+  Alcotest.(check bool) "empty" true (Mcore.Spsc.is_empty q);
+  for i = 1 to 8 do
+    Alcotest.(check bool) "push" true (Mcore.Spsc.push q i)
+  done;
+  Alcotest.(check bool) "full push rejected" false (Mcore.Spsc.push q 9);
+  Alcotest.(check int) "size" 8 (Mcore.Spsc.size q);
+  for i = 1 to 8 do
+    Alcotest.(check (option int)) "fifo order" (Some i) (Mcore.Spsc.pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Mcore.Spsc.pop q);
+  (* Wrap around the ring a few times. *)
+  for round = 0 to 5 do
+    for i = 0 to 5 do
+      ignore (Mcore.Spsc.push q ((round * 10) + i))
+    done;
+    for i = 0 to 5 do
+      Alcotest.(check (option int)) "wrapped fifo"
+        (Some ((round * 10) + i))
+        (Mcore.Spsc.pop q)
+    done
+  done
+
+let test_spsc_cross_domain () =
+  (* One producer domain, one consumer domain, blocking consumption:
+     every item arrives exactly once, in order, and the stop flag
+     lets the consumer drain before exiting. *)
+  let q = Mcore.Spsc.create ~capacity:4 in
+  let n = 500 in
+  let stop = Atomic.make false in
+  let consumer =
+    Domain.spawn (fun () ->
+        let got = ref [] in
+        let rec loop () =
+          match Mcore.Spsc.pop_wait q ~stop:(fun () -> Atomic.get stop) with
+          | Some v ->
+              got := v :: !got;
+              loop ()
+          | None -> List.rev !got
+        in
+        loop ())
+  in
+  for i = 1 to n do
+    while not (Mcore.Spsc.push q i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  Atomic.set stop true;
+  Mcore.Spsc.wake q;
+  let got = Domain.join consumer in
+  Alcotest.(check (list int)) "all items, in order" (List.init n (fun i -> i + 1)) got
+
+let test_spsc_capacity_guard () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Spsc.create: capacity must be >= 1") (fun () ->
+      ignore (Mcore.Spsc.create ~capacity:0))
+
+(* --- Flow --- *)
+
+let mk_ipv4 ?(payload = "flowtest") flow =
+  Realize.ipv4 ~src:(v4 "192.0.2.1")
+    ~dst:(v4 (Printf.sprintf "10.0.%d.%d" (flow / 250) (1 + (flow mod 250))))
+    ~payload ()
+
+let test_flow_deterministic () =
+  let a = mk_ipv4 3 and b = mk_ipv4 3 in
+  Alcotest.(check int) "same flow, same hash" (Mcore.Flow.hash a)
+    (Mcore.Flow.hash b);
+  (* The hash covers the match field, not the payload. *)
+  let c = mk_ipv4 ~payload:"something-else-entirely" 3 in
+  Alcotest.(check int) "payload-independent" (Mcore.Flow.hash a)
+    (Mcore.Flow.hash c);
+  Alcotest.(check bool) "non-negative" true (Mcore.Flow.hash a >= 0)
+
+let test_flow_spreads () =
+  (* 64 distinct destination addresses should not all land on one of
+     4 workers (CRC-32 over the address field). *)
+  let shards =
+    List.init 64 (fun f -> Mcore.Flow.shard (mk_ipv4 f) ~workers:4)
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) "in range" true (s >= 0 && s < 4))
+    shards;
+  let distinct = List.sort_uniq compare shards in
+  Alcotest.(check bool) "uses several workers" true (List.length distinct > 1);
+  List.iter
+    (fun s -> Alcotest.(check int) "1 worker => shard 0" 0 s)
+    (List.init 8 (fun f -> Mcore.Flow.shard (mk_ipv4 f) ~workers:1))
+
+let test_flow_garbage_safe () =
+  (* Unparsable buffers fall back to whole-buffer hashing and never
+     raise. *)
+  List.iter
+    (fun s ->
+      let buf = Bitbuf.of_string s in
+      let h = Mcore.Flow.hash buf in
+      Alcotest.(check int) "stable" h (Mcore.Flow.hash buf))
+    [ ""; "\x00"; "abcdefgh"; String.make 64 '\xff' ]
+
+(* --- shared workload helpers --- *)
+
+let chain_name = Name.of_string "/mcore/test"
+
+let mk_env ?(v4_port = 1) _w =
+  let env = Env.create ~name:"mcore-test" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes
+    (Ipaddr.Prefix.of_string "10.0.0.0/8")
+    v4_port;
+  Dip_ip.Ipv6.add_route env.Env.v6_routes
+    (Ipaddr.Prefix.of_string "2001:db8::/32")
+    1;
+  Dip_tables.Name_fib.insert env.Env.fib chain_name 1;
+  for i = 0 to 31 do
+    Dip_tables.Name_fib.insert env.Env.fib
+      (Name.of_string (Printf.sprintf "/mcore/f%d" i))
+      1
+  done;
+  env
+
+(* A mixed-protocol packet from a (protocol selector, flow id) pair:
+   DIP-32, DIP-128 and NDN interests, with the flow id driving the
+   match field. *)
+let mk_packet (proto, flow) =
+  match proto mod 3 with
+  | 0 -> mk_ipv4 flow
+  | 1 ->
+      Realize.ipv6 ~src:(v6 "2001:db8::1")
+        ~dst:(v6 (Printf.sprintf "2001:db8::%x" (1 + flow)))
+        ~payload:"flowtest" ()
+  | _ ->
+      Realize.ndn_interest
+        ~name:(Name.of_string (Printf.sprintf "/mcore/f%d" (flow mod 32)))
+        ~payload:"" ()
+
+let verdict_summary = function
+  | Engine.Forwarded ports ->
+      "forwarded:" ^ String.concat "," (List.map string_of_int ports)
+  | Engine.Delivered -> "delivered"
+  | Engine.Responded b -> Printf.sprintf "responded:%d" (Bitbuf.length b)
+  | Engine.Quiet -> "quiet"
+  | Engine.Dropped r -> "dropped:" ^ r
+  | Engine.Unsupported k -> "unsupported:" ^ Opkey.name k
+
+let result_summary (v, (i : Engine.info)) =
+  Printf.sprintf "%s run=%d skip=%d depth=%d" (verdict_summary v) i.Engine.ops_run
+    i.Engine.ops_skipped i.Engine.parallel_depth
+
+(* Obs counter snapshot with the wall-clock-dependent instruments
+   (sampled nanosecond totals and span histograms) filtered out:
+   everything left is a deterministic function of the workload. *)
+let obs_counts m =
+  List.filter_map
+    (fun (name, _, v) ->
+      match v with
+      | Dip_obs.Metrics.Counter_v n
+        when not (Filename.check_suffix name ".ns") ->
+          Some (name, n)
+      | _ -> None)
+    (Dip_obs.Metrics.snapshot m)
+
+(* --- batch ≡ sequential fold (engine level) --- *)
+
+let prop_batch_equals_fold =
+  QCheck.Test.make ~name:"engine: process_batch ≡ sequential process fold"
+    ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 0 40)
+        (pair (int_range 0 2) (int_range 0 15)))
+    (fun specs ->
+      let pkts = List.map mk_packet specs in
+      let run_seq () =
+        let env = mk_env 0 in
+        let m = Dip_obs.Metrics.create () in
+        let obs = Obs.create m in
+        let out =
+          List.map
+            (fun p ->
+              result_summary
+                (Engine.process ~obs ~registry env ~now:0.0 ~ingress:0
+                   (Bitbuf.copy p)))
+            pkts
+        in
+        Env.publish_cache_stats env;
+        (out, obs_counts m)
+      in
+      let run_batch () =
+        let env = mk_env 0 in
+        let m = Dip_obs.Metrics.create () in
+        let obs = Obs.create m in
+        let out =
+          Engine.process_batch ~obs ~registry env ~now:0.0 ~ingress:0
+            (Array.of_list (List.map Bitbuf.copy pkts))
+        in
+        (Array.to_list (Array.map result_summary out), obs_counts m)
+      in
+      let seq_out, seq_counts = run_seq () in
+      let batch_out, batch_counts = run_batch () in
+      seq_out = batch_out && seq_counts = batch_counts)
+
+(* Batches also mutate the packets identically (hop limits, marks). *)
+let prop_batch_mutations_agree =
+  QCheck.Test.make ~name:"engine: batch mutates packets like process"
+    ~count:40
+    QCheck.(
+      list_of_size (Gen.int_range 1 20)
+        (pair (int_range 0 2) (int_range 0 15)))
+    (fun specs ->
+      let pkts = List.map mk_packet specs in
+      let seq = List.map Bitbuf.copy pkts in
+      let batch = Array.of_list (List.map Bitbuf.copy pkts) in
+      let env1 = mk_env 0 and env2 = mk_env 0 in
+      List.iter
+        (fun p -> ignore (Engine.process ~registry env1 ~now:0.0 ~ingress:0 p))
+        seq;
+      ignore (Engine.process_batch ~registry env2 ~now:0.0 ~ingress:0 batch);
+      List.for_all2
+        (fun a b -> Bitbuf.to_string a = Bitbuf.to_string b)
+        seq (Array.to_list batch))
+
+(* --- pool ≡ sequential fold --- *)
+
+let pool_vs_fold ~domains specs =
+  let pkts = List.map mk_packet specs in
+  let seq =
+    let env = mk_env 0 in
+    List.map
+      (fun p ->
+        verdict_summary
+          (fst (Engine.process ~registry env ~now:0.0 ~ingress:0 (Bitbuf.copy p))))
+      pkts
+  in
+  let pool =
+    Mcore.Pool.create ~domains (Mcore.Snapshot.v ~registry ~mk_env ())
+  in
+  let items =
+    Array.of_list
+      (List.map
+         (fun p -> { Mcore.Pool.now = 0.0; ingress = 0; pkt = Bitbuf.copy p })
+         pkts)
+  in
+  let out = Mcore.Pool.process_batch pool items in
+  Mcore.Pool.shutdown pool;
+  (seq, Array.to_list (Array.map (fun (v, _) -> verdict_summary v) out))
+
+let prop_pool_equals_fold =
+  QCheck.Test.make
+    ~name:"pool: sharded multi-domain batch ≡ sequential fold" ~count:25
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size (Gen.int_range 0 30)
+           (pair (int_range 0 2) (int_range 0 15))))
+    (fun (domains, specs) ->
+      let seq, pool = pool_vs_fold ~domains specs in
+      seq = pool)
+
+(* --- pool: snapshot publication --- *)
+
+let test_pool_publish () =
+  let snap0 = Mcore.Snapshot.v ~registry ~mk_env () in
+  let pool = Mcore.Pool.create ~domains:2 snap0 in
+  Alcotest.(check int) "epoch 0" 0 (Mcore.Pool.epoch pool);
+  let items =
+    Array.init 8 (fun i ->
+        { Mcore.Pool.now = 0.0; ingress = 0; pkt = mk_ipv4 i })
+  in
+  let ports out =
+    Array.to_list
+      (Array.map
+         (fun (v, _) ->
+           match v with Engine.Forwarded p -> p | _ -> [])
+         out)
+  in
+  Alcotest.(check (list (list int)))
+    "old snapshot routes to port 1"
+    (List.init 8 (fun _ -> [ 1 ]))
+    (ports (Mcore.Pool.process_batch pool items));
+  (* RCU-style cutover: next batch sees the new forwarding table. *)
+  Mcore.Pool.publish pool
+    (Mcore.Snapshot.next ~mk_env:(mk_env ~v4_port:7) snap0);
+  Alcotest.(check int) "epoch bumped" 1 (Mcore.Pool.epoch pool);
+  let items2 =
+    Array.init 8 (fun i ->
+        { Mcore.Pool.now = 0.0; ingress = 0; pkt = mk_ipv4 i })
+  in
+  Alcotest.(check (list (list int)))
+    "published snapshot routes to port 7"
+    (List.init 8 (fun _ -> [ 7 ]))
+    (ports (Mcore.Pool.process_batch pool items2));
+  Mcore.Pool.shutdown pool
+
+let test_pool_counters_and_metrics () =
+  let pool =
+    Mcore.Pool.create ~domains:3 ~metrics:true ~obs_sample_every:1
+      (Mcore.Snapshot.v ~registry ~mk_env ())
+  in
+  let n = 48 in
+  let items =
+    Array.init n (fun i -> { Mcore.Pool.now = 0.0; ingress = 0; pkt = mk_ipv4 i })
+  in
+  let out = Mcore.Pool.process_batch pool items in
+  Array.iter
+    (fun (v, _) ->
+      match v with
+      | Engine.Forwarded [ 1 ] -> ()
+      | v -> Alcotest.failf "unexpected verdict %s" (verdict_summary v))
+    out;
+  (* Counters merge across the 3 worker envs: every packet either hit
+     or missed each worker's program cache. *)
+  let c = Mcore.Pool.counters pool in
+  Alcotest.(check int) "cache hits+misses = packets" n
+    (Dip_netsim.Stats.Counters.get c "progcache.hit"
+    + Dip_netsim.Stats.Counters.get c "progcache.miss");
+  (* Metrics merge across the per-worker registries. *)
+  (match Mcore.Pool.metrics pool with
+  | None -> Alcotest.fail "metrics expected"
+  | Some m ->
+      Alcotest.(check (option (pair string int)))
+        "engine.packets sums the workers"
+        (Some ("engine.packets", n))
+        (List.find_opt (fun (k, _) -> k = "engine.packets") (obs_counts m)));
+  Mcore.Pool.shutdown pool;
+  (* Shutdown is idempotent. *)
+  Mcore.Pool.shutdown pool
+
+(* --- simulator determinism across domain counts --- *)
+
+let run_chain ~mode count =
+  let sim = Sim.create () in
+  let mk_router i _w =
+    let env = mk_env 0 in
+    ignore i;
+    env
+  in
+  let sink_consumed = ref 0 in
+  let sink _sim ~now:_ ~ingress:_ _ = incr sink_consumed; [ Sim.Consume ] in
+  let pools, ids =
+    match mode with
+    | `Handler ->
+        let ids =
+          List.init 2 (fun i ->
+              Sim.add_node sim
+                ~name:(Printf.sprintf "r%d" (i + 1))
+                (Engine.handler ~registry (mk_router i 0)))
+        in
+        ([], ids)
+    | `Pool domains ->
+        let pools =
+          List.init 2 (fun i ->
+              Mcore.Pool.create ~domains
+                (Mcore.Snapshot.v ~registry ~mk_env:(mk_router i) ()))
+        in
+        let ids =
+          List.mapi
+            (fun i pool ->
+              Sim.add_node sim
+                ~name:(Printf.sprintf "r%d" (i + 1))
+                (fun _sim ~now ~ingress pkt ->
+                  (Mcore.Pool.handle_batch pool
+                     [| { Mcore.Pool.now; ingress; pkt } |]).(0)))
+            pools
+        in
+        (pools, ids)
+  in
+  let sink_id = Sim.add_node sim ~name:"sink" sink in
+  (match ids with
+  | [ a; b ] ->
+      Sim.connect sim (a, 1) (b, 0);
+      Sim.connect sim (b, 1) (sink_id, 0)
+  | _ -> assert false);
+  for k = 0 to count - 1 do
+    Sim.inject sim
+      ~at:(float_of_int k *. 1e-6)
+      ~node:(List.hd ids) ~port:0
+      (mk_packet (k mod 3, k mod 16))
+  done;
+  (match mode with
+  | `Handler -> Sim.run sim
+  | `Pool _ ->
+      Mcore.Runner.run_parallel ~window:8e-6 sim
+        ~pools:(List.combine ids pools));
+  List.iter Mcore.Pool.shutdown pools;
+  (!sink_consumed, Dip_netsim.Stats.Counters.to_list (Sim.counters sim))
+
+let test_parallel_determinism () =
+  (* The headline property: delivery counts and every per-node
+     counter are a function of the workload, not of the domain
+     count — and they match the plain sequential handler run. *)
+  let count = 90 in
+  let seq = run_chain ~mode:`Handler count in
+  let one = run_chain ~mode:(`Pool 1) count in
+  let four = run_chain ~mode:(`Pool 4) count in
+  Alcotest.(check (pair int (list (pair string int))))
+    "1-domain batched ≡ sequential handlers" seq one;
+  Alcotest.(check (pair int (list (pair string int))))
+    "4-domain ≡ 1-domain" one four;
+  let four' = run_chain ~mode:(`Pool 4) count in
+  Alcotest.(check (pair int (list (pair string int))))
+    "4-domain reruns reproduce" four four'
+
+(* --- run_batched: tail flush --- *)
+
+let test_run_batched_tail_flush () =
+  (* Regression: the final flush schedules downstream arrivals; the
+     loop must keep running until they drain, or the tail of every
+     run is silently lost. *)
+  let sim = Sim.create () in
+  let consumed = ref 0 in
+  let fwd _sim ~now:_ ~ingress:_ pkt = [ Sim.Forward (1, pkt) ] in
+  let sink _sim ~now:_ ~ingress:_ _ = incr consumed; [ Sim.Consume ] in
+  let r1 = Sim.add_node sim ~name:"r1" fwd in
+  let r2 = Sim.add_node sim ~name:"r2" fwd in
+  let s = Sim.add_node sim ~name:"sink" sink in
+  Sim.connect sim (r1, 1) (r2, 0);
+  Sim.connect sim (r2, 1) (s, 0);
+  let n = 10 in
+  for k = 0 to n - 1 do
+    Sim.inject sim ~at:(float_of_int k *. 1e-6) ~node:r1 ~port:0
+      (Bitbuf.create 32)
+  done;
+  (* A window wide enough that all injections form one batch. *)
+  Sim.run_batched ~window:1.0 sim
+    ~batchable:(fun id -> id = r1 || id = r2)
+    ~exec:(fun items ->
+      Array.map (fun it -> [ Sim.Forward (1, it.Sim.b_packet) ]) items);
+  Alcotest.(check int) "all packets delivered" n !consumed
+
+let () =
+  Alcotest.run "dip_mcore"
+    [
+      ( "spsc",
+        [
+          Alcotest.test_case "fifo + capacity" `Quick test_spsc_fifo;
+          Alcotest.test_case "cross-domain" `Quick test_spsc_cross_domain;
+          Alcotest.test_case "capacity guard" `Quick test_spsc_capacity_guard;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
+          Alcotest.test_case "spreads" `Quick test_flow_spreads;
+          Alcotest.test_case "garbage safe" `Quick test_flow_garbage_safe;
+        ] );
+      ( "batch",
+        [
+          QCheck_alcotest.to_alcotest prop_batch_equals_fold;
+          QCheck_alcotest.to_alcotest prop_batch_mutations_agree;
+        ] );
+      ( "pool",
+        [
+          QCheck_alcotest.to_alcotest prop_pool_equals_fold;
+          Alcotest.test_case "publish" `Quick test_pool_publish;
+          Alcotest.test_case "counters + metrics" `Quick
+            test_pool_counters_and_metrics;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "domains don't change delivery" `Quick
+            test_parallel_determinism;
+          Alcotest.test_case "run_batched tail flush" `Quick
+            test_run_batched_tail_flush;
+        ] );
+    ]

@@ -507,6 +507,40 @@ let test_series_reservoir_cap () =
   Alcotest.(check int) "default capacity" Stats.Series.default_capacity
     (Stats.Series.capacity (Stats.Series.create ()))
 
+let test_series_tiny_reservoir_percentiles () =
+  (* Regression: the old ceiling-rank rule returned the max for every
+     quantile once the reservoir held fewer than ~4 samples, so a
+     2-sample latency series reported p50 = p99 = max. Type-7
+     interpolation keeps small reservoirs informative. *)
+  let of_list l =
+    let s = Stats.Series.create () in
+    List.iter (Stats.Series.add s) l;
+    s
+  in
+  let two = of_list [ 10.0; 20.0 ] in
+  Alcotest.(check (float 1e-9)) "n=2 p50 interpolates" 15.0
+    (Stats.Series.percentile two 50.0);
+  Alcotest.(check (float 1e-9)) "n=2 p0" 10.0 (Stats.Series.percentile two 0.0);
+  Alcotest.(check (float 1e-9)) "n=2 p100" 20.0
+    (Stats.Series.percentile two 100.0);
+  Alcotest.(check (float 1e-9)) "n=2 p99 below max" 19.9
+    (Stats.Series.percentile two 99.0);
+  let one = of_list [ 7.0 ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "n=1 p%.0f" p)
+        7.0
+        (Stats.Series.percentile one p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  let three = of_list [ 30.0; 10.0; 20.0 ] in
+  Alcotest.(check (float 1e-9)) "n=3 p50 is the median" 20.0
+    (Stats.Series.percentile three 50.0);
+  Alcotest.(check (float 1e-9)) "n=3 p25" 15.0
+    (Stats.Series.percentile three 25.0);
+  Alcotest.(check (float 1e-9)) "n=3 p75" 25.0
+    (Stats.Series.percentile three 75.0)
+
 let test_series_empty_and_capacity_guard () =
   let s = Stats.Series.create () in
   Alcotest.(check (float 0.0)) "empty min" 0.0 (Stats.Series.min s);
@@ -608,6 +642,8 @@ let () =
           Alcotest.test_case "series summary" `Quick test_series_summary;
           Alcotest.test_case "series guards" `Quick test_series_guards;
           Alcotest.test_case "reservoir cap" `Quick test_series_reservoir_cap;
+          Alcotest.test_case "tiny reservoir percentiles" `Quick
+            test_series_tiny_reservoir_percentiles;
           Alcotest.test_case "empty + capacity guard" `Quick
             test_series_empty_and_capacity_guard;
         ] );
