@@ -630,32 +630,450 @@ let targets_of_proto ~hops proto =
   | Xia -> pick [ "xia" ]
   | Epic -> pick [ "epic" ]
 
-let lint proto all hex strict =
-  let hops = 3 in
-  let targets =
-    match hex with
-    | Some h -> (
-        match Dip_stdext.Hex.decode h with
-        | s -> [ ("packet", Bitbuf.of_string s) ]
-        | exception Invalid_argument e ->
-            Printf.eprintf "bad hex: %s\n" e;
-            exit 2)
-    | None -> (
-        if all then section3_targets ~hops @ extension_targets ~hops
-        else
-          match proto with
-          | Some p -> targets_of_proto ~hops p
-          | None -> section3_targets ~hops)
+(* Canned reachability models. {!Dip_analysis.Reach} only needs the
+   topology for its node count; forwarding structure lives in the
+   per-node route tables, keyed on the packet's concrete match-field
+   bytes. *)
+
+module Reach = Dip_analysis.Reach
+module Report = Dip_analysis.Report
+
+let reach_node ?reg routes =
+  {
+    Reach.n_registry = Some (Option.value reg ~default:registry);
+    n_routes = routes;
+    n_local = [];
+  }
+
+(* A delivery chain: src router 0, hops-1 more routers, host dst. *)
+let chain_config ~hops v =
+  {
+    Reach.c_topology = Dip_netsim.Topology.linear (hops + 1);
+    c_node = (fun i -> reach_node (if i < hops then [ (v, i + 1) ] else []));
+    c_src = 0;
+    c_dst = hops;
+  }
+
+(* Static routes that cycle 0→1→2→0 while dst 3 is never entered. *)
+let ring_config v =
+  {
+    Reach.c_topology = Dip_netsim.Topology.linear 4;
+    c_node =
+      (fun i ->
+        reach_node
+          (match i with
+          | 0 -> [ (v, 1) ]
+          | 1 -> [ (v, 2) ]
+          | 2 -> [ (v, 0) ]
+          | _ -> []));
+    c_src = 0;
+    c_dst = 3;
+  }
+
+(* Node 1 simply has no route for the match value. *)
+let cut_config v =
+  {
+    Reach.c_topology = Dip_netsim.Topology.linear 3;
+    c_node = (fun i -> reach_node (if i = 0 then [ (v, 1) ] else []));
+    c_src = 0;
+    c_dst = 2;
+  }
+
+(* A diamond 0→1→{2,3}: node 1 only fans out to node 2 for packets
+   whose match value an FN has rewritten (the unknown-value fanout),
+   and node 2 lacks a mandatory key. The shortest path 0→1→3 is
+   clean, which is exactly why check_deployment misses the gap. *)
+let diamond_config v =
+  let gapped =
+    Registry.restrict registry
+      (List.filter (fun k -> k <> Opkey.F_hvf) (Registry.supported registry))
   in
-  let failed = ref false in
+  {
+    Reach.c_topology = Dip_netsim.Topology.linear 4;
+    c_node =
+      (fun i ->
+        match i with
+        | 0 -> reach_node [ (v, 1) ]
+        | 1 -> reach_node [ (v, 3); ("\xff off-path", 2) ]
+        | 2 -> reach_node ~reg:gapped [ (v, 3) ]
+        | _ -> reach_node []);
+    c_src = 0;
+    c_dst = 3;
+  }
+
+(* Reachability diagnostics for a lint target over an [hops]-router
+   chain. Targets without a forwarding FN carry no match value to
+   route on, so there is nothing to propagate. *)
+let chain_reach_diags ~hops pkt =
+  match Packet.parse pkt with
+  | Error _ -> []
+  | Ok view -> (
+      match Reach.match_value view with
+      | None -> []
+      | Some v -> Reach.check_view (chain_config ~hops v) view)
+
+(* --deep: show the abstract execution both sides of the engine would
+   perform — resolved reads/writes, the dependence edges the analyzer
+   actually proved, and the match value the forwarding decision sees. *)
+let print_deep pkt =
+  match Packet.parse pkt with
+  | Error _ -> ()
+  | Ok view ->
+      let module Absint = Dip_analysis.Absint in
+      let module Field = Dip_bitbuf.Field in
+      let region_bits = 8 * view.Packet.header.Header.fn_loc_len in
+      let bytes =
+        if region_bits = 0 then None
+        else
+          Some
+            (Bitbuf.get_field view.Packet.buf
+               (Dip_bitbuf.Field.v
+                  ~off_bits:(8 * view.Packet.loc_base)
+                  ~len_bits:region_bits))
+      in
+      let program = List.mapi (fun i fn -> (i, fn)) (Array.to_list view.Packet.fns) in
+      let span (f : Field.t) =
+        Printf.sprintf "%d..%d" f.Field.off_bits (Field.last_bit f)
+      in
+      let value_name = function
+        | Absint.Bytes _ -> "exact"
+        | Absint.Abs (k, []) -> Absint.kind_name k
+        | Absint.Abs (k, ws) ->
+            Printf.sprintf "%s by FN %s" (Absint.kind_name k)
+              (String.concat "/" (List.map (fun i -> string_of_int (i + 1)) ws))
+      in
+      List.iter
+        (fun (side, name) ->
+          let r = Absint.exec ~registry ?bytes ~side ~region_bits program in
+          Printf.printf "  %s dataflow:\n" name;
+          List.iter
+            (fun (st : Absint.step) ->
+              let fn = st.Absint.st_fn in
+              if not st.Absint.st_ran then
+                Printf.printf "    FN %-2d %-12s skipped (%s-tagged)\n"
+                  (st.Absint.st_index + 1) (Opkey.name fn.Fn.key)
+                  (match fn.Fn.tag with Fn.Router -> "router" | Fn.Host -> "host")
+              else begin
+                let reads =
+                  (if st.Absint.st_reads_region then [ "region" ] else [])
+                  @ List.map span st.Absint.st_reads
+                in
+                let writes =
+                  List.map
+                    (fun (f, k) ->
+                      Printf.sprintf "%s:%s" (span f)
+                        (match k with
+                        | Registry.W_step -> "step"
+                        | Registry.W_node -> "node"
+                        | Registry.W_data -> "data"))
+                    st.Absint.st_writes
+                in
+                let deps =
+                  List.map
+                    (fun i -> Printf.sprintf "FN %d" (i + 1))
+                    st.Absint.st_read_writers
+                  @ List.map
+                      (fun (c, p) -> Printf.sprintf "scratch.%s←FN %d" c (p + 1))
+                      st.Absint.st_scratch_deps
+                in
+                Printf.printf "    FN %-2d %-12s reads[%s] writes[%s]%s%s\n"
+                  (st.Absint.st_index + 1) (Opkey.name fn.Fn.key)
+                  (String.concat " " reads) (String.concat " " writes)
+                  (match st.Absint.st_value with
+                  | Some v
+                    when (Registry.transfer fn.Fn.key).Registry.t_match ->
+                      " match=" ^ value_name v
+                  | _ -> "")
+                  (if deps = [] then ""
+                   else " deps{" ^ String.concat ", " deps ^ "}")
+              end)
+            r.Absint.steps)
+        [ (Absint.Router, "router"); (Absint.Host, "host") ]
+
+(* --- the defect corpus (--corpus / --emit-corpus) --- *)
+
+(* Checked-in programs under test/corpus/: good/ must analyze with
+   zero errors, bad/<check>--<name>.hex must produce at least one
+   Error of the named class. Regenerate with
+   `dip lint --emit-corpus test/corpus`. *)
+let corpus_programs () =
+  let region n = String.make n '\000' in
+  let ipv4 =
+    Realize.ipv4 ~src:(v4 "192.0.2.7") ~dst:(v4 "10.9.0.42") ~payload:"demo" ()
+  in
+  let bounds_bad =
+    (* Packet.build refuses out-of-region targets, so forge one: grow
+       the first FN's declared length past the region after the fact. *)
+    let p =
+      Packet.build
+        ~fns:[ Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+               Fn.v ~loc:32 ~len:32 Opkey.F_source ]
+        ~locations:(region 8) ~payload:"" ()
+    in
+    Bitbuf.set_uint16 p (Header.fn_offset 0 + 2) 96;
+    p
+  in
+  let key_bad =
+    let p =
+      Packet.build
+        ~fns:[ Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+               Fn.v ~loc:32 ~len:32 Opkey.F_source ]
+        ~locations:(region 8) ~payload:"" ()
+    in
+    Bitbuf.set_uint16 p (Header.fn_offset 1 + 4) 999;
+    p
+  in
+  [
+    ("good", "ipv4.hex", ipv4);
+    ( "good", "ndn-data.hex",
+      Realize.ndn_data ~name:(Name.of_string "/hotnets.org/dip") ~content:"demo" () );
+    ("good", "xia.hex", snd (List.hd (targets_of_proto ~hops:3 Xia)));
+    ("good", "epic.hex", sample_packet ~hops:3 Epic);
+    ( "good", "ndn-opt-data.hex",
+      Realize.ndn_opt_data ~hops:3 ~session_id:0xD1AL ~timestamp:1l
+        ~dest_key:(String.make 16 'k') ~name:(Name.of_string "/hotnets.org/dip")
+        ~content:"demo" () );
+    ("bad", "bounds--region-overflow.hex", bounds_bad);
+    ("bad", "key--unknown.hex", key_bad);
+    ( "bad", "race--parallel-overlap.hex",
+      Packet.build ~parallel:true
+        ~fns:[ Fn.v ~loc:0 ~len:32 Opkey.F_cc; Fn.v ~loc:0 ~len:72 Opkey.F_tel ]
+        ~locations:(region 9) ~payload:"" () );
+    ( "bad", "race--scratch-chain.hex",
+      (* Disjoint fields, so the engine's overlap leveling runs both
+         at level 1 — but F_mark consumes the scratch key F_parm
+         produces: the hazard only the dataflow pass sees. *)
+      Packet.build ~parallel:true
+        ~fns:[ Fn.v ~loc:128 ~len:128 Opkey.F_parm;
+               Fn.v ~loc:288 ~len:128 Opkey.F_mark ]
+        ~locations:(region 52) ~payload:"" () );
+    ( "bad", "dependency--missing-producer.hex",
+      Packet.build
+        ~fns:[ Fn.v ~loc:0 ~len:416 Opkey.F_mac ]
+        ~locations:(region 52) ~payload:"" () );
+    ( "bad", "sharding--telemetry-rewrite.hex",
+      Packet.build
+        ~fns:[ Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+               Fn.v ~loc:0 ~len:72 Opkey.F_tel ]
+        ~locations:(region 9) ~payload:"" () );
+    ("bad", "loop--static-ring.hex", ipv4);
+    ("bad", "blackhole--missing-route.hex", ipv4);
+    ( "bad", "deployment--post-rewrite-gap.hex",
+      Packet.build
+        ~fns:[ Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+               Fn.v ~loc:0 ~len:72 Opkey.F_tel;
+               Fn.v ~loc:72 ~len:32 Opkey.F_hvf ]
+        ~locations:(region 13) ~payload:"" () );
+  ]
+
+let emit_corpus dir =
+  let ensure d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  ensure dir;
   List.iter
-    (fun (label, pkt) ->
+    (fun (sub, name, pkt) ->
+      ensure (Filename.concat dir sub);
+      let path = Filename.concat (Filename.concat dir sub) name in
+      let oc = open_out path in
+      output_string oc (Dip_stdext.Hex.encode (Bitbuf.to_string pkt));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    (corpus_programs ());
+  0
+
+(* Topology-dependent defect classes get a canned model chosen by the
+   file's class prefix; everything else is per-program analysis. *)
+let corpus_topology_diags cls pkt =
+  match Packet.parse pkt with
+  | Error e -> [ Report.error cls ("parse: " ^ e) ]
+  | Ok view -> (
+      match Reach.match_value view with
+      | None ->
+          [ Report.error cls "no concrete match value for the topology model" ]
+      | Some v ->
+          let config =
+            match cls with
+            | Report.Loop -> ring_config v
+            | Report.Blackhole -> cut_config v
+            | _ -> diamond_config v
+          in
+          Reach.check_view config view)
+
+type corpus_result = {
+  cr_file : string;
+  cr_expect : string;  (* "clean" or a check-class name *)
+  cr_errors : int;
+  cr_warnings : int;
+  cr_ok : bool;
+  cr_detail : string;
+}
+
+let corpus_file (sub, name, path) =
+  let file = Filename.concat sub name in
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  match Dip_stdext.Hex.decode (String.trim data) with
+  | exception Invalid_argument e ->
+      { cr_file = file; cr_expect = "?"; cr_errors = 0; cr_warnings = 0;
+        cr_ok = false; cr_detail = "bad hex: " ^ e }
+  | s -> (
+      let pkt = Bitbuf.of_string s in
       let report = Dip_analysis.analyze_packet ~registry pkt in
-      Format.printf "%-20s %a@." (label ^ ":") Dip_analysis.Report.pp report;
-      if not (Dip_analysis.Report.ok report) then failed := true;
-      if strict && not (Dip_analysis.Report.clean report) then failed := true)
-    targets;
-  if !failed then 1 else 0
+      if sub = "good" then
+        {
+          cr_file = file;
+          cr_expect = "clean";
+          cr_errors = Report.errors report;
+          cr_warnings = Report.warnings report;
+          cr_ok = Report.ok report;
+          cr_detail =
+            (if Report.ok report then "no errors"
+             else Option.value ~default:"" (Report.first_error report));
+        }
+      else
+        let cls_name =
+          match String.index_opt name '-' with
+          | Some i when i + 1 < String.length name && name.[i + 1] = '-' ->
+              String.sub name 0 i
+          | _ -> ""
+        in
+        match Report.check_of_name cls_name with
+        | None ->
+            { cr_file = file; cr_expect = cls_name; cr_errors = 0;
+              cr_warnings = 0; cr_ok = false;
+              cr_detail = "unknown check class in file name" }
+        | Some cls ->
+            let extra =
+              match cls with
+              | Report.Loop | Report.Blackhole | Report.Deployment ->
+                  corpus_topology_diags cls pkt
+              | _ -> []
+            in
+            let diags = report.Report.diags @ extra in
+            let hit =
+              List.find_opt
+                (fun (d : Report.diag) ->
+                  d.Report.severity = Report.Error && d.Report.check = cls)
+                diags
+            in
+            {
+              cr_file = file;
+              cr_expect = cls_name;
+              cr_errors =
+                List.length
+                  (List.filter
+                     (fun (d : Report.diag) -> d.Report.severity = Report.Error)
+                     diags);
+              cr_warnings =
+                List.length
+                  (List.filter
+                     (fun (d : Report.diag) -> d.Report.severity = Report.Warning)
+                     diags);
+              cr_ok = hit <> None;
+              cr_detail =
+                (match hit with
+                | Some d -> d.Report.message
+                | None ->
+                    Printf.sprintf "expected an Error of class %s, found none"
+                      cls_name);
+            })
+
+let run_corpus dir json =
+  let list sub =
+    let d = Filename.concat dir sub in
+    if not (Sys.file_exists d) then []
+    else
+      Sys.readdir d |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".hex")
+      |> List.sort compare
+      |> List.map (fun f -> (sub, f, Filename.concat d f))
+  in
+  let files = list "good" @ list "bad" in
+  if files = [] then begin
+    Printf.eprintf "no corpus files under %s\n" dir;
+    exit 2
+  end;
+  let results = List.map corpus_file files in
+  let failed = List.filter (fun r -> not r.cr_ok) results in
+  if json then begin
+    let obj r =
+      Printf.sprintf
+        "{\"file\":%S,\"expect\":%S,\"errors\":%d,\"warnings\":%d,\"ok\":%b,\
+         \"detail\":%S}"
+        r.cr_file r.cr_expect r.cr_errors r.cr_warnings r.cr_ok r.cr_detail
+    in
+    Printf.printf "{\"corpus\":%S,\"files\":[%s],\"failed\":%d}\n" dir
+      (String.concat "," (List.map obj results))
+      (List.length failed)
+  end
+  else begin
+    List.iter
+      (fun r ->
+        Printf.printf "%-40s %-12s %s (%s)\n" r.cr_file
+          ("expect " ^ r.cr_expect)
+          (if r.cr_ok then "ok" else "FAIL")
+          r.cr_detail)
+      results;
+    Printf.printf "%d corpus file(s), %d failure(s)\n" (List.length results)
+      (List.length failed)
+  end;
+  if failed <> [] then 1 else 0
+
+let lint proto all hex strict deep topology json corpus emit =
+  match emit with
+  | Some dir -> emit_corpus dir
+  | None -> (
+      match corpus with
+      | Some dir -> run_corpus dir json
+      | None ->
+          let hops = 3 in
+          let targets =
+            match hex with
+            | Some h -> (
+                match Dip_stdext.Hex.decode h with
+                | s -> [ ("packet", Bitbuf.of_string s) ]
+                | exception Invalid_argument e ->
+                    Printf.eprintf "bad hex: %s\n" e;
+                    exit 2)
+            | None -> (
+                if all then section3_targets ~hops @ extension_targets ~hops
+                else
+                  match proto with
+                  | Some p -> targets_of_proto ~hops p
+                  | None -> section3_targets ~hops)
+          in
+          let failed = ref false in
+          let reports =
+            List.map
+              (fun (label, pkt) ->
+                let report = Dip_analysis.analyze_packet ~registry pkt in
+                let report =
+                  match topology with
+                  | None -> report
+                  | Some n ->
+                      { report with
+                        Report.diags =
+                          report.Report.diags @ chain_reach_diags ~hops:n pkt }
+                in
+                if not (Report.ok report) then failed := true;
+                if strict && not (Report.clean report) then failed := true;
+                (label, pkt, report))
+              targets
+          in
+          if json then
+            print_endline
+              ("["
+              ^ String.concat ","
+                  (List.map
+                     (fun (label, _, r) -> Report.to_json ~label r)
+                     reports)
+              ^ "]")
+          else
+            List.iter
+              (fun (label, pkt, report) ->
+                Format.printf "%-20s %a@." (label ^ ":") Report.pp report;
+                if deep then print_deep pkt)
+              reports;
+          if !failed then 1 else 0)
 
 (* --- chaos: fault injection + reliable delivery --- *)
 
@@ -898,11 +1316,63 @@ let lint_strict_arg =
     value & flag
     & info [ "strict" ] ~doc:"Exit non-zero on warnings too, not just errors.")
 
+let lint_deep_arg =
+  Arg.(
+    value & flag
+    & info [ "deep" ]
+        ~doc:
+          "Also print the abstract dataflow per execution side: resolved \
+           reads/writes, scratch and read-after-write dependence edges, and \
+           the value the forwarding decision matches on.")
+
+let lint_topology_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "topology" ] ~docv:"N"
+        ~doc:
+          "Additionally run the symbolic reachability pass over an \
+           $(docv)-router delivery chain (detects loops, black holes and \
+           \\S2.4 deployment gaps). Targets without a forwarding FN are \
+           skipped.")
+
+let lint_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit reports as a JSON array (or a JSON object with --corpus).")
+
+let lint_corpus_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "Run the defect-corpus gate: $(docv)/good/*.hex must analyze with \
+           zero errors and every $(docv)/bad/<check>--<name>.hex must \
+           produce at least one Error of the named check class (loop, \
+           blackhole and deployment files are checked against canned \
+           topology models).")
+
+let lint_emit_corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-corpus" ] ~docv:"DIR"
+        ~doc:"Regenerate the checked-in defect corpus under $(docv).")
+
 let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Statically verify FN programs (bounds, races, dependencies, keys).")
-    Term.(const lint $ lint_proto_arg $ lint_all_arg $ lint_hex_arg $ lint_strict_arg)
+       ~doc:
+         "Statically verify FN programs: bounds, parallel races, scratch \
+          dependency chains, keys, mcore sharding safety, and (with \
+          --topology or the corpus models) network-wide loops, black holes \
+          and deployment gaps.")
+    Term.(
+      const lint $ lint_proto_arg $ lint_all_arg $ lint_hex_arg
+      $ lint_strict_arg $ lint_deep_arg $ lint_topology_arg $ lint_json_arg
+      $ lint_corpus_arg $ lint_emit_corpus_arg)
 
 let chaos_count_arg =
   Arg.(

@@ -1,4 +1,6 @@
 module Report = Report
+module Absint = Absint
+module Reach = Reach
 module Bitbuf = Dip_bitbuf.Bitbuf
 module Field = Dip_bitbuf.Field
 open Dip_core
@@ -31,6 +33,8 @@ let depth_of_array fns =
   else Array.fold_left max 1 (levels ~conflict fns)
 
 let depth fns = depth_of_array (Array.of_list fns)
+
+let flow_field = Reach.match_field
 
 (* --- the check classes; each works on (original_index, fn) pairs so
    that packet-level analysis can skip undecodable FNs without losing
@@ -65,24 +69,64 @@ let bounds_diags ~loc_len_bits indexed =
       wire @ region)
     indexed
 
+(* The slices an FN actually touches, resolved from its declared
+   transfer function (an FN that reads the whole region touches
+   everything). *)
+let touched ~region_bits (fn : Fn.t) =
+  let reads, writes, tr = Absint.resolved ~region_bits fn in
+  let reads =
+    if tr.Registry.t_reads_region && region_bits > 0 then
+      Field.v ~off_bits:0 ~len_bits:region_bits :: reads
+    else reads
+  in
+  (reads, List.map fst writes)
+
 (* Race detection only matters under the §2.2 parallel flag:
-   Algorithm 1's sequential order is otherwise authoritative. *)
-let race_diags indexed =
+   Algorithm 1's sequential order is otherwise authoritative. Unlike
+   the v1 pairwise check this works on the resolved transfer slices,
+   so an FN that only writes one byte of its target (F_dag) races on
+   exactly that byte. *)
+let race_diags ~region_bits indexed =
   let rec pairs = function
     | [] -> []
     | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
   in
+  let first_overlap l1 l2 =
+    List.fold_left
+      (fun acc a ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            List.fold_left
+              (fun acc b ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if Field.overlaps a b then
+                      let lo = max a.Field.off_bits b.Field.off_bits in
+                      let hi = min (Field.last_bit a) (Field.last_bit b) in
+                      Some (lo, hi)
+                    else None)
+              None l2)
+      None l1
+  in
   List.filter_map
     (fun ((i, (a : Fn.t)), (j, (b : Fn.t))) ->
-      if not (Field.overlaps a.Fn.field b.Fn.field) then None
-      else
-        let wa = Registry.writes_target (access a)
-        and wb = Registry.writes_target (access b) in
-        if not (wa || wb) then None
-        else
-          let lo = max a.Fn.field.Field.off_bits b.Fn.field.Field.off_bits in
-          let hi = min (Field.last_bit a.Fn.field) (Field.last_bit b.Fn.field) in
-          let kind = if wa && wb then "write-write" else "read-write" in
+      let ra, wa = touched ~region_bits a and rb, wb = touched ~region_bits b in
+      let ww = first_overlap wa wb in
+      let rw =
+        match first_overlap wa rb with
+        | Some _ as s -> s
+        | None -> first_overlap ra wb
+      in
+      match (ww, rw) with
+      | None, None -> None
+      | _ ->
+          let kind, (lo, hi) =
+            match ww with
+            | Some s -> ("write-write", s)
+            | None -> ("read-write", Option.get rw)
+          in
           Some
             (Report.error ~fn_index:j
                ~field:(Field.v ~off_bits:lo ~len_bits:(hi - lo))
@@ -94,65 +138,139 @@ let race_diags indexed =
                   (j + 1) lo hi)))
     (pairs indexed)
 
-(* The engine serializes parallel execution by field overlap alone
-   (Engine.critical_path). A scratch dependency between FNs whose
-   slices do not overlap escapes that ordering: the consumer could run
-   level-concurrent with (or before) its producer. *)
-let parallel_scratch_diags indexed =
+(* True dependence edges — scratch chains and slice dataflow at any
+   depth, from the abstract execution — that the engine's
+   overlap-only leveling (Engine.critical_path) fails to order. Under
+   the parallel flag such an edge is an Error: the consumer can run
+   level-concurrent with (or before) its producer. Sequentially the
+   program is correct, but it breaks the moment the flag is set, so
+   it is still reported as a Warning. *)
+let ordering_hazard_diags ?registry ~parallel ~region_bits indexed =
   let arr = Array.of_list (List.map snd indexed) in
-  let idx = Array.of_list (List.map fst indexed) in
   let overlap_only (a : Fn.t) (b : Fn.t) =
     Field.overlaps a.Fn.field b.Fn.field
   in
   let engine_level = levels ~conflict:overlap_only arr in
-  let out = ref [] in
-  Array.iteri
-    (fun j b ->
-      if (access b).Registry.reads_scratch then
-        Array.iteri
-          (fun i a ->
-            if
-              i < j
-              && (access a).Registry.writes_scratch
-              && engine_level.(i) >= engine_level.(j)
-            then
-              out :=
-                Report.error ~fn_index:idx.(j) Report.Race
-                  (Printf.sprintf
-                     "parallel flag unsafe: %s (FN %d) consumes scratch from \
-                      %s (FN %d) but no field overlap orders them"
-                     (Opkey.name b.Fn.key)
-                     (idx.(j) + 1)
-                     (Opkey.name a.Fn.key)
-                     (idx.(i) + 1))
-                :: !out)
-          arr)
-    arr;
-  List.rev !out
+  let pos = Hashtbl.create 8 in
+  List.iteri (fun p (i, _) -> Hashtbl.replace pos i p) indexed;
+  let edges = ref [] in
+  let add_edge e = if not (List.mem e !edges) then edges := e :: !edges in
+  let run side =
+    let r = Absint.exec ?registry ~side ~region_bits indexed in
+    List.iter
+      (fun (s : Absint.step) ->
+        if s.Absint.st_ran then begin
+          List.iter
+            (fun (c, p) -> add_edge (p, s.Absint.st_index, Some c))
+            s.Absint.st_scratch_deps;
+          List.iter
+            (fun i ->
+              if i <> s.Absint.st_index then
+                add_edge (i, s.Absint.st_index, None))
+            s.Absint.st_read_writers
+        end)
+      r.Absint.steps
+  in
+  run Absint.Router;
+  run Absint.Host;
+  List.sort compare !edges
+  |> List.filter_map (fun (i, j, via) ->
+         match (Hashtbl.find_opt pos i, Hashtbl.find_opt pos j) with
+         | Some pi, Some pj when engine_level.(pi) >= engine_level.(pj) ->
+             let a = arr.(pi) and b = arr.(pj) in
+             let dep =
+               match via with
+               | Some c -> Printf.sprintf "consumes scratch.%s from" c
+               | None -> "reads bits written by"
+             in
+             if parallel then
+               Some
+                 (Report.error ~fn_index:j Report.Race
+                    (Printf.sprintf
+                       "parallel flag unsafe: %s (FN %d) %s %s (FN %d) but \
+                        no field overlap orders them"
+                       (Opkey.name b.Fn.key) (j + 1) dep (Opkey.name a.Fn.key)
+                       (i + 1)))
+             else
+               Some
+                 (Report.warning ~fn_index:j Report.Race
+                    (Printf.sprintf
+                       "latent parallel hazard: %s (FN %d) %s %s (FN %d) \
+                        with no field overlap to order them — the program \
+                        breaks the moment the §2.2 parallel flag is set"
+                       (Opkey.name b.Fn.key) (j + 1) dep (Opkey.name a.Fn.key)
+                       (i + 1)))
+         | _ -> None)
 
 (* Scratch-mediated dataflow must respect program order per execution
    side: the engine skips host-tagged FNs on routers and vice versa
    (Algorithm 1 line 5), so a producer only counts for a consumer
-   with the same tag. *)
-let dependency_diags indexed =
-  List.filter_map
-    (fun (j, (fn : Fn.t)) ->
-      if not (access fn).Registry.reads_scratch then None
-      else if
-        List.exists
-          (fun (i, (p : Fn.t)) ->
-            i < j && (access p).Registry.writes_scratch && p.Fn.tag = fn.Fn.tag)
-          indexed
-      then None
-      else
-        Some
-          (Report.error ~fn_index:j ~field:fn.Fn.field Report.Dependency
-             (Printf.sprintf
-                "%s consumes scratch.opt_key but no preceding %s-tagged \
-                 F_parm produces it"
-                (Opkey.name fn.Fn.key)
-                (match fn.Fn.tag with Fn.Router -> "router" | Fn.Host -> "host"))))
-    indexed
+   with the same tag. The abstract execution reports exactly the
+   consumers whose cells no earlier same-side FN produced. *)
+let dependency_diags ~region_bits indexed =
+  let run side = (Absint.exec ~side ~region_bits indexed).Absint.steps in
+  List.concat_map
+    (fun (s : Absint.step) ->
+      List.map
+        (fun c ->
+          Report.error ~fn_index:s.Absint.st_index
+            ~field:s.Absint.st_fn.Fn.field Report.Dependency
+            (Printf.sprintf
+               "%s consumes scratch.%s but no preceding %s-tagged producer \
+                provides it"
+               (Opkey.name s.Absint.st_fn.Fn.key)
+               c
+               (match s.Absint.st_fn.Fn.tag with
+               | Fn.Router -> "router"
+               | Fn.Host -> "host")))
+        s.Absint.st_missing_scratch)
+    (run Absint.Router @ run Absint.Host)
+
+(* The mcore sharding invariant: Dip_mcore.Flow hashes the bytes of
+   the first forwarding FN's target, so per-flow worker affinity (and
+   with it per-flow state and ordering) requires that no router-side
+   FN rewrites those bits with per-node or packet-derived data. A
+   deterministic in-place step (W_step, e.g. F_dag advancing the DAG
+   pointer) is exempt: every packet of the flow takes the same step
+   sequence, so at any given node the flow still hashes alike. *)
+let sharding_diags ?registry ~region_bits indexed =
+  match Reach.match_field (List.map snd indexed) with
+  | None -> []
+  | Some ff ->
+      List.concat_map
+        (fun (j, (fn : Fn.t)) ->
+          let installed =
+            match registry with
+            | None -> true
+            | Some r -> Registry.supports r fn.Fn.key
+          in
+          if fn.Fn.tag <> Fn.Router || not installed then []
+          else
+            let _, writes, _ = Absint.resolved ~region_bits fn in
+            List.filter_map
+              (fun (f, k) ->
+                match k with
+                | Registry.W_step -> None
+                | Registry.W_node | Registry.W_data ->
+                    if Field.overlaps f ff then
+                      let lo = max f.Field.off_bits ff.Field.off_bits in
+                      let hi = min (Field.last_bit f) (Field.last_bit ff) in
+                      Some
+                        (Report.error ~fn_index:j
+                           ~field:(Field.v ~off_bits:lo ~len_bits:(hi - lo))
+                           Report.Sharding
+                           (Printf.sprintf
+                              "%s (FN %d) writes %s data over bits %d..%d of \
+                               the flow-hash match field: packets of one \
+                               flow would hash to different mcore workers"
+                              (Opkey.name fn.Fn.key) (j + 1)
+                              (match k with
+                              | Registry.W_node -> "node-local"
+                              | _ -> "packet-derived")
+                              lo hi))
+                    else None)
+              writes)
+        indexed
 
 let key_diags ~registry indexed =
   List.filter_map
@@ -187,11 +305,13 @@ let tag_diags indexed =
 
 let check_indexed ?registry ~parallel ~loc_len_bits ~fn_count indexed =
   let fns = Array.of_list (List.map snd indexed) in
+  let region_bits = loc_len_bits in
   let diags =
     bounds_diags ~loc_len_bits indexed
-    @ (if parallel then race_diags indexed @ parallel_scratch_diags indexed
-       else [])
-    @ dependency_diags indexed
+    @ (if parallel then race_diags ~region_bits indexed else [])
+    @ ordering_hazard_diags ?registry ~parallel ~region_bits indexed
+    @ dependency_diags ~region_bits indexed
+    @ sharding_diags ?registry ~region_bits indexed
     @ (match registry with
       | Some r -> key_diags ~registry:r indexed
       | None -> [])
@@ -312,8 +432,35 @@ let verifier ?registry () view =
   | None -> Ok ()
   | Some msg -> Error msg
 
-let hook ?registry verify =
-  if verify then Some (verifier ?registry ()) else None
+(* The engine memoizes [?verify] verdicts per cached program keyed on
+   the hook's physical identity (Progcache.entry.verdict), so handing
+   it a fresh closure per call would defeat the memoization. Keep one
+   verifier per registry (compared physically); a single slot is
+   enough because a node verifies against its own registry. *)
+let verifier_slot :
+    (Registry.t * (Packet.view -> (unit, string) result)) option Atomic.t =
+  Atomic.make None
+
+let shared_verifier registry =
+  match Atomic.get verifier_slot with
+  | Some (r, f) when r == registry -> f
+  | _ ->
+      let f = verifier ~registry () in
+      Atomic.set verifier_slot (Some (registry, f));
+      f
+
+let hook ~registry verify =
+  if verify then Some (shared_verifier registry) else None
+
+let registry_gate ~programs registry =
+  let rec go i = function
+    | [] -> Ok ()
+    | p :: rest -> (
+        match Report.first_error (analyze_packet ~registry p) with
+        | Some e -> Error (Printf.sprintf "program %d: %s" i e)
+        | None -> go (i + 1) rest)
+  in
+  go 0 programs
 
 let process ?(verify = false) ~registry env ~now ~ingress buf =
   Engine.process ?verify:(hook ~registry verify) ~registry env ~now ~ingress

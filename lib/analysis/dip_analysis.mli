@@ -31,6 +31,8 @@
     fast on malformed programs. *)
 
 module Report = Report
+module Absint = Absint
+module Reach = Reach
 
 val depth : Dip_core.Fn.t list -> int
 (** Hazard-aware critical-path length: FNs conflict when their
@@ -78,6 +80,11 @@ val check_deployment :
     host-tagged ones on [dst]. An unreachable [dst] is itself a
     deployment error. *)
 
+val flow_field : Dip_core.Fn.t list -> Dip_bitbuf.Field.t option
+(** The region-relative target field of the first forwarding FN —
+    the slice {!Dip_mcore.Flow} hashes for worker sharding and the
+    Sharding check protects. Alias of {!Reach.match_field}. *)
+
 val verifier :
   ?registry:Dip_core.Registry.t ->
   unit ->
@@ -85,7 +92,20 @@ val verifier :
   (unit, string) result
 (** The static checker in the shape of the engine's [?verify] hook:
     [Ok ()] when {!analyze_view} finds no [Error] diagnostics,
-    otherwise the first error rendered as one line. *)
+    otherwise the first error rendered as one line. The engine
+    memoizes verdicts per cached program keyed on the hook's physical
+    identity, so build the hook once and reuse it (as {!process}
+    does) rather than making a closure per packet. *)
+
+val registry_gate :
+  programs:Dip_bitbuf.Bitbuf.t list ->
+  Dip_core.Registry.t ->
+  (unit, string) result
+(** Publish-time analysis gate for {!Dip_mcore.Snapshot.check}: every
+    program must pass {!analyze_packet} against the candidate
+    registry with no [Error] (including the Sharding class), or the
+    first failure is reported and the snapshot must not be
+    published. *)
 
 val process :
   ?verify:bool ->

@@ -10,6 +10,9 @@ type check =
   | Key
   | Tag
   | Deployment
+  | Loop
+  | Blackhole
+  | Sharding
 
 type diag = {
   severity : severity;
@@ -51,6 +54,22 @@ let check_name = function
   | Key -> "key"
   | Tag -> "tag"
   | Deployment -> "deployment"
+  | Loop -> "loop"
+  | Blackhole -> "blackhole"
+  | Sharding -> "sharding"
+
+let check_of_name = function
+  | "parse" -> Some Parse
+  | "bounds" -> Some Bounds
+  | "race" -> Some Race
+  | "dependency" -> Some Dependency
+  | "key" -> Some Key
+  | "tag" -> Some Tag
+  | "deployment" -> Some Deployment
+  | "loop" -> Some Loop
+  | "blackhole" -> Some Blackhole
+  | "sharding" -> Some Sharding
+  | _ -> None
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -68,6 +87,58 @@ let pp_diag fmt d =
 let first_error t =
   List.find_opt (fun d -> d.severity = Error) t.diags
   |> Option.map (Format.asprintf "%a" pp_diag)
+
+(* Hand-rolled JSON so the analyzer stays dependency-free; messages
+   only need string escaping. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let diag_to_json d =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"severity\":\"%s\",\"check\":\"%s\""
+       (severity_name d.severity) (check_name d.check));
+  (match d.fn_index with
+  | Some i -> Buffer.add_string b (Printf.sprintf ",\"fn\":%d" (i + 1))
+  | None -> ());
+  (match d.field with
+  | Some f ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"bits\":[%d,%d]" f.Field.off_bits (Field.last_bit f))
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf ",\"message\":\"%s\"}" (json_escape d.message));
+  Buffer.contents b
+
+let to_json ?label t =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  (match label with
+  | Some l -> Buffer.add_string b (Printf.sprintf "\"label\":\"%s\"," (json_escape l))
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"fn_count\":%d,\"depth\":%d,\"engine_depth\":%d,\"errors\":%d,\"warnings\":%d,\"diags\":["
+       t.fn_count t.depth t.engine_depth (errors t) (warnings t));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (diag_to_json d))
+    t.diags;
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>%d FN(s), depth %d" t.fn_count t.depth;

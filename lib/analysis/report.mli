@@ -24,6 +24,16 @@ type check =
   | Tag  (** host-tagged FN that silently disables its purpose on
              routers *)
   | Deployment  (** mandatory key missing on an on-path node (§2.4) *)
+  | Loop
+      (** reachability found a forwarding cycle no hop-limit-
+          decrementing FN bounds — only the basic-header hop limit
+          stops the packet *)
+  | Blackhole
+      (** reachability found a node with no route for the (known)
+          match value: the packet dies short of [dst] *)
+  | Sharding
+      (** an FN may rewrite the field {!Dip_mcore.Flow} hashes on, so
+          packets of one flow would hash to different mcore workers *)
 
 type diag = {
   severity : severity;
@@ -64,6 +74,17 @@ val first_error : t -> string option
     engine's [~verify] hook reports in its [Dropped] reason. *)
 
 val check_name : check -> string
+val check_of_name : string -> check option
+(** Inverse of {!check_name}; [None] for an unknown name. Used by the
+    corpus runner, whose bad-program files are named
+    [<check>--<name>.hex]. *)
+
+val diag_to_json : diag -> string
+val to_json : ?label:string -> t -> string
+(** Machine-readable report ([dip lint --json]): one JSON object with
+    [label], [fn_count], [depth], [engine_depth], [errors],
+    [warnings] and a [diags] array. *)
+
 val pp_diag : Format.formatter -> diag -> unit
 val pp : Format.formatter -> t -> unit
 (** Summary line followed by one indented line per diagnostic. *)

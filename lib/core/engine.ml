@@ -71,11 +71,15 @@ let check_view ?verify parsed =
           let verdict =
             match entry with
             | Some e -> (
+                (* The memo is keyed on the hook's physical identity:
+                   a different verifier (new registry, new policy)
+                   re-checks instead of inheriting a verdict it never
+                   produced. *)
                 match e.Progcache.verdict with
-                | Some v -> v
-                | None ->
+                | Some (h, v) when h == check -> v
+                | _ ->
                     let v = check view in
-                    e.Progcache.verdict <- Some v;
+                    e.Progcache.verdict <- Some (check, v);
                     v)
             | None -> check view
           in

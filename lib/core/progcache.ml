@@ -7,7 +7,8 @@ type entry = {
   fns : Fn.t array;
   loc_base : int;
   mutable depth : int; (* full-program critical path; -1 = not computed *)
-  mutable verdict : (unit, string) result option;
+  mutable verdict :
+    ((Packet.view -> (unit, string) result) * (unit, string) result) option;
 }
 
 type t = {
@@ -16,15 +17,43 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  (* Inline single-entry hint: the last program parsed. A forwarding
+     router's steady state is a run of same-program packets, so most
+     parses resolve here with zero allocation — no key extraction, no
+     LRU probe. Because the hint is re-armed on every LRU access, an
+     inline hit is always the LRU's MRU entry: skipping the touch
+     cannot change the eviction order. *)
+  mutable last_key : string;
+  mutable last_entry : entry option;
 }
+
+(* The LRU buckets by a full structural hash of the key string; for
+   per-packet lookups that is measurable overhead (BENCH_PR2's
+   pure-parse regression). Program prefixes differ early — FN_Num at
+   byte 1, the first triple at bytes 6..11 — so an FNV-1a over the
+   length, a bounded prefix and the last byte fingerprints just as
+   well at a fraction of the cost. Collisions only cost a bucket-list
+   comparison. *)
+let fingerprint (key : string) =
+  let h = ref 0x811c9dc5 in
+  let step c = h := (!h lxor Char.code c) * 0x01000193 in
+  let n = String.length key in
+  step (Char.unsafe_chr (n land 0xff));
+  for i = 0 to min n 24 - 1 do
+    step (String.unsafe_get key i)
+  done;
+  if n > 24 then step (String.unsafe_get key (n - 1));
+  !h land max_int
 
 let create ?(capacity = 512) () =
   {
-    table = Lru.create ~capacity:(max 1 capacity) ();
+    table = Lru.create ~hash:fingerprint ~capacity:(max 1 capacity) ();
     enabled = capacity > 0;
     hits = 0;
     misses = 0;
     evictions = 0;
+    last_key = "";
+    last_entry = None;
   }
 
 let enabled t = t.enabled
@@ -40,7 +69,17 @@ let reset_counters t =
   t.misses <- 0;
   t.evictions <- 0
 
-let clear t = Lru.clear t.table
+let drop_hint t =
+  t.last_key <- "";
+  t.last_entry <- None
+
+let arm_hint t key e =
+  t.last_key <- key;
+  t.last_entry <- Some e
+
+let clear t =
+  drop_hint t;
+  Lru.clear t.table
 
 (* The cache key: the raw basic-header + FN-definition prefix, with
    the hop-limit byte masked out (it decrements per hop but does not
@@ -81,44 +120,16 @@ let insert t key (view : Packet.view) =
     }
   in
   (* [insert] is only reached on a miss, so the key is new: a full
-     table means the LRU victim is about to be displaced. *)
-  if Lru.size t.table = Lru.capacity t.table then
+     table means the LRU victim is about to be displaced. The victim
+     could be the hinted entry, so the hint is dropped — it must not
+     serve an entry whose verdict a later re-insert could contradict. *)
+  if Lru.size t.table = Lru.capacity t.table then begin
     t.evictions <- t.evictions + 1;
+    drop_hint t
+  end;
   Lru.insert t.table key e;
+  arm_hint t key e;
   e
-
-let parse t buf =
-  match key_of buf with
-  | None -> (
-      (* Too short to hold its own FN definitions: always an error,
-         and not a meaningful cache event. *)
-      match Packet.parse buf with
-      | Ok view -> Ok (view, None)
-      | Error e -> Error e)
-  | Some key -> (
-      match Lru.find t.table key with
-      | Some e ->
-          (* Same program prefix, but the packet must still be long
-             enough for the header the prefix announces (the
-             locations region lies beyond the keyed bytes). *)
-          if e.header_len > Bitbuf.length buf then
-            Error "header exceeds packet bounds"
-          else begin
-            t.hits <- t.hits + 1;
-            Ok (view_of_entry e buf, Some e)
-          end
-      | None -> (
-          match Packet.parse buf with
-          | Error _ as err -> err
-          | Ok view ->
-              t.misses <- t.misses + 1;
-              Ok (view, Some (insert t key view))))
-
-(* --- batch parse hint -------------------------------------------- *)
-
-type hint = { mutable hkey : string; mutable hentry : entry option }
-
-let hint () = { hkey = ""; hentry = None }
 
 (* Does [buf]'s program prefix equal [key], hop-limit byte ignored?
    Byte 1 of the key is FN_Num, so byte equality implies the two
@@ -138,6 +149,53 @@ let key_matches buf key =
        done;
        !i = klen
      end
+
+let parse t buf =
+  match t.last_entry with
+  | Some e when key_matches buf t.last_key ->
+      (* Same program as the previous packet: serve it without
+         touching the key or the LRU (the hint is the LRU's MRU by
+         construction). The packet must still be long enough for the
+         header the prefix announces. *)
+      if e.header_len > Bitbuf.length buf then
+        Error "header exceeds packet bounds"
+      else begin
+        t.hits <- t.hits + 1;
+        Ok (view_of_entry e buf, Some e)
+      end
+  | _ -> (
+      match key_of buf with
+      | None -> (
+          (* Too short to hold its own FN definitions: always an error,
+             and not a meaningful cache event. *)
+          match Packet.parse buf with
+          | Ok view -> Ok (view, None)
+          | Error e -> Error e)
+      | Some key -> (
+          match Lru.find t.table key with
+          | Some e ->
+              (* Same program prefix, but the packet must still be long
+                 enough for the header the prefix announces (the
+                 locations region lies beyond the keyed bytes). *)
+              if e.header_len > Bitbuf.length buf then
+                Error "header exceeds packet bounds"
+              else begin
+                t.hits <- t.hits + 1;
+                arm_hint t key e;
+                Ok (view_of_entry e buf, Some e)
+              end
+          | None -> (
+              match Packet.parse buf with
+              | Error _ as err -> err
+              | Ok view ->
+                  t.misses <- t.misses + 1;
+                  Ok (view, Some (insert t key view)))))
+
+(* --- batch parse hint -------------------------------------------- *)
+
+type hint = { mutable hkey : string; mutable hentry : entry option }
+
+let hint () = { hkey = ""; hentry = None }
 
 let parse_hinted t h buf =
   match h.hentry with
@@ -188,4 +246,5 @@ let invalidate_key t key =
       t.table []
   in
   List.iter (fun k -> ignore (Lru.remove t.table k)) victims;
+  if victims <> [] then drop_hint t;
   List.length victims

@@ -26,8 +26,12 @@ type entry = {
   mutable depth : int;
       (** memoized {!Engine.critical_path} over the full program;
           [-1] until the engine first needs it *)
-  mutable verdict : (unit, string) result option;
-      (** memoized result of the engine's [?verify] pre-check *)
+  mutable verdict :
+    ((Packet.view -> (unit, string) result) * (unit, string) result) option;
+      (** memoized result of the engine's [?verify] pre-check,
+          tagged with the hook that produced it (compared physically
+          by {!Engine.check_view}): a different verifier re-checks
+          instead of inheriting another hook's verdict *)
 }
 
 type t
@@ -63,7 +67,13 @@ val parse : t -> Dip_bitbuf.Bitbuf.t -> (Packet.view * entry option, string) res
     hop limit patched in); on a miss the cold parse result is
     inserted. The entry is [None] only when the packet is too
     malformed to be keyed. Cached parse and cold parse agree on every
-    packet, including errors. *)
+    packet, including errors.
+
+    A run of same-program packets (the steady state of a forwarding
+    router) is served by an inline single-entry hint: a byte
+    comparison against the last program's prefix, no allocation, no
+    LRU probe. The hint is dropped on {!clear}, {!invalidate_key} and
+    eviction, so it never outlives the entry it points to. *)
 
 type hint
 (** A one-batch parse memo: remembers the last program prefix parsed

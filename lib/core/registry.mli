@@ -72,6 +72,57 @@ val access : Opkey.t -> access
 val writes_target : access -> bool
 (** [true] when the target mode is [Write] or [Read_write]. *)
 
+(** {1 Transfer functions}
+
+    The coarse {!access} row says {e whether} an operation touches its
+    target; the transfer function says {e which bit slices} it reads
+    and writes, how the written value relates to the packet, and which
+    scratch cells it consumes or produces. This is the declared
+    abstract semantics the {!Dip_analysis} interpreter executes. *)
+
+type span = { s_off : int; s_len : int }
+(** A slice of the FN's target field, in bits relative to the target's
+    own offset. [s_len = -1] means "to the end of the target". *)
+
+val whole : span
+(** The entire target field. *)
+
+(** How a written slice relates to the inputs — this is what the
+    Sharding check keys on:
+    - [W_step]: a deterministic in-place step of the field's own value
+      (e.g. F_dag advancing the XIA DAG pointer). Every replica
+      applies the same rewrite, so flow affinity survives.
+    - [W_node]: node-local data appended/overwritten (telemetry
+      records, congestion feedback) — different per node and hop.
+    - [W_data]: packet- or key-derived data (MACs, per-hop validation
+      fields). *)
+type written_kind = W_step | W_node | W_data
+
+type transfer = {
+  t_reads : span list;  (** slices of the target the FN reads *)
+  t_reads_region : bool;
+      (** reads the whole locations region beyond its target (F_pass
+          hashes every byte of the region) *)
+  t_writes : (span * written_kind) list;  (** slices the FN writes *)
+  t_consumes : string list;  (** scratch cells read (e.g. ["opt_key"]) *)
+  t_produces : string list;  (** scratch cells written *)
+  t_match : bool;
+      (** matches the target value against a node table to pick a
+          route (the slice {!Dip_mcore.Flow} hashes on) *)
+  t_deliver : bool;  (** may propose local delivery *)
+}
+
+val transfer : Opkey.t -> transfer
+(** The declared transfer function of an operation key. Total, and
+    kept consistent with {!access} (checked by the test suite). *)
+
+val resolve_span :
+  field:Dip_bitbuf.Field.t -> region_bits:int -> span ->
+  Dip_bitbuf.Field.t option
+(** Resolve a target-relative span against a concrete FN target field,
+    clipping to the target and to the locations region. [None] when
+    the clipped slice is empty. *)
+
 type t
 
 val empty : unit -> t

@@ -12,16 +12,16 @@ let fold = Int32.to_int
 let whole buf =
   fold (Crc32.digest_bytes (Bitbuf.to_bytes buf)) land max_int
 
-let hash buf =
+(* The absolute bit range of the first FN whose operation key is
+   declared [forwarding] — the target field that decides where the
+   packet goes. Read from the raw triples; a full Fn.decode per
+   packet would defeat the point of hashing before parsing. *)
+let match_field buf =
   match Header.decode buf with
-  | Error _ -> whole buf
+  | Error _ -> None
   | Ok h ->
-      if Header.header_length h > Bitbuf.length buf then whole buf
+      if Header.header_length h > Bitbuf.length buf then None
       else begin
-        (* First FN whose operation key is declared [forwarding] —
-           the one whose target field decides where the packet goes.
-           Read the raw triples; a full Fn.decode per packet would
-           defeat the point of hashing before parsing. *)
         let rec find i =
           if i >= h.Header.fn_num then None
           else
@@ -32,22 +32,29 @@ let hash buf =
             | _ -> find (i + 1)
         in
         match find 0 with
-        | None -> whole buf
+        | None -> None
         | Some (loc_bits, len_bits) ->
-            (* Hash the bytes covering the target-field bit range.
-               Byte granularity over-covers by at most 7 bits on each
-               side — harmless, since it is the same bytes for every
-               packet of the flow. *)
-            let base_bits = 8 * Header.locations_offset h in
-            let first = (base_bits + loc_bits) / 8 in
-            let last = (base_bits + loc_bits + len_bits + 7) / 8 in
-            let last = Stdlib.min last (Bitbuf.length buf) in
-            if first < 0 || first >= last then whole buf
+            if len_bits = 0 then None
             else
-              fold
-                (Crc32.digest_sub (Bitbuf.to_bytes buf) ~pos:first
-                   ~len:(last - first))
-              land max_int
+              Some
+                (Dip_bitbuf.Field.v
+                   ~off_bits:((8 * Header.locations_offset h) + loc_bits)
+                   ~len_bits)
       end
+
+let hash buf =
+  match match_field buf with
+  | None -> whole buf
+  | Some f ->
+      (* Hash the bytes covering the target-field bit range. Byte
+         granularity over-covers by at most 7 bits on each side —
+         harmless, since it is the same bytes for every packet of the
+         flow. *)
+      let first, byte_len = Dip_bitbuf.Field.byte_span f in
+      let last = Stdlib.min (first + byte_len) (Bitbuf.length buf) in
+      if first < 0 || first >= last then whole buf
+      else
+        fold (Crc32.digest_sub (Bitbuf.to_bytes buf) ~pos:first ~len:(last - first))
+        land max_int
 
 let shard buf ~workers = if workers <= 1 then 0 else hash buf mod workers

@@ -15,6 +15,14 @@
     across pool sizes, which is what makes the N-domain simulator
     reproducible. *)
 
+val match_field : Dip_bitbuf.Bitbuf.t -> Dip_bitbuf.Field.t option
+(** The absolute bit range of the first forwarding FN's target — the
+    flow identity {!hash} digests (byte-rounded) and the invariant
+    {!Dip_analysis}'s Sharding check protects: no FN may rewrite
+    these bits with node-local or packet-derived data, or per-flow
+    worker affinity breaks. [None] when the header does not parse or
+    no forwarding FN exists ({!hash} then covers the whole buffer). *)
+
 val hash : Dip_bitbuf.Bitbuf.t -> int
 (** [hash pkt] is a non-negative flow hash. Packets whose DIP header
     does not parse, or with no forwarding FN, hash over the whole

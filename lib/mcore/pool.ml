@@ -84,6 +84,9 @@ let worker t w =
 let create ?(queue_capacity = 64) ?(metrics = false) ?obs_sample_every ~domains
     snap =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  (match Snapshot.validate snap with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Pool.create: " ^ e));
   let t =
     {
       ndomains = domains;
@@ -105,10 +108,13 @@ let create ?(queue_capacity = 64) ?(metrics = false) ?obs_sample_every ~domains
 let domains t = t.ndomains
 let epoch t = (Atomic.get t.current).snap.Snapshot.epoch
 
+(* The snapshot's own gate runs first: an unsound registry never
+   reaches the epoch swap, and the previous snapshot keeps serving. *)
 let publish t snap =
-  Atomic.set t.current
-    (build_published ?sample_every:t.obs_sample_every ~metrics:t.with_metrics
-       snap t.ndomains)
+  Snapshot.publish snap ~via:(fun snap ->
+      Atomic.set t.current
+        (build_published ?sample_every:t.obs_sample_every
+           ~metrics:t.with_metrics snap t.ndomains))
 
 let nil_info =
   { Engine.ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 }

@@ -52,12 +52,18 @@ val domains : t -> int
 val epoch : t -> int
 (** Epoch of the currently published snapshot. *)
 
-val publish : t -> Snapshot.t -> unit
+val publish : t -> Snapshot.t -> (unit, string) result
 (** Atomically replace the configuration snapshot: fresh per-worker
     environments, registry and verifier. Lock-free for workers;
     takes effect at each worker's next batch. Counters and metrics
     accumulated under the old snapshot are discarded with it — read
-    them first if they matter. *)
+    them first if they matter.
+
+    The snapshot's publish-time gate ({!Snapshot.check}) runs first:
+    on [Error] nothing is swapped, the previous epoch keeps serving,
+    and the reason is returned. {!create} applies the same gate to
+    the initial snapshot (raising [Invalid_argument], since there is
+    no previous epoch to keep). *)
 
 val process_batch : t -> item array -> (Dip_core.Engine.verdict * Dip_core.Engine.info) array
 (** Execute the router-side engine over the batch, sharded across

@@ -3,14 +3,33 @@ type t = {
   registry : Dip_core.Registry.t;
   mk_env : int -> Dip_core.Env.t;
   verify : (Dip_core.Packet.view -> (unit, string) result) option;
+  check : (Dip_core.Registry.t -> (unit, string) result) option;
 }
 
-let v ?verify ~registry ~mk_env () = { epoch = 0; registry; mk_env; verify }
+let v ?verify ?check ~registry ~mk_env () =
+  { epoch = 0; registry; mk_env; verify; check }
 
-let next ?verify ?registry ?mk_env t =
+let next ?verify ?check ?registry ?mk_env t =
   {
     epoch = t.epoch + 1;
     registry = Option.value registry ~default:t.registry;
     mk_env = Option.value mk_env ~default:t.mk_env;
     verify;
+    check = (match check with Some _ -> check | None -> t.check);
   }
+
+let validate t =
+  match t.check with
+  | None -> Ok ()
+  | Some check -> (
+      match check t.registry with
+      | Ok () -> Ok ()
+      | Error e ->
+          Error (Printf.sprintf "snapshot epoch %d rejected: %s" t.epoch e))
+
+let publish t ~via =
+  match validate t with
+  | Ok () ->
+      via t;
+      Ok ()
+  | Error _ as err -> err

@@ -25,10 +25,18 @@ type t = {
           identical configuration, disjoint mutable state. *)
   verify : (Dip_core.Packet.view -> (unit, string) result) option;
       (** Static program verifier, e.g. [Dip_analysis.verifier]. *)
+  check : (Dip_core.Registry.t -> (unit, string) result) option;
+      (** Publish-time configuration gate, e.g.
+          [Dip_analysis.registry_gate ~programs]: run against
+          {!registry} before the epoch swap, so an unsound
+          configuration (one whose programs would break flow-hash
+          sharding, race, or dead-end) is rejected before any worker
+          can observe it. *)
 }
 
 val v :
   ?verify:(Dip_core.Packet.view -> (unit, string) result) ->
+  ?check:(Dip_core.Registry.t -> (unit, string) result) ->
   registry:Dip_core.Registry.t ->
   mk_env:(int -> Dip_core.Env.t) ->
   unit ->
@@ -37,10 +45,22 @@ val v :
 
 val next :
   ?verify:(Dip_core.Packet.view -> (unit, string) result) ->
+  ?check:(Dip_core.Registry.t -> (unit, string) result) ->
   ?registry:Dip_core.Registry.t ->
   ?mk_env:(int -> Dip_core.Env.t) ->
   t ->
   t
 (** [next t] is [t] with the given fields replaced and the epoch
     bumped — the value to hand to {!Pool.publish}. An omitted
-    [verify] clears it (pass it explicitly to keep verification). *)
+    [verify] clears it (pass it explicitly to keep verification); an
+    omitted [check] is inherited — a publish-time gate stays mandatory
+    across epochs unless explicitly replaced. *)
+
+val validate : t -> (unit, string) result
+(** Run the snapshot's {!check} (if any) against its registry. *)
+
+val publish : t -> via:(t -> unit) -> (unit, string) result
+(** [publish t ~via] validates and only then hands [t] to [via] (the
+    actual pointer swap, e.g. {!Pool.publish}'s internals). The gate
+    is not advisory: a failing {!check} means [via] is never called
+    and the configuration never reaches an epoch swap. *)

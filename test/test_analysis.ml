@@ -311,6 +311,342 @@ let test_verifier_shape () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "orphan F_MAC must be refused"
 
+(* --- the transfer table must agree with the access modes the
+   engine schedules by: a disagreement means the abstract semantics
+   verify a different program than the one Algorithm 1 executes --- *)
+
+let test_transfer_consistency () =
+  List.iter
+    (fun k ->
+      let a = Registry.access k and t = Registry.transfer k in
+      Alcotest.(check bool)
+        (Opkey.name k ^ ": writes_target iff t_writes")
+        (Registry.writes_target a)
+        (t.Registry.t_writes <> []);
+      if a.Registry.forwarding then
+        Alcotest.(check bool)
+          (Opkey.name k ^ ": forwarding implies t_match")
+          true t.Registry.t_match;
+      Alcotest.(check bool)
+        (Opkey.name k ^ ": reads_scratch iff t_consumes")
+        a.Registry.reads_scratch
+        (t.Registry.t_consumes <> []);
+      Alcotest.(check bool)
+        (Opkey.name k ^ ": writes_scratch iff t_produces")
+        a.Registry.writes_scratch
+        (t.Registry.t_produces <> []))
+    Opkey.all
+
+(* --- sharding: no router-side FN may rewrite the flow-hash field --- *)
+
+let test_sharding_rewrite_detected () =
+  let fns =
+    [ Fn.v ~loc:0 ~len:32 Opkey.F_32_match; Fn.v ~loc:0 ~len:72 Opkey.F_tel ]
+  in
+  let r = Dip_analysis.analyze ~registry:reg ~loc_len:9 fns in
+  Alcotest.(check bool) "sharding error" true (has_error Report.Sharding r);
+  Alcotest.(check bool) "names the workers" true
+    (List.exists
+       (fun d -> contains ~sub:"mcore workers" d.Report.message)
+       r.Report.diags)
+
+let test_sharding_step_writes_exempt () =
+  (* XIA's F_DAG advances the DAG pointer inside its own target — a
+     deterministic step every packet of the flow takes identically,
+     so worker affinity is preserved and no diagnostic is due. *)
+  let xia =
+    Realize.xia
+      ~dag:(Dip_xia.Dag.direct (Dip_xia.Xid.of_name Dip_xia.Xid.SID "s"))
+      ~payload:"x" ()
+  in
+  let r = Dip_analysis.analyze_packet ~registry:reg xia in
+  Alcotest.(check bool) "xia has no sharding diag" false (has Report.Sharding r)
+
+let test_sharding_host_writer_exempt () =
+  (* A host-tagged writer never executes on the sharded routers. *)
+  let fns =
+    [
+      Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+      Fn.v ~tag:Fn.Host ~loc:0 ~len:72 Opkey.F_tel;
+    ]
+  in
+  let r = Dip_analysis.analyze ~registry:reg ~loc_len:9 fns in
+  Alcotest.(check bool) "no sharding diag" false (has Report.Sharding r)
+
+(* --- dataflow hazards beyond pairwise overlap --- *)
+
+let test_latent_hazard_sequential_warns () =
+  (* Without the parallel flag the program is correct today, but the
+     scratch edge F_parm→F_mark escapes the engine's overlap leveling
+     (disjoint targets, both level 1): flipping §2.2 breaks it. *)
+  let fns =
+    [ Fn.v ~loc:128 ~len:128 Opkey.F_parm; Fn.v ~loc:288 ~len:128 Opkey.F_mark ]
+  in
+  let r = Dip_analysis.analyze ~registry:reg ~parallel:false ~loc_len:52 fns in
+  Alcotest.(check bool) "no errors" true (Report.ok r);
+  Alcotest.(check bool) "latent-hazard warning" true
+    (List.exists
+       (fun d ->
+         d.Report.severity = Report.Warning
+         && contains ~sub:"latent parallel hazard" d.Report.message)
+       r.Report.diags)
+
+let test_hazard_chain_depth_two () =
+  (* F_parm —scratch→ F_mark —region read→ F_pass: the second edge is
+     one step removed from any scratch pair, which the v1 pairwise
+     checks could not see. All three targets are disjoint, so the
+     engine runs everything at level 1 under the parallel flag. *)
+  let fns =
+    [
+      Fn.v ~loc:416 ~len:128 Opkey.F_parm;
+      Fn.v ~loc:0 ~len:128 Opkey.F_mark;
+      Fn.v ~loc:544 ~len:32 Opkey.F_pass;
+    ]
+  in
+  let r = Dip_analysis.analyze ~registry:reg ~parallel:true ~loc_len:72 fns in
+  let unsafe fn_index =
+    List.exists
+      (fun d ->
+        d.Report.severity = Report.Error
+        && d.Report.fn_index = Some fn_index
+        && contains ~sub:"parallel flag unsafe" d.Report.message)
+      r.Report.diags
+  in
+  Alcotest.(check bool) "scratch edge flagged (F_mark)" true (unsafe 1);
+  Alcotest.(check bool) "depth-2 read edge flagged (F_pass)" true (unsafe 2)
+
+(* --- topology-wide reachability --- *)
+
+module Reach = Dip_analysis.Reach
+
+let reach_node ?registry routes =
+  {
+    Reach.n_registry = Some (Option.value registry ~default:reg);
+    n_routes = routes;
+    n_local = [];
+  }
+
+let ipv4_view () =
+  let pkt =
+    Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.0.0.1") ~payload:"x" ()
+  in
+  match Packet.parse pkt with Ok v -> v | Error e -> Alcotest.fail e
+
+let reach_match_value view =
+  match Reach.match_value view with
+  | Some v -> v
+  | None -> Alcotest.fail "no match value"
+
+let test_reach_clean_chain () =
+  let view = ipv4_view () in
+  let v = reach_match_value view in
+  let config =
+    {
+      Reach.c_topology = Topology.linear 4;
+      c_node = (fun i -> reach_node (if i < 3 then [ (v, i + 1) ] else []));
+      c_src = 0;
+      c_dst = 3;
+    }
+  in
+  Alcotest.(check int) "no diagnostics" 0
+    (List.length (Reach.check_view config view))
+
+let test_reach_loop () =
+  let view = ipv4_view () in
+  let v = reach_match_value view in
+  let config =
+    {
+      Reach.c_topology = Topology.linear 4;
+      c_node =
+        (fun i ->
+          reach_node
+            (match i with
+            | 0 -> [ (v, 1) ]
+            | 1 -> [ (v, 2) ]
+            | 2 -> [ (v, 0) ]
+            | _ -> []));
+      c_src = 0;
+      c_dst = 3;
+    }
+  in
+  let diags = Reach.check_view config view in
+  Alcotest.(check bool) "loop reported" true
+    (List.exists
+       (fun d ->
+         d.Report.check = Report.Loop && d.Report.severity = Report.Error
+         && contains ~sub:"0→1→2→0" d.Report.message)
+       diags)
+
+let test_reach_blackhole () =
+  let view = ipv4_view () in
+  let v = reach_match_value view in
+  let config =
+    {
+      Reach.c_topology = Topology.linear 3;
+      c_node = (fun i -> reach_node (if i = 0 then [ (v, 1) ] else []));
+      c_src = 0;
+      c_dst = 2;
+    }
+  in
+  let diags = Reach.check_view config view in
+  Alcotest.(check bool) "blackhole at node 1" true
+    (List.exists
+       (fun d ->
+         d.Report.check = Report.Blackhole
+         && contains ~sub:"node 1 has no route" d.Report.message)
+       diags)
+
+let test_reach_post_rewrite_gap () =
+  (* Node 1 fans out to node 2 only for packets whose match value an
+     upstream F_tel rewrote; node 2 lacks mandatory F_hvf. The
+     shortest path 0→1→3 is clean, so only the symbolic pass that
+     follows the rewritten (unknown) value finds the gap. *)
+  let pkt =
+    Packet.build
+      ~fns:
+        [
+          Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+          Fn.v ~loc:0 ~len:72 Opkey.F_tel;
+          Fn.v ~loc:72 ~len:32 Opkey.F_hvf;
+        ]
+      ~locations:(String.make 13 '\000') ~payload:"" ()
+  in
+  let view = match Packet.parse pkt with Ok v -> v | Error e -> Alcotest.fail e in
+  let v = reach_match_value view in
+  let gapped =
+    Registry.restrict reg
+      (List.filter (fun k -> k <> Opkey.F_hvf) (Registry.supported reg))
+  in
+  let config =
+    {
+      Reach.c_topology = Topology.linear 4;
+      c_node =
+        (fun i ->
+          match i with
+          | 0 -> reach_node [ (v, 1) ]
+          | 1 -> reach_node [ (v, 3); ("\xffoff-path", 2) ]
+          | 2 -> reach_node ~registry:gapped [ (v, 3) ]
+          | _ -> reach_node []);
+      c_src = 0;
+      c_dst = 3;
+    }
+  in
+  let diags = Reach.check_view config view in
+  let gap =
+    List.find_opt
+      (fun d ->
+        d.Report.check = Report.Deployment && d.Report.severity = Report.Error)
+      diags
+  in
+  match gap with
+  | None -> Alcotest.fail "deployment gap not found"
+  | Some d ->
+      Alcotest.(check bool) "names node 2" true
+        (contains ~sub:"node 2" d.Report.message);
+      Alcotest.(check bool) "explains the rewrite" true
+        (contains ~sub:"rewrote the match field" d.Report.message)
+
+(* --- engine verdict memoization re-keys on the hook identity --- *)
+
+let test_verify_memo_rekeys_on_hook () =
+  let env = Env.create ~name:"r" () in
+  Dip_ip.Ipv4.add_route env.Env.v4_routes
+    (Ipaddr.Prefix.of_string "10.0.0.0/8") 3;
+  let pkt () =
+    Realize.ipv4 ~src:(v4 "192.0.2.1") ~dst:(v4 "10.0.0.1") ~payload:"" ()
+  in
+  let hook_a _ = Error "hook-a says no" in
+  let hook_b _ = Ok () in
+  let run hook =
+    fst (Engine.process ~verify:hook ~registry:reg env ~now:0.0 ~ingress:0 (pkt ()))
+  in
+  (match run hook_a with
+  | Engine.Dropped r ->
+      Alcotest.(check bool) "a's reason" true (contains ~sub:"hook-a" r)
+  | _ -> Alcotest.fail "hook a must drop");
+  (* Same cached program, different hook: the memoized verdict must
+     not be served — hook b accepts and the packet forwards. *)
+  (match run hook_b with
+  | Engine.Forwarded [ 3 ] -> ()
+  | Engine.Dropped r -> Alcotest.failf "stale verdict served: %s" r
+  | _ -> Alcotest.fail "hook b must forward");
+  match run hook_a with
+  | Engine.Dropped _ -> ()
+  | _ -> Alcotest.fail "switching back re-verifies"
+
+(* --- qcheck: soundness + cache-stability of the verifying engine --- *)
+
+let soundness_candidates =
+  lazy
+    (Array.of_list
+       (List.map snd (section3 ())
+       @ [
+           (* programs the analyzer must reject *)
+           Packet.build
+             ~fns:[ Fn.v ~loc:0 ~len:416 Opkey.F_mac ]
+             ~locations:(String.make 52 '\000') ~payload:"" ();
+           Packet.build ~parallel:true
+             ~fns:
+               [
+                 Fn.v ~loc:0 ~len:32 Opkey.F_cc; Fn.v ~loc:0 ~len:72 Opkey.F_tel;
+               ]
+             ~locations:(String.make 9 '\000') ~payload:"" ();
+           Packet.build
+             ~fns:
+               [
+                 Fn.v ~loc:0 ~len:32 Opkey.F_32_match;
+                 Fn.v ~loc:0 ~len:72 Opkey.F_tel;
+               ]
+             ~locations:(String.make 9 '\000') ~payload:"" ();
+         ]))
+
+let verdict_sig = function
+  | Engine.Forwarded ps ->
+      "fwd:" ^ String.concat "," (List.map string_of_int ps)
+  | Engine.Delivered -> "delivered"
+  | Engine.Responded _ -> "responded"
+  | Engine.Quiet -> "quiet"
+  | Engine.Dropped r -> "drop:" ^ r
+  | Engine.Unsupported k -> "unsupported:" ^ Opkey.name k
+
+let prop_verify_sound_and_cache_stable =
+  QCheck.Test.make ~count:60
+    ~name:"analyzer-clean programs execute; verdicts cache-stable"
+    QCheck.(int_bound (Array.length (Lazy.force soundness_candidates) - 1))
+    (fun i ->
+      let pkt = (Lazy.force soundness_candidates).(i) in
+      let report = Dip_analysis.analyze_packet ~registry:reg pkt in
+      let mk cap =
+        let env = Env.create ~prog_cache_capacity:cap ~name:"q" () in
+        Dip_ip.Ipv4.add_route env.Env.v4_routes
+          (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
+        Dip_ip.Ipv6.add_route env.Env.v6_routes
+          (Ipaddr.Prefix.of_string "::/0") 1;
+        Dip_tables.Name_fib.insert env.Env.fib name 1;
+        env
+      in
+      let run env =
+        verdict_sig
+          (fst
+             (Dip_analysis.process ~verify:true ~registry:reg env ~now:0.0
+                ~ingress:0 (Bitbuf.copy pkt)))
+      in
+      (* Per-flow engine state may legitimately change verdicts
+         between runs (PIT aggregation turns the second interest
+         Quiet); the invariant under test is the *verifier's* verdict:
+         identical across progcache miss, hit and cache-disabled. *)
+      let verify_outcome s =
+        if String.length s >= 12 && String.sub s 0 12 = "drop:verify:" then s
+        else "pass"
+      in
+      let cached = mk 64 in
+      let cold = verify_outcome (run cached) in
+      let warm = verify_outcome (run cached) in
+      let uncached = verify_outcome (run (mk 0)) in
+      let stable = cold = warm && cold = uncached in
+      let sound = (not (Report.ok report)) || cold = "pass" in
+      stable && sound)
+
 (* --- odds and ends --- *)
 
 let test_depth_values () =
@@ -370,6 +706,41 @@ let () =
           Alcotest.test_case "rejects bad" `Quick test_engine_verify_rejects;
           Alcotest.test_case "passes good" `Quick test_engine_verify_passes_good;
           Alcotest.test_case "verifier shape" `Quick test_verifier_shape;
+        ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "table agrees with access modes" `Quick
+            test_transfer_consistency;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "rewrite detected" `Quick
+            test_sharding_rewrite_detected;
+          Alcotest.test_case "step writes exempt (xia)" `Quick
+            test_sharding_step_writes_exempt;
+          Alcotest.test_case "host writer exempt" `Quick
+            test_sharding_host_writer_exempt;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "latent hazard warns when sequential" `Quick
+            test_latent_hazard_sequential_warns;
+          Alcotest.test_case "hazard chain at depth 2" `Quick
+            test_hazard_chain_depth_two;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "clean chain" `Quick test_reach_clean_chain;
+          Alcotest.test_case "forwarding loop" `Quick test_reach_loop;
+          Alcotest.test_case "blackhole" `Quick test_reach_blackhole;
+          Alcotest.test_case "post-rewrite deployment gap" `Quick
+            test_reach_post_rewrite_gap;
+        ] );
+      ( "verify-cache",
+        [
+          Alcotest.test_case "memo re-keys on hook" `Quick
+            test_verify_memo_rekeys_on_hook;
+          QCheck_alcotest.to_alcotest prop_verify_sound_and_cache_stable;
         ] );
       ( "misc",
         [

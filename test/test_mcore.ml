@@ -119,6 +119,42 @@ let test_flow_garbage_safe () =
       Alcotest.(check int) "stable" h (Mcore.Flow.hash buf))
     [ ""; "\x00"; "abcdefgh"; String.make 64 '\xff' ]
 
+let test_flow_match_field_agrees_with_analyzer () =
+  (* Flow.match_field (raw-triple scan, absolute bits) and the
+     analyzer's flow_field (decoded FNs, region-relative bits) must
+     pick the same slice — the Sharding check protects exactly what
+     the sharder hashes. *)
+  let module Field = Dip_bitbuf.Field in
+  let name = Name.of_string "/mcore/test" in
+  List.iter
+    (fun (label, pkt) ->
+      let view =
+        match Packet.parse pkt with Ok v -> v | Error e -> Alcotest.fail e
+      in
+      let rel = Dip_analysis.flow_field (Array.to_list view.Packet.fns) in
+      match (Mcore.Flow.match_field pkt, rel) with
+      | None, None -> ()
+      | Some abs, Some rel ->
+          Alcotest.(check int)
+            (label ^ ": offset")
+            (8 * view.Packet.loc_base + rel.Field.off_bits)
+            abs.Field.off_bits;
+          Alcotest.(check int) (label ^ ": length") rel.Field.len_bits
+            abs.Field.len_bits
+      | Some _, None -> Alcotest.failf "%s: only Flow found a field" label
+      | None, Some _ -> Alcotest.failf "%s: only the analyzer found one" label)
+    [
+      ("ipv4", mk_ipv4 1);
+      ( "ipv6",
+        Realize.ipv6 ~src:(v6 "2001:db8::1") ~dst:(v6 "2001:db8::2")
+          ~payload:"x" () );
+      ("ndn", Realize.ndn_interest ~name ~payload:"" ());
+      ( "xia",
+        Realize.xia
+          ~dag:(Dip_xia.Dag.direct (Dip_xia.Xid.of_name Dip_xia.Xid.SID "s"))
+          ~payload:"x" () );
+    ]
+
 (* --- shared workload helpers --- *)
 
 let chain_name = Name.of_string "/mcore/test"
@@ -252,7 +288,7 @@ let pool_vs_fold ~domains specs =
       pkts
   in
   let pool =
-    Mcore.Pool.create ~domains (Mcore.Snapshot.v ~registry ~mk_env ())
+    Mcore.Pool.create ~domains (Mcore.Snapshot.v ~registry ~mk_env:(fun w -> mk_env w) ())
   in
   let items =
     Array.of_list
@@ -278,7 +314,7 @@ let prop_pool_equals_fold =
 (* --- pool: snapshot publication --- *)
 
 let test_pool_publish () =
-  let snap0 = Mcore.Snapshot.v ~registry ~mk_env () in
+  let snap0 = Mcore.Snapshot.v ~registry ~mk_env:(fun w -> mk_env w) () in
   let pool = Mcore.Pool.create ~domains:2 snap0 in
   Alcotest.(check int) "epoch 0" 0 (Mcore.Pool.epoch pool);
   let items =
@@ -297,8 +333,12 @@ let test_pool_publish () =
     (List.init 8 (fun _ -> [ 1 ]))
     (ports (Mcore.Pool.process_batch pool items));
   (* RCU-style cutover: next batch sees the new forwarding table. *)
-  Mcore.Pool.publish pool
-    (Mcore.Snapshot.next ~mk_env:(mk_env ~v4_port:7) snap0);
+  (match
+     Mcore.Pool.publish pool
+       (Mcore.Snapshot.next ~mk_env:(mk_env ~v4_port:7) snap0)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("publish rejected: " ^ e));
   Alcotest.(check int) "epoch bumped" 1 (Mcore.Pool.epoch pool);
   let items2 =
     Array.init 8 (fun i ->
@@ -310,10 +350,69 @@ let test_pool_publish () =
     (ports (Mcore.Pool.process_batch pool items2));
   Mcore.Pool.shutdown pool
 
+(* The publish-time analysis gate is not advisory: a snapshot whose
+   registry fails Dip_analysis.registry_gate never reaches the epoch
+   swap, and the previous configuration keeps serving. *)
+let test_pool_publish_gate_rejects () =
+  let good = mk_ipv4 0 in
+  (* F_tel stamped over the match field: sharding-unsafe by design. *)
+  let bad =
+    Packet.build
+      ~fns:
+        [ Fn.v ~loc:0 ~len:32 Opkey.F_32_match; Fn.v ~loc:0 ~len:72 Opkey.F_tel ]
+      ~locations:(String.make 9 '\000') ~payload:"" ()
+  in
+  let snap0 =
+    Mcore.Snapshot.v
+      ~check:(Dip_analysis.registry_gate ~programs:[ good ])
+      ~registry
+      ~mk_env:(fun w -> mk_env w)
+      ()
+  in
+  let pool = Mcore.Pool.create ~domains:2 snap0 in
+  Alcotest.(check int) "epoch 0" 0 (Mcore.Pool.epoch pool);
+  (match
+     Mcore.Pool.publish pool
+       (Mcore.Snapshot.next
+          ~check:(Dip_analysis.registry_gate ~programs:[ good; bad ])
+          snap0)
+   with
+  | Ok () -> Alcotest.fail "sharding-unsafe snapshot published"
+  | Error e ->
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "says rejected" true (contains "rejected" e));
+  Alcotest.(check int) "epoch unchanged" 0 (Mcore.Pool.epoch pool);
+  (* the surviving epoch still processes packets *)
+  let out =
+    Mcore.Pool.process_batch pool
+      [| { Mcore.Pool.now = 0.0; ingress = 0; pkt = mk_ipv4 1 } |]
+  in
+  (match out.(0) with
+  | Engine.Forwarded [ 1 ], _ -> ()
+  | _ -> Alcotest.fail "old epoch must keep forwarding");
+  Mcore.Pool.shutdown pool;
+  (* and an initial snapshot failing the gate never builds a pool *)
+  match
+    Mcore.Pool.create ~domains:1
+      (Mcore.Snapshot.v
+         ~check:(Dip_analysis.registry_gate ~programs:[ bad ])
+         ~registry
+         ~mk_env:(fun w -> mk_env w)
+         ())
+  with
+  | exception Invalid_argument _ -> ()
+  | p ->
+      Mcore.Pool.shutdown p;
+      Alcotest.fail "Pool.create accepted a gated-out snapshot"
+
 let test_pool_counters_and_metrics () =
   let pool =
     Mcore.Pool.create ~domains:3 ~metrics:true ~obs_sample_every:1
-      (Mcore.Snapshot.v ~registry ~mk_env ())
+      (Mcore.Snapshot.v ~registry ~mk_env:(fun w -> mk_env w) ())
   in
   let n = 48 in
   let items =
@@ -460,6 +559,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_flow_deterministic;
           Alcotest.test_case "spreads" `Quick test_flow_spreads;
           Alcotest.test_case "garbage safe" `Quick test_flow_garbage_safe;
+          Alcotest.test_case "match field agrees with analyzer" `Quick
+            test_flow_match_field_agrees_with_analyzer;
         ] );
       ( "batch",
         [
@@ -470,6 +571,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_pool_equals_fold;
           Alcotest.test_case "publish" `Quick test_pool_publish;
+          Alcotest.test_case "publish gate rejects" `Quick
+            test_pool_publish_gate_rejects;
           Alcotest.test_case "counters + metrics" `Quick
             test_pool_counters_and_metrics;
         ] );
