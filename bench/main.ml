@@ -1117,13 +1117,20 @@ let bench_faults ?(smoke = false) () =
   end;
   print_newline ()
 
-(* --- mcore: the PR-5 domain-parallel data plane ---------------------- *)
+(* --- mcore: the domain-parallel data plane (PR 5, reworked PR 7) ----- *)
 
 (* Throughput of the batched engine across worker-domain counts, on a
    steady-state DIP-32 forwarding workload spread over many flows
    (each flow lands on one worker via the match-field hash). Wall
    clock, not simulated time: parallel speedup is exactly what this
-   measures, so the numbers are machine-dependent by nature. *)
+   measures, so the numbers are machine-dependent by nature.
+
+   Two ratios matter (ISSUE PR 7): the 4-domain speedup over the
+   plain sequential fold (target >= 2x, needs >= 4 cores to mean
+   anything) and the 1-domain overhead floor (pool >= 0.9x
+   sequential — the whole hand-off path, sharding + ring transfer +
+   countdown, must cost < 10%). The smoke asserts whichever of the
+   two this machine can actually measure. *)
 
 let bench_mcore ?(smoke = false) () =
   print_endline "== mcore: domain-parallel batched data plane ==";
@@ -1152,40 +1159,39 @@ let bench_mcore ?(smoke = false) () =
     env
   in
   let snap = Dip_mcore.Snapshot.v ~registry ~mk_env () in
-  let min_time = if smoke then 0.25 else 0.6 in
-  let timed pass =
-    pass () (* warm the program caches and the worker domains *);
+  (* Noise discipline: machines running this smoke (laptops, shared
+     CI runners, 1-core containers) jitter far more per 100ms window
+     than the 10% the overhead floor asserts. So instead of timing
+     one long run per configuration, time many single passes and
+     keep the {e fastest} — interference only ever adds time, so the
+     minimum is the best estimate of the true cost — and interleave
+     the sequential and pool samples so a slow phase of the machine
+     hits both sides alike. *)
+  let samples = if smoke then 50 else 120 in
+  let sample pass =
+    reset ();
     let t0 = Unix.gettimeofday () in
-    let passes = ref 0 in
-    while Unix.gettimeofday () -. t0 < min_time do
-      pass ();
-      incr passes
-    done;
-    float_of_int (!passes * npackets) /. (Unix.gettimeofday () -. t0)
+    pass ();
+    Unix.gettimeofday () -. t0
   in
-  (* Sequential baseline: a plain Engine.process fold, no batch API,
-     no pool. *)
-  let seq_pps =
+  let seq_pass =
     let env = mk_env 0 in
-    timed (fun () ->
-        reset ();
-        Array.iter
-          (fun pkt ->
-            ignore
-              (Sys.opaque_identity
-                 (Engine.process ~registry env ~now:0.0 ~ingress:0 pkt)))
-          pkts)
+    fun () ->
+      Array.iter
+        (fun pkt ->
+          ignore
+            (Sys.opaque_identity
+               (Engine.process ~registry env ~now:0.0 ~ingress:0 pkt)))
+        pkts
   in
-  let pool_pps domains =
-    let pool = Dip_mcore.Pool.create ~domains snap in
-    let pps =
-      timed (fun () ->
-          reset ();
-          Array.iter
-            (fun b -> ignore (Sys.opaque_identity (Dip_mcore.Pool.process_batch pool b)))
-            batches)
-    in
-    (* Sanity: every packet of the last pass forwarded. *)
+  let pool_pass pool () =
+    Array.iter
+      (fun b ->
+        ignore (Sys.opaque_identity (Dip_mcore.Pool.process_batch pool b)))
+      batches
+  in
+  let check_pool pool domains =
+    (* Sanity: every packet forwarded. *)
     reset ();
     let verdicts = Dip_mcore.Pool.process_batch pool items in
     let forwarded =
@@ -1193,22 +1199,51 @@ let bench_mcore ?(smoke = false) () =
         (fun acc (v, _) -> match v with Engine.Forwarded _ -> acc + 1 | _ -> acc)
         0 verdicts
     in
-    Dip_mcore.Pool.shutdown pool;
     if forwarded <> npackets then begin
       Printf.eprintf "BUG: %d/%d packets forwarded at %d domain(s)\n" forwarded
         npackets domains;
       exit 1
-    end;
-    pps
+    end
+  in
+  (* Sequential fold and the 1-domain pool, sample-interleaved: their
+     ratio is the hand-off overhead floor the smoke asserts. *)
+  let seq_pps, base =
+    let pool = Dip_mcore.Pool.create ~domains:1 snap in
+    let pass1 = pool_pass pool in
+    ignore (sample seq_pass) (* warm caches *);
+    ignore (sample pass1);
+    let seq_min = ref infinity and p1_min = ref infinity in
+    for _ = 1 to samples do
+      seq_min := Float.min !seq_min (sample seq_pass);
+      p1_min := Float.min !p1_min (sample pass1)
+    done;
+    check_pool pool 1;
+    Dip_mcore.Pool.shutdown pool;
+    (float_of_int npackets /. !seq_min, float_of_int npackets /. !p1_min)
+  in
+  let pool_pps domains =
+    let pool = Dip_mcore.Pool.create ~domains snap in
+    let pass = pool_pass pool in
+    ignore (sample pass) (* warm the caches and the worker domains *);
+    let best = ref infinity in
+    for _ = 1 to samples do
+      best := Float.min !best (sample pass)
+    done;
+    check_pool pool domains;
+    Dip_mcore.Pool.shutdown pool;
+    float_of_int npackets /. !best
   in
   let recommended = Domain.recommended_domain_count () in
   let domain_counts = if smoke then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
-  let results = List.map (fun d -> (d, pool_pps d)) domain_counts in
-  let base = List.assoc 1 results in
+  let results =
+    List.map
+      (fun d -> (d, if d = 1 then base else pool_pps d))
+      domain_counts
+  in
   let t =
     Tabular.create
-      ~aligns:[ Tabular.Right; Tabular.Right; Tabular.Right ]
-      [ "domains"; "pkts/s"; "speedup vs 1" ]
+      ~aligns:[ Tabular.Right; Tabular.Right; Tabular.Right; Tabular.Right ]
+      [ "domains"; "pkts/s"; "vs sequential"; "vs 1 domain" ]
   in
   List.iter
     (fun (d, pps) ->
@@ -1216,57 +1251,74 @@ let bench_mcore ?(smoke = false) () =
         [
           string_of_int d;
           Printf.sprintf "%.0f" pps;
+          Printf.sprintf "%.2fx" (pps /. seq_pps);
           Printf.sprintf "%.2fx" (pps /. base);
         ])
     results;
   Tabular.print t;
+  let overhead1 = base /. seq_pps in
   Printf.printf
-    "sequential Engine.process baseline: %.0f pkts/s (1-domain batched: %.2fx)\n"
-    seq_pps (base /. seq_pps);
+    "sequential Engine.process baseline: %.0f pkts/s (1-domain pool: %.2fx)\n"
+    seq_pps overhead1;
   Printf.printf "recommended_domain_count on this machine: %d\n" recommended;
   let speedup4 =
-    match List.assoc_opt 4 results with Some p -> p /. base | None -> Float.nan
+    match List.assoc_opt 4 results with
+    | Some p -> p /. seq_pps
+    | None -> Float.nan
   in
-  let oc = open_out "BENCH_PR5.json" in
+  let oc = open_out "BENCH_PR7.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"bench\": \"pr5-mcore\",\n\
+    \  \"bench\": \"pr7-mcore\",\n\
     \  \"workload\": \"DIP-32 forwarding, 100-byte payload, %d flows\",\n\
     \  \"packets\": %d,\n\
     \  \"batch_size\": %d,\n\
     \  \"recommended_domains\": %d,\n\
     \  \"sequential_pps\": %.0f,\n\
     \  \"scaling\": [\n%s\n  ],\n\
-    \  \"speedup4\": %.3f\n\
+    \  \"overhead1\": %.3f,\n\
+    \  \"speedup4_vs_sequential\": %.3f\n\
      }\n"
     nflows npackets batch_size recommended seq_pps
     (String.concat ",\n"
        (List.map
           (fun (d, pps) ->
             Printf.sprintf
-              "    { \"domains\": %d, \"pps\": %.0f, \"speedup\": %.3f }" d pps
-              (pps /. base))
+              "    { \"domains\": %d, \"pps\": %.0f, \"vs_sequential\": %.3f \
+               }"
+              d pps (pps /. seq_pps))
           results))
-    speedup4;
+    overhead1 speedup4;
   close_out oc;
-  print_endline "wrote BENCH_PR5.json";
-  if smoke then begin
-    (* Scaling needs real cores; on smaller machines the correctness
-       part above already ran, so skip only the ratio assertion. *)
-    if recommended < 4 then
+  print_endline "wrote BENCH_PR7.json";
+  if smoke then
+    (* Never vacuous: every machine can measure the 1-domain hand-off
+       overhead even if it cannot measure scaling. *)
+    if recommended < 4 then begin
+      if overhead1 < 0.9 then begin
+        Printf.eprintf
+          "SMOKE FAIL: 1-domain pool at %.2fx of sequential (need >= 0.9x; \
+           hand-off overhead floor)\n"
+          overhead1;
+        exit 1
+      end;
       Printf.printf
-        "smoke skip: scaling assertion needs 4 cores, this machine recommends \
-         %d domain(s)\n"
-        recommended
-    else if speedup4 < 1.5 then begin
+        "smoke ok: 1-domain pool %.2fx of sequential (scaling needs 4 cores, \
+         this machine recommends %d domain(s))\n"
+        overhead1 recommended
+    end
+    else if speedup4 < 2.0 then begin
       Printf.eprintf
-        "SMOKE FAIL: 4-domain throughput only %.2fx of 1-domain (need >= 1.5x)\n"
+        "SMOKE FAIL: 4-domain throughput only %.2fx of sequential (need >= \
+         2.0x)\n"
         speedup4;
       exit 1
     end
     else
-      Printf.printf "smoke ok: 4-domain throughput %.2fx of 1-domain\n" speedup4
-  end;
+      Printf.printf
+        "smoke ok: 4-domain throughput %.2fx of sequential, 1-domain pool \
+         %.2fx\n"
+        speedup4 overhead1;
   print_newline ()
 
 (* --- driver --------------------------------------------------------- *)

@@ -310,14 +310,15 @@ type batch = {
   b_hint : Progcache.hint option;
 }
 
-let batch_start ?obs ?verify ~registry env =
+let batch_start ?obs ?verify ?hint ~registry env =
   {
     b_obs = obs;
     b_verify = verify;
     b_registry = registry;
     b_env = env;
     b_hint =
-      (if Progcache.enabled env.Env.prog_cache then Some (Progcache.hint ())
+      (if Progcache.enabled env.Env.prog_cache then
+         Some (match hint with Some h -> h | None -> Progcache.hint ())
        else None);
   }
 

@@ -131,12 +131,21 @@ type batch
 val batch_start :
   ?obs:Obs.t ->
   ?verify:(Packet.view -> (unit, string) result) ->
+  ?hint:Progcache.hint ->
   registry:Registry.t ->
   Env.t ->
   batch
 (** Open a router-side batch on [env]. The batch must not outlive
     control-plane changes to [env]'s program cache or registry (its
-    parse hint pins cache entries — see {!Progcache.hint}). *)
+    parse hint pins cache entries — see {!Progcache.hint}).
+
+    [hint] lets a long-lived dispatcher ({!Dip_mcore.Pool} workers)
+    carry one warm parse hint across {e many} batches on the same
+    env: without it every batch re-arms a cold hint, and the first
+    packet of each batch pays the full key-hash + LRU probe even in
+    the steady state of small per-worker batches. The same lifetime
+    rule applies to the caller-owned hint — it must be dropped with
+    the env/cache it was warmed on. *)
 
 val batch_step :
   batch -> now:float -> ingress:Env.port -> Dip_bitbuf.Bitbuf.t -> verdict * info

@@ -1,0 +1,18 @@
+(* An [Atomic.t] made with [Atomic.make] is a one-field mutable block
+   ([%makemutable]); [Atomic.get]/[set]/[fetch_and_add] operate on
+   field 0 and never look at the block size. Re-housing the value in
+   a 15-field block of the same tag therefore preserves the atomic
+   semantics while guaranteeing that the value word and the 14 words
+   after it belong to this object alone: with 8-word (64-byte) cache
+   lines on a 64-bit target, whatever the block's alignment, no
+   neighbouring allocation shares the value word's line. This is the
+   same trick multicore libraries ship as [copy_as_padded]. *)
+
+let padding_words = 15
+
+let atomic_int v =
+  let b = Obj.new_block 0 padding_words in
+  (* [Obj.new_block] initializes fields to the unit immediate, so the
+     block is GC-safe before and after this store. *)
+  Obj.set_field b 0 (Obj.repr (v : int));
+  (Obj.obj b : int Atomic.t)

@@ -1,0 +1,17 @@
+(** Cache-line padding for cross-domain hot words.
+
+    An [int Atomic.t] is an ordinary two-word heap block; the
+    allocator packs consecutive allocations, so two cursors created
+    back to back usually share a 64-byte cache line. Under an SPSC
+    ring that is textbook false sharing: every producer store to
+    [tail] invalidates the consumer's cached line holding [head] and
+    vice versa, turning two independent hot words into one ping-pong
+    line. {!atomic_int} allocates the atomic inside a block big
+    enough that no other object's fields can land on its line. *)
+
+val atomic_int : int -> int Atomic.t
+(** [atomic_int v] is [Atomic.make v] backed by a cache-line-sized
+    block: the value word is followed by enough padding words that a
+    subsequent allocation starts on a different 64-byte line. The
+    padding is invisible to [Atomic.get]/[set]/[fetch_and_add], which
+    only touch field 0. *)

@@ -2,31 +2,66 @@ module Bitbuf = Dip_bitbuf.Bitbuf
 module Engine = Dip_core.Engine
 module Env = Dip_core.Env
 module Obs = Dip_core.Obs
+module Progcache = Dip_core.Progcache
 module Metrics = Dip_obs.Metrics
 module Counters = Dip_netsim.Stats.Counters
 
 type item = { now : float; ingress : Env.port; pkt : Bitbuf.t }
 
-(* One unit of work handed to a worker: its shard of a caller batch.
-   [idxs.(k)] is where [items.(k)]'s result goes in the caller's
-   arrays, so workers write results directly into caller-order slots
-   and the dispatcher never reshuffles. *)
-type job = {
-  j_items : item array;
-  j_idxs : int array;
-  j_verdicts : (Engine.verdict * Engine.info) array; (* caller-indexed *)
-  j_actions : Dip_netsim.Sim.action list array; (* caller-indexed; [||] if unwanted *)
-  j_want_actions : bool;
-  j_done : bool Atomic.t;
-}
-
 (* Everything a worker reads per batch, swapped as one pointer
-   (RCU-style): treat all of it as immutable once published. *)
+   (RCU-style): treat all of it as immutable once published. The
+   per-worker parse hints live here, not in the worker, because a
+   hint pins entries of its epoch's program caches — swapping the
+   world must swap the hints with it. *)
 type published = {
   snap : Snapshot.t;
   envs : Env.t array;
   obses : Obs.t option array;
   metricses : Metrics.t option array;
+  hints : Progcache.hint array;
+}
+
+(* One dispatch's completion: a countdown over its live jobs. The
+   dispatcher spins briefly then parks; the worker that brings the
+   count to zero takes the lock and broadcasts — one lock/broadcast
+   per dispatch, not per job, and none at all when the dispatcher is
+   still spinning. *)
+type completion = {
+  pending : int Atomic.t; (* padded: decremented from every worker *)
+  c_lock : Mutex.t;
+  c_done : Condition.t;
+}
+
+(* One unit of work handed to a worker: its shard of a caller batch.
+   [j_idxs.(k)] is where [j_items.(k)]'s result goes in the caller's
+   arrays, so workers write results directly into caller-order slots
+   and the dispatcher never reshuffles. The record and its item/index
+   arrays are persistent per-(ticket, worker) scratch — a dispatch
+   writes fields, the worker reads them, and [await] resets them for
+   reuse; nothing here is allocated per dispatch except the caller's
+   result arrays. *)
+type job = {
+  mutable j_items : item array; (* first [j_count] entries valid *)
+  mutable j_idxs : int array;
+  mutable j_count : int;
+  mutable j_verdicts : (Engine.verdict * Engine.info) array; (* caller-indexed *)
+  mutable j_actions : Dip_netsim.Sim.action list array; (* caller-indexed; [||] if unwanted *)
+  mutable j_want_actions : bool;
+  mutable j_pub : published; (* pinned at dispatch time: the RCU contract *)
+  j_comp : completion;
+}
+
+(* A dispatch in flight: per-worker jobs plus the sharding scratch,
+   recycled through a free list so the hand-off hot path allocates
+   only the result arrays it must hand to the caller. *)
+type ticket = {
+  jobs : job array; (* one per worker *)
+  mutable shard_of : int array; (* scratch, grown to the batch size *)
+  counts : int array; (* per-worker item counts for this dispatch *)
+  fill : int array;
+  comp : completion;
+  mutable t_verdicts : (Engine.verdict * Engine.info) array;
+  mutable t_actions : Dip_netsim.Sim.action list array;
 }
 
 type t = {
@@ -35,10 +70,15 @@ type t = {
   rings : job Spsc.t array;
   stop : bool Atomic.t;
   mutable doms : unit Domain.t array;
-  lock : Mutex.t; (* guards completion signalling only *)
-  job_done : Condition.t;
   with_metrics : bool;
   obs_sample_every : int option;
+  spin : int; (* busy-poll budget for workers and the dispatcher *)
+  mutable free_tickets : ticket list; (* dispatcher-domain private *)
+  (* Counters/metrics of retired epochs, absorbed at publish time so
+     a configuration swap does not silently zero the pool's history
+     (the epoch's envs die with it otherwise). *)
+  acc_counters : Counters.t;
+  acc_metrics : Metrics.t option;
 }
 
 let build_published ?sample_every ~metrics snap ndomains =
@@ -47,39 +87,59 @@ let build_published ?sample_every ~metrics snap ndomains =
   in
   let obses = Array.map (Option.map (fun m -> Obs.create ?sample_every m)) metricses in
   let envs = Array.init ndomains snap.Snapshot.mk_env in
-  { snap; envs; obses; metricses }
+  let hints = Array.init ndomains (fun _ -> Progcache.hint ()) in
+  { snap; envs; obses; metricses; hints }
 
 let worker t w =
   let stop () = Atomic.get t.stop in
+  let ring = t.rings.(w) in
   let rec loop () =
-    match Spsc.pop_wait t.rings.(w) ~stop with
+    match Spsc.pop_wait ~spin:t.spin ring ~stop with
     | None -> ()
     | Some job ->
-        let pub = Atomic.get t.current in
+        (* The world was pinned into the job when it was dispatched:
+           a publish between dispatch and this pop must not retarget
+           an in-flight batch (snapshot.mli's RCU contract). *)
+        let pub = job.j_pub in
         let env = pub.envs.(w) in
         let b =
           Engine.batch_start ?obs:pub.obses.(w)
-            ?verify:pub.snap.Snapshot.verify ~registry:pub.snap.Snapshot.registry
-            env
+            ?verify:pub.snap.Snapshot.verify ~hint:pub.hints.(w)
+            ~registry:pub.snap.Snapshot.registry env
         in
-        Array.iteri
-          (fun k it ->
-            let ((verdict, _) as r) =
-              Engine.batch_step b ~now:it.now ~ingress:it.ingress it.pkt
-            in
-            job.j_verdicts.(job.j_idxs.(k)) <- r;
-            if job.j_want_actions then
-              job.j_actions.(job.j_idxs.(k)) <-
-                Engine.actions_of_verdict env ~ingress:it.ingress it.pkt verdict)
-          job.j_items;
+        let items = job.j_items and idxs = job.j_idxs in
+        for k = 0 to job.j_count - 1 do
+          let it = items.(k) in
+          let ((verdict, _) as r) =
+            Engine.batch_step b ~now:it.now ~ingress:it.ingress it.pkt
+          in
+          let i = idxs.(k) in
+          job.j_verdicts.(i) <- r;
+          if job.j_want_actions then
+            job.j_actions.(i) <-
+              Engine.actions_of_verdict env ~ingress:it.ingress it.pkt verdict
+        done;
         Engine.batch_finish b;
-        Atomic.set job.j_done true;
-        Mutex.lock t.lock;
-        Condition.broadcast t.job_done;
-        Mutex.unlock t.lock;
+        (* After the decrement the dispatcher may reclaim the job as
+           scratch — the job must not be touched again. Only the last
+           job of the dispatch pays the lock/broadcast, and only to
+           cover a dispatcher that gave up spinning and parked. *)
+        let comp = job.j_comp in
+        if Atomic.fetch_and_add comp.pending (-1) = 1 then begin
+          Mutex.lock comp.c_lock;
+          Condition.broadcast comp.c_done;
+          Mutex.unlock comp.c_lock
+        end;
         loop ()
   in
   loop ()
+
+(* Spin only when every spinner can have a core to itself alongside
+   the dispatcher; on an oversubscribed box a busy-poll steals the
+   CPU of the very domain it is waiting on, which is how the PR-5
+   pool lost to sequential even at one domain. *)
+let spin_budget ~domains =
+  if Domain.recommended_domain_count () > domains then 4096 else 0
 
 let create ?(queue_capacity = 64) ?(metrics = false) ?obs_sample_every ~domains
     snap =
@@ -96,91 +156,221 @@ let create ?(queue_capacity = 64) ?(metrics = false) ?obs_sample_every ~domains
       rings = Array.init domains (fun _ -> Spsc.create ~capacity:queue_capacity);
       stop = Atomic.make false;
       doms = [||];
-      lock = Mutex.create ();
-      job_done = Condition.create ();
       with_metrics = metrics;
       obs_sample_every;
+      spin = spin_budget ~domains;
+      free_tickets = [];
+      acc_counters = Counters.create ();
+      acc_metrics = (if metrics then Some (Metrics.create ()) else None);
     }
   in
-  t.doms <- Array.init domains (fun w -> Domain.spawn (fun () -> worker t w));
+  (* A 1-worker pool runs every batch on the dispatching domain (see
+     [dispatch_async]), so spawning its worker would only buy GC
+     synchronization: each minor collection must handshake with the
+     parked domain's backup thread, which on a busy single core costs
+     far more than the batch work it interrupts. No domain, no tax. *)
+  if domains > 1 then
+    t.doms <- Array.init domains (fun w -> Domain.spawn (fun () -> worker t w));
   t
 
 let domains t = t.ndomains
 let epoch t = (Atomic.get t.current).snap.Snapshot.epoch
 
+(* Fold one epoch's per-worker counters/metrics into the pool-lifetime
+   accumulators. Called on the retiring world at publish time; exact
+   when the pool is quiescent (between synchronous dispatches — the
+   normal control-plane case). A batch still in flight on the retiring
+   epoch keeps executing it (jobs pin their world) but increments it
+   writes after this absorption die with the epoch. *)
+let absorb_published t pub =
+  Array.iter
+    (fun env ->
+      List.iter
+        (fun (k, v) -> Counters.incr ~by:v t.acc_counters k)
+        (Counters.to_list env.Env.counters))
+    pub.envs;
+  match t.acc_metrics with
+  | None -> ()
+  | Some acc ->
+      Array.iter
+        (function
+          | None -> () | Some m -> Metrics.absorb acc (Metrics.snapshot m))
+        pub.metricses
+
 (* The snapshot's own gate runs first: an unsound registry never
    reaches the epoch swap, and the previous snapshot keeps serving. *)
 let publish t snap =
   Snapshot.publish snap ~via:(fun snap ->
-      Atomic.set t.current
-        (build_published ?sample_every:t.obs_sample_every
-           ~metrics:t.with_metrics snap t.ndomains))
+      let next =
+        build_published ?sample_every:t.obs_sample_every ~metrics:t.with_metrics
+          snap t.ndomains
+      in
+      let retired = Atomic.exchange t.current next in
+      absorb_published t retired)
 
 let nil_info =
   { Engine.ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 }
 
-let dispatch t ~want_actions items =
+let nil_item = { now = 0.0; ingress = 0; pkt = Bitbuf.of_string "" }
+
+let new_ticket t =
+  let comp =
+    { pending = Pad.atomic_int 0; c_lock = Mutex.create ();
+      c_done = Condition.create () }
+  in
+  let pub = Atomic.get t.current in
+  {
+    jobs =
+      Array.init t.ndomains (fun _ ->
+          {
+            j_items = [||];
+            j_idxs = [||];
+            j_count = 0;
+            j_verdicts = [||];
+            j_actions = [||];
+            j_want_actions = false;
+            j_pub = pub;
+            j_comp = comp;
+          });
+    shard_of = [||];
+    counts = Array.make t.ndomains 0;
+    fill = Array.make t.ndomains 0;
+    comp;
+    t_verdicts = [||];
+    t_actions = [||];
+  }
+
+let take_ticket t =
+  match t.free_tickets with
+  | tk :: rest ->
+      t.free_tickets <- rest;
+      tk
+  | [] -> new_ticket t
+
+let dispatch_async t ~want_actions items =
   let n = Array.length items in
+  let tk = take_ticket t in
   let verdicts = Array.make n (Engine.Quiet, nil_info) in
   let actions = if want_actions then Array.make n [] else [||] in
-  if n > 0 then begin
+  tk.t_verdicts <- verdicts;
+  tk.t_actions <- actions;
+  if n = 0 then Atomic.set tk.comp.pending 0
+  else if t.ndomains = 1 then begin
+    (* Run-to-completion: a one-worker pool {e is} the dispatcher.
+       There is no parallelism to win by crossing a domain boundary,
+       only the ring transfer plus (on a box where the two domains
+       share a core) two scheduler round trips per batch — which is
+       exactly how the PR-5 pool lost to sequential at one domain.
+       Worker 0's environment, hint and observer are used so results,
+       counters and caching are indistinguishable from the ring path;
+       the (parked) worker domain never touches them. *)
+    let pub = Atomic.get t.current in
+    let env = pub.envs.(0) in
+    let b =
+      Engine.batch_start ?obs:pub.obses.(0) ?verify:pub.snap.Snapshot.verify
+        ~hint:pub.hints.(0) ~registry:pub.snap.Snapshot.registry env
+    in
+    for i = 0 to n - 1 do
+      let it = items.(i) in
+      let ((verdict, _) as r) =
+        Engine.batch_step b ~now:it.now ~ingress:it.ingress it.pkt
+      in
+      verdicts.(i) <- r;
+      if want_actions then
+        actions.(i) <-
+          Engine.actions_of_verdict env ~ingress:it.ingress it.pkt verdict
+    done;
+    Engine.batch_finish b;
+    Atomic.set tk.comp.pending 0
+  end
+  else begin
+    (* Pin the world once for the whole dispatch: every job of this
+       batch executes this epoch, whatever publishes land before the
+       workers get to it. *)
+    let pub = Atomic.get t.current in
     (* Shard by flow hash; stable within a worker, so per-flow
        arrival order is preserved. *)
-    let shard_of = Array.make n 0 in
-    let counts = Array.make t.ndomains 0 in
+    if Array.length tk.shard_of < n then tk.shard_of <- Array.make n 0;
+    let shard_of = tk.shard_of and counts = tk.counts and fill = tk.fill in
+    Array.fill counts 0 t.ndomains 0;
     for i = 0 to n - 1 do
       let w = Flow.shard items.(i).pkt ~workers:t.ndomains in
       shard_of.(i) <- w;
       counts.(w) <- counts.(w) + 1
     done;
-    let jobs =
-      Array.init t.ndomains (fun w ->
-          if counts.(w) = 0 then None
-          else
-            Some
-              {
-                j_items = Array.make counts.(w) items.(0);
-                j_idxs = Array.make counts.(w) 0;
-                j_verdicts = verdicts;
-                j_actions = actions;
-                j_want_actions = want_actions;
-                j_done = Atomic.make false;
-              })
-    in
-    let fill = Array.make t.ndomains 0 in
+    let live = ref 0 in
+    for w = 0 to t.ndomains - 1 do
+      if counts.(w) > 0 then begin
+        incr live;
+        let j = tk.jobs.(w) in
+        if Array.length j.j_items < counts.(w) then begin
+          let cap = Stdlib.max counts.(w) (2 * Array.length j.j_items) in
+          j.j_items <- Array.make cap nil_item;
+          j.j_idxs <- Array.make cap 0
+        end;
+        j.j_count <- counts.(w);
+        j.j_verdicts <- verdicts;
+        j.j_actions <- actions;
+        j.j_want_actions <- want_actions;
+        j.j_pub <- pub;
+        fill.(w) <- 0
+      end
+    done;
     for i = 0 to n - 1 do
       let w = shard_of.(i) in
-      match jobs.(w) with
-      | None -> ()
-      | Some j ->
-          j.j_items.(fill.(w)) <- items.(i);
-          j.j_idxs.(fill.(w)) <- i;
-          fill.(w) <- fill.(w) + 1
+      let j = tk.jobs.(w) in
+      j.j_items.(fill.(w)) <- items.(i);
+      j.j_idxs.(fill.(w)) <- i;
+      fill.(w) <- fill.(w) + 1
     done;
-    Array.iteri
-      (fun w jo ->
-        match jo with
-        | None -> ()
-        | Some j ->
-            (* The ring holds batches, not packets; it only fills if
-               the caller outruns the worker by [queue_capacity]
-               whole batches, so backing off is fine. *)
-            while not (Spsc.push t.rings.(w) j) do
-              Domain.cpu_relax ()
-            done)
-      jobs;
-    let all_done () =
-      Array.for_all
-        (function None -> true | Some j -> Atomic.get j.j_done)
-        jobs
-    in
-    Mutex.lock t.lock;
-    while not (all_done ()) do
-      Condition.wait t.job_done t.lock
-    done;
-    Mutex.unlock t.lock
+    (* The countdown must be armed before the first push: a fast
+       worker may finish its job before the later pushes happen. *)
+    Atomic.set tk.comp.pending !live;
+    for w = 0 to t.ndomains - 1 do
+      if counts.(w) > 0 then
+        (* The ring holds batches, not packets; it only fills if the
+           caller outruns the worker by [queue_capacity] whole
+           batches, so backing off is fine. *)
+        while not (Spsc.push t.rings.(w) tk.jobs.(w)) do
+          Domain.cpu_relax ()
+        done
+    done
   end;
+  tk
+
+let await t tk =
+  let comp = tk.comp in
+  let budget = ref t.spin in
+  while Atomic.get comp.pending > 0 && !budget > 0 do
+    Domain.cpu_relax ();
+    decr budget
+  done;
+  if Atomic.get comp.pending > 0 then begin
+    Mutex.lock comp.c_lock;
+    while Atomic.get comp.pending > 0 do
+      Condition.wait comp.c_done comp.c_lock
+    done;
+    Mutex.unlock comp.c_lock
+  end;
+  let verdicts = tk.t_verdicts and actions = tk.t_actions in
+  (* Reset the scratch before parking the ticket: a parked ticket
+     must pin no packets, results, or retired world. *)
+  tk.t_verdicts <- [||];
+  tk.t_actions <- [||];
+  let cur = Atomic.get t.current in
+  Array.iter
+    (fun j ->
+      if j.j_count > 0 then Array.fill j.j_items 0 j.j_count nil_item;
+      j.j_count <- 0;
+      j.j_verdicts <- [||];
+      j.j_actions <- [||];
+      j.j_pub <- cur)
+    tk.jobs;
+  t.free_tickets <- tk :: t.free_tickets;
   (verdicts, actions)
+
+let dispatch t ~want_actions items =
+  await t (dispatch_async t ~want_actions items)
 
 let process_batch t items = fst (dispatch t ~want_actions:false items)
 let handle_batch t items = snd (dispatch t ~want_actions:true items)
@@ -188,6 +378,9 @@ let handle_batch t items = snd (dispatch t ~want_actions:true items)
 let counters t =
   let pub = Atomic.get t.current in
   let acc = Counters.create () in
+  List.iter
+    (fun (k, v) -> Counters.incr ~by:v acc k)
+    (Counters.to_list t.acc_counters);
   Array.iter
     (fun env ->
       List.iter
@@ -201,6 +394,9 @@ let metrics t =
   else begin
     let pub = Atomic.get t.current in
     let acc = Metrics.create () in
+    (match t.acc_metrics with
+    | None -> ()
+    | Some m -> Metrics.absorb acc (Metrics.snapshot m));
     Array.iter
       (function
         | None -> () | Some m -> Metrics.absorb acc (Metrics.snapshot m))

@@ -4,25 +4,37 @@
     Architecture (DESIGN.md §12):
 
     - [N] worker domains, each fed by its own bounded {!Spsc} ring
-      and owning a private {!Dip_core.Env.t} (built from the
-      snapshot's [mk_env]) plus, optionally, a private
-      {!Dip_obs.Metrics.t}/{!Dip_core.Obs.t} pair. Workers share
-      {e no} mutable state; the only cross-domain traffic is the
-      rings, the published-snapshot pointer, and job-completion
-      flags.
+      (cache-line-padded cursors, cached opposing-cursor reads) and
+      owning a private {!Dip_core.Env.t} (built from the snapshot's
+      [mk_env]) plus, optionally, a private
+      {!Dip_obs.Metrics.t}/{!Dip_core.Obs.t} pair and a persistent
+      parse hint. Workers share {e no} mutable state; the only
+      cross-domain traffic is the rings, the published-snapshot
+      pointer, and one completion countdown per dispatch.
     - Packets are sharded to workers by {!Flow.hash} over the match
       field, so all packets of a flow execute in arrival order on
       one worker (per-flow ordering, coherent per-flow state) while
       distinct flows run concurrently.
     - Configuration is read through an [Atomic] snapshot pointer
-      ({!Snapshot}); {!publish} swaps it wholesale. Workers pick up
-      the new epoch at their next batch; in-flight batches finish on
-      the old one.
+      ({!Snapshot}); {!publish} swaps it wholesale. The published
+      world is pinned into each job {e at dispatch time}: in-flight
+      batches always finish on the epoch they were dispatched under,
+      however the swap interleaves with worker scheduling.
+    - Dispatch state (per-worker job records, shard scratch) is
+      persistent, recycled through tickets: the hot path allocates
+      only the result arrays handed back to the caller. Completion
+      is an atomic countdown with a spin-then-block wait — no
+      per-job lock or broadcast.
 
-    {!process_batch} and {!handle_batch} are synchronous: the
-    calling domain blocks until every worker finished its share, and
-    results are returned in the caller's input order. Between calls
-    the pool is quiescent, which is when {!counters} / {!metrics}
+    {!process_batch} and {!handle_batch} are synchronous; the
+    asynchronous pair {!dispatch_async}/{!await} additionally lets a
+    caller keep one window in flight while preparing the next
+    ({!Runner}'s pipelined mode). Results are always returned in the
+    caller's input order. All dispatching ({!process_batch},
+    {!handle_batch}, {!dispatch_async}, {!await}) must come from one
+    domain at a time — the pool is [N] workers behind {e one}
+    dispatcher, not a thread-safe job queue. Between dispatches the
+    pool is quiescent, which is when {!counters} / {!metrics}
     snapshots are exact. *)
 
 type t
@@ -46,18 +58,34 @@ val create :
     gives each worker a private metrics registry and engine observer
     (merged on {!metrics}); [obs_sample_every] tunes its span
     sampling. Call {!shutdown} when done — worker domains are not
-    daemons. *)
+    daemons.
+
+    A [domains:1] pool runs batches to completion on the dispatching
+    domain itself (using worker 0's environment, hint and observer,
+    so everything observable is identical to the ring path): with one
+    worker there is no parallelism to buy with a domain crossing,
+    only hand-off overhead — this is the configuration the overhead
+    floor in BENCH_PR7 measures. *)
 
 val domains : t -> int
+
 val epoch : t -> int
 (** Epoch of the currently published snapshot. *)
 
 val publish : t -> Snapshot.t -> (unit, string) result
 (** Atomically replace the configuration snapshot: fresh per-worker
-    environments, registry and verifier. Lock-free for workers;
-    takes effect at each worker's next batch. Counters and metrics
-    accumulated under the old snapshot are discarded with it — read
-    them first if they matter.
+    environments, registry and verifier. Lock-free for workers; a
+    batch dispatched before the swap finishes on the old epoch (its
+    world is pinned in the job), one dispatched after runs on the
+    new.
+
+    Counters and metrics accumulated under the retiring epoch are
+    {e absorbed} into a pool-lifetime accumulator before the old
+    world is dropped, so {!counters}/{!metrics} keep reporting
+    totals across configuration changes. The absorption is exact
+    when the pool is quiescent (no dispatch in flight) — increments
+    a still-running pinned batch makes after the swap die with its
+    epoch.
 
     The snapshot's publish-time gate ({!Snapshot.check}) runs first:
     on [Error] nothing is swapped, the previous epoch keeps serving,
@@ -75,17 +103,42 @@ val handle_batch : t -> item array -> Dip_netsim.Sim.action list array
 (** Like {!process_batch} but additionally translates each verdict
     into simulator actions ({!Dip_core.Engine.actions_of_verdict})
     on the worker, returning the per-packet action lists — the shape
-    {!Runner} feeds to {!Dip_netsim.Sim.run_batched}. *)
+    {!Runner} feeds to {!Dip_netsim.Sim.run_pipelined}. *)
+
+type ticket
+(** A dispatch in flight: the handle {!await} turns into results.
+    Tickets own recycled scratch — every [dispatch_async] must be
+    paired with exactly one [await], and both must run on the
+    dispatcher domain. *)
+
+val dispatch_async : t -> want_actions:bool -> item array -> ticket
+(** Shard the batch, pin the current epoch into its jobs, and
+    enqueue them on the worker rings {e without waiting}: the
+    workers execute while the caller prepares (or dispatches) the
+    next window. With [want_actions] the per-packet action lists are
+    produced worker-side as in {!handle_batch}. *)
+
+val await :
+  t ->
+  ticket ->
+  (Dip_core.Engine.verdict * Dip_core.Engine.info) array
+  * Dip_netsim.Sim.action list array
+(** Block until every job of the ticket's dispatch completed
+    (spin-then-block on the countdown) and return the caller-ordered
+    verdicts and, if requested, action lists ([[||]] otherwise). The
+    ticket is recycled; using it twice is a bug. *)
 
 val counters : t -> Dip_netsim.Stats.Counters.t
 (** Sum of the per-worker environment counters (forwarded/dropped
     tallies, progcache hit/miss/evict, …) under the current
-    snapshot. Exact when the pool is quiescent. *)
+    snapshot {e plus} the absorbed totals of every retired epoch.
+    Exact when the pool is quiescent. *)
 
 val metrics : t -> Dip_obs.Metrics.t option
-(** Per-worker metrics registries merged into a fresh registry
-    ({!Dip_obs.Metrics.absorb}) — [None] unless [create ~metrics:true].
-    Exact when the pool is quiescent. *)
+(** Per-worker metrics registries (current epoch plus retired-epoch
+    accumulator) merged into a fresh registry
+    ({!Dip_obs.Metrics.absorb}) — [None] unless [create
+    ~metrics:true]. Exact when the pool is quiescent. *)
 
 val shutdown : t -> unit
 (** Drain the rings, stop and join the worker domains. The pool must

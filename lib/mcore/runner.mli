@@ -1,13 +1,17 @@
 (** Plugging worker pools into the discrete-event simulator.
 
-    {!run_parallel} drives {!Dip_netsim.Sim.run_batched} with an
-    [exec] that fans each batch out to the routers' {!Pool}s: batch
-    items are grouped per node, each node's share is executed on its
-    pool's worker domains ({!Pool.handle_batch}), and the resulting
-    action lists are returned in batch order for the simulator to
-    apply on the calling domain. Delivery counts and counters are
-    therefore identical whatever [domains] each pool was created
-    with — the determinism property the test suite checks. *)
+    {!run_parallel} drives {!Dip_netsim.Sim.run_pipelined} with a
+    [submit] that fans each window out to the routers' {!Pool}s:
+    batch items are grouped per node, each node's share is dispatched
+    asynchronously to its pool ({!Pool.dispatch_async}) so all pools
+    work the window concurrently, and the join thunk
+    ({!Pool.await}s) reassembles the action lists in batch order for
+    the simulator to apply on the calling domain. The simulator keeps
+    one window in flight, so the workers execute window [k] while the
+    event loop collects and shards window [k+1] — no full barrier per
+    window. Delivery counts and counters are identical whatever
+    [domains] each pool was created with — the determinism property
+    the test suite checks. *)
 
 val run_parallel :
   ?until:float ->
@@ -17,9 +21,11 @@ val run_parallel :
   unit
 (** [run_parallel sim ~pools] runs [sim] to completion, executing
     arrivals at each listed node through its pool; all other nodes
-    (and timers) run their normal handlers. [window] (default 0:
-    same-instant arrivals only) widens batches to arrivals within
-    that many seconds of the first — bigger batches, more
-    parallelism, at the cost of acting on slightly stale arrival
-    interleavings (see {!Dip_netsim.Sim.run_batched}). The caller
-    keeps ownership of the pools and must {!Pool.shutdown} them. *)
+    (and timers) run their normal handlers and drain the pipeline
+    first. [window] (default 0: same-instant arrivals only) widens
+    batches to arrivals within that many seconds of the first —
+    bigger batches, more parallelism, at the cost of acting on
+    slightly stale arrival interleavings (one extra window of
+    staleness versus {!Dip_netsim.Sim.run_batched}; see
+    {!Dip_netsim.Sim.run_pipelined}). The caller keeps ownership of
+    the pools and must {!Pool.shutdown} them. *)

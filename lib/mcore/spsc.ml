@@ -1,11 +1,36 @@
+(* One side of the ring: the cursor the owner publishes plus the
+   owner's private snapshot of the *opposing* cursor. The snapshot is
+   the fast-path trick: the producer only needs a fresh [head] when
+   the ring looks full against its stale copy, and the consumer only
+   needs a fresh [tail] when it looks empty — so steady-state push
+   and pop each touch one foreign cache line almost never instead of
+   once per operation. The pad fields stretch the record to a full
+   64-byte line so the two sides' [cache] words (written by different
+   domains) cannot share one. *)
+type side = {
+  cursor : int Atomic.t; (* padded block; owner stores, opponent loads *)
+  mutable cache : int; (* owner-private snapshot of the opposing cursor *)
+  mutable pad0 : int;
+  mutable pad1 : int;
+  mutable pad2 : int;
+  mutable pad3 : int;
+  mutable pad4 : int;
+}
+[@@warning "-69"] (* the pad fields are written once and never read *)
+
 type 'a t = {
   slots : 'a option array;
   mask : int;
-  head : int Atomic.t; (* consumer cursor: next slot to pop *)
-  tail : int Atomic.t; (* producer cursor: next slot to fill *)
+  consumer : side; (* cursor = head: next slot to pop *)
+  producer : side; (* cursor = tail: next slot to fill *)
   lock : Mutex.t;
   nonempty : Condition.t;
+  waiting : bool Atomic.t; (* consumer has announced it will park *)
 }
+
+let mk_side () =
+  { cursor = Pad.atomic_int 0; cache = 0;
+    pad0 = 0; pad1 = 0; pad2 = 0; pad3 = 0; pad4 = 0 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
@@ -16,55 +41,108 @@ let create ~capacity =
   {
     slots = Array.make !cap None;
     mask = !cap - 1;
-    head = Atomic.make 0;
-    tail = Atomic.make 0;
+    consumer = mk_side ();
+    producer = mk_side ();
     lock = Mutex.create ();
     nonempty = Condition.create ();
+    waiting = Atomic.make false;
   }
 
 let capacity t = t.mask + 1
-let size t = Atomic.get t.tail - Atomic.get t.head
-let is_empty t = size t = 0
 
-let push t v =
-  let tail = Atomic.get t.tail in
-  if tail - Atomic.get t.head > t.mask then false
-  else begin
-    t.slots.(tail land t.mask) <- Some v;
-    (* Release store: publishes the slot write to the consumer. *)
-    Atomic.set t.tail (tail + 1);
-    Mutex.lock t.lock;
-    Condition.signal t.nonempty;
-    Mutex.unlock t.lock;
-    true
-  end
+(* Both cursors are monotone (each is stored only by its owner, only
+   incremented), and [head <= tail] always. Loading [head] first
+   makes the difference non-negative: the [tail] we then load is at
+   least the [tail] that bounded the [head] we already hold. The
+   producer may still advance [tail] between the two loads, so the
+   raw difference can exceed the capacity by however much the
+   consumer drained meanwhile — clamp to the ring bound. (Loading in
+   the other order is the classic bug: a pop between the loads makes
+   the difference negative.) *)
+let size t =
+  let head = Atomic.get t.consumer.cursor in
+  let tail = Atomic.get t.producer.cursor in
+  Stdlib.max 0 (Stdlib.min (tail - head) (t.mask + 1))
 
-let pop t =
-  let head = Atomic.get t.head in
-  if Atomic.get t.tail = head then None
-  else begin
-    let v = t.slots.(head land t.mask) in
-    t.slots.(head land t.mask) <- None;
-    Atomic.set t.head (head + 1);
-    v
-  end
-
-(* No lost wakeup: if the producer pushes between our failed [pop] and
-   taking the lock, the re-check under the lock sees the ring
-   non-empty and skips the wait. *)
-let rec pop_wait t ~stop =
-  match pop t with
-  | Some _ as v -> v
-  | None ->
-      if stop () then None
-      else begin
-        Mutex.lock t.lock;
-        if is_empty t && not (stop ()) then Condition.wait t.nonempty t.lock;
-        Mutex.unlock t.lock;
-        pop_wait t ~stop
-      end
+let is_empty t =
+  (* Exact, not clamped: a single load pair suffices for the
+     consumer-side emptiness probe. *)
+  Atomic.get t.producer.cursor - Atomic.get t.consumer.cursor <= 0
 
 let wake t =
   Mutex.lock t.lock;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.lock
+
+let push t v =
+  let p = t.producer in
+  let tail = Atomic.get p.cursor in
+  if
+    tail - p.cache > t.mask
+    && (p.cache <- Atomic.get t.consumer.cursor;
+        tail - p.cache > t.mask)
+  then false
+  else begin
+    t.slots.(tail land t.mask) <- Some v;
+    (* Release store: publishes the slot write to the consumer. *)
+    Atomic.set p.cursor (tail + 1);
+    (* Uncontended fast path: no lock, no signal. The flag load is
+       ordered after the cursor store (both seq_cst), pairing with
+       the consumer's flag-store-then-emptiness-check in [pop_wait];
+       one of the two sides always sees the other. *)
+    if Atomic.get t.waiting then wake t;
+    true
+  end
+
+let pop t =
+  let c = t.consumer in
+  let head = Atomic.get c.cursor in
+  if
+    head = c.cache
+    && (c.cache <- Atomic.get t.producer.cursor;
+        head = c.cache)
+  then None
+  else begin
+    let v = t.slots.(head land t.mask) in
+    t.slots.(head land t.mask) <- None;
+    Atomic.set c.cursor (head + 1);
+    v
+  end
+
+(* No lost wakeup: the consumer sets [waiting] under the lock before
+   its final emptiness check; the producer's post-push flag load is
+   ordered after its cursor store. Either the producer sees the flag
+   and signals (under the lock, so not before the consumer is in
+   [Condition.wait]), or the consumer's final check sees the new
+   cursor and skips the wait. *)
+let rec pop_wait ?(spin = 0) t ~stop =
+  match pop t with
+  | Some _ as v -> v
+  | None ->
+      if stop () then None
+      else begin
+        (* Spin briefly before parking: a producer mid-burst refills
+           the ring in far less than a futex round trip. The caller
+           sizes [spin] to the machine — zero when domains outnumber
+           cores, where spinning would steal the producer's CPU. *)
+        let budget = ref spin in
+        let result = ref None in
+        while Option.is_none !result && !budget > 0 && not (stop ()) do
+          Domain.cpu_relax ();
+          decr budget;
+          result := pop t
+        done;
+        match !result with
+        | Some _ as v -> v
+        | None ->
+            if stop () then None
+            else begin
+              Mutex.lock t.lock;
+              Atomic.set t.waiting true;
+              if is_empty t && not (stop ()) then
+                Condition.wait t.nonempty t.lock;
+              Atomic.set t.waiting false;
+              Mutex.unlock t.lock;
+              pop_wait ~spin t ~stop
+            end
+      end

@@ -1,19 +1,31 @@
 (** Bounded single-producer/single-consumer ring queue.
 
     The feed path between the dispatcher and one worker domain
-    ({!Pool}). The fast path is lock-free — one [Atomic] load and one
-    [Atomic] store per operation, the slot array itself accessed
-    plainly (the release store of the cursor publishes the slot
-    write) — which is sound {e only} under the SPSC contract: exactly
-    one domain pushes and exactly one domain pops.
+    ({!Pool}). The fast path is lock-free and, in the steady state,
+    touches no foreign cache line at all: the head and tail cursors
+    live in cache-line-padded blocks ({!Pad}), and each side keeps a
+    private snapshot of the {e opposing} cursor, refreshed only when
+    the ring looks full (producer) or empty (consumer) against the
+    snapshot. A push or pop is then one plain load of the own cursor,
+    one slot store, and one release store — the opposing cursor is
+    loaded once per {e drain}, not once per operation. This is sound
+    {e only} under the SPSC contract: exactly one domain pushes and
+    exactly one domain pops.
+
+    Both cursors are monotone — stored only by their owner, only
+    incremented — which is what makes the snapshots safe to act on:
+    a stale head can only make the producer conservatively see a
+    fuller ring, a stale tail an emptier one; neither can cause an
+    overwrite or a double-pop.
 
     The mutex/condition pair exists solely so the consumer can
     {e block} when the ring runs dry instead of spinning. On a
     machine with fewer cores than domains a spinning worker would
     steal the dispatcher's CPU and deadlock progress; blocking makes
-    the pool correct (if slow) even on one core. It costs the
-    producer an uncontended lock/signal per push and the consumer
-    nothing while items flow. *)
+    the pool correct (if slow) even on one core. The producer only
+    takes the lock when the consumer has announced it is parked
+    (a padded atomic flag), so while items flow the lock is never
+    touched by either side. *)
 
 type 'a t
 
@@ -22,7 +34,15 @@ val create : capacity:int -> 'a t
     a power of two). Raises [Invalid_argument] if [capacity < 1]. *)
 
 val capacity : 'a t -> int
+
 val size : 'a t -> int
+(** Number of occupied slots, always within [[0, capacity]]. The two
+    cursor loads are not one atomic read, so under concurrent
+    push/pop this is a {e linearizable-ish} estimate, not a snapshot:
+    head is loaded first (monotonicity makes the difference
+    non-negative) and the result is clamped to the ring bound (the
+    producer may advance tail between the loads). *)
+
 val is_empty : 'a t -> bool
 
 val push : 'a t -> 'a -> bool
@@ -32,12 +52,14 @@ val push : 'a t -> 'a -> bool
 val pop : 'a t -> 'a option
 (** Consumer side, non-blocking. *)
 
-val pop_wait : 'a t -> stop:(unit -> bool) -> 'a option
+val pop_wait : ?spin:int -> 'a t -> stop:(unit -> bool) -> 'a option
 (** Consumer side, blocking. Waits until an item is available or
     [stop ()] becomes true; returns [None] only when the ring is
     empty {e and} stopped, so queued work always drains before
-    shutdown. The producer must call {!wake} after flipping the stop
-    flag. *)
+    shutdown. [spin] (default 0) bounds a busy-poll before parking on
+    the condition variable — size it to the machine, and keep it 0
+    when worker domains may outnumber cores. The producer must call
+    {!wake} after flipping the stop flag. *)
 
 val wake : 'a t -> unit
 (** Wake a consumer blocked in {!pop_wait} (e.g. after setting the

@@ -332,57 +332,111 @@ let apply_batch_result t item actions =
           obs_drop t reason)
     actions
 
-let run_batched ?(until = Float.infinity) ?(window = 0.0) t ~batchable ~exec =
-  if window < 0.0 then invalid_arg "Sim.run_batched: negative window";
+(* The shared batched event loop. [submit] hands a closed window to
+   the execution backend and returns a join thunk producing the
+   per-item action lists; [depth] bounds how many submitted windows
+   may stay {e unapplied} while the loop keeps collecting. Depth 0 is
+   the classic barrier (submit, join, apply, continue); depth 1 is
+   the double-buffered pipeline — window [k] executes on the backend
+   while window [k+1] is collected and submitted, and [k] is joined
+   only when [k+1] closes. Results are always applied in batch order
+   on the calling domain, so everything a handler could observe
+   sequentially is a function of the workload and the windowing
+   discipline only — never of backend scheduling. *)
+let run_submitted ~who ?(until = Float.infinity) ?(window = 0.0) ~depth t
+    ~batchable ~submit =
+  if window < 0.0 then invalid_arg (who ^ ": negative window");
   (* The pending batch, newest first, plus the time of its oldest
      member (the window anchor). *)
   let pending = ref [] in
   let npending = ref 0 in
   let anchor = ref 0.0 in
+  (* Submitted-but-unapplied windows, oldest first; never more than
+     [depth] long after a [flush]. *)
+  let inflight = Queue.create () in
+  let apply_oldest () =
+    let arr, join = Queue.pop inflight in
+    let results = join () in
+    if Array.length results <> Array.length arr then
+      invalid_arg (who ^ ": exec returned a mismatched array");
+    (* Results are applied in arrival order, so everything a
+       handler could observe sequentially (per-link serialization,
+       counters, consume order) is independent of how the backend
+       scheduled the work. *)
+    Array.iteri (fun i item -> apply_batch_result t item results.(i)) arr
+  in
+  let drain () =
+    while not (Queue.is_empty inflight) do
+      apply_oldest ()
+    done
+  in
   let flush () =
-    match !pending with
+    (match !pending with
     | [] -> ()
     | items ->
         let arr = Array.make !npending (List.hd items) in
         List.iteri (fun i item -> arr.(!npending - 1 - i) <- item) items;
         pending := [];
         npending := 0;
-        let results = exec arr in
-        if Array.length results <> Array.length arr then
-          invalid_arg "Sim.run_batched: exec returned a mismatched array";
-        (* Results are applied in arrival order, so everything a
-           handler could observe sequentially (per-link serialization,
-           counters, consume order) is independent of how [exec]
-           scheduled the work. *)
-        Array.iteri (fun i item -> apply_batch_result t item results.(i)) arr
+        Queue.push (arr, submit arr) inflight);
+    while Queue.length inflight > depth do
+      apply_oldest ()
+    done
   in
+  let idle () = !npending = 0 && Queue.is_empty inflight in
   let rec loop () =
     match Event_queue.peek t.queue with
     | None ->
-        (* Flushing the tail batch can schedule new events; re-enter
-           so they run rather than being stranded in the queue. *)
-        if !npending > 0 then begin
+        (* Flushing/applying the tail can schedule new events;
+           re-enter so they run rather than being stranded. *)
+        if not (idle ()) then begin
           flush ();
+          drain ();
           loop ()
         end
     | Some (time, _) when time > until ->
         (* Same: a flush can schedule events at or before [until]. *)
-        if !npending > 0 then begin
+        if not (idle ()) then begin
           flush ();
+          drain ();
           loop ()
         end
     | Some (time, ev) ->
-        let joins =
-          match ev with
-          | Arrival (id, _, _) ->
-              batchable id && (!npending = 0 || time <= !anchor +. window)
-          | Timer _ -> false
+        let batchable_ev =
+          match ev with Arrival (id, _, _) -> batchable id | Timer _ -> false
         in
-        if (not joins) && !npending > 0 then begin
-          (* The batch must retire before this event runs: its actions
-             may schedule earlier events than the head. Re-peek after
-             flushing. *)
+        let joins =
+          batchable_ev && (!npending = 0 || time <= !anchor +. window)
+        in
+        if joins then begin
+          (match Event_queue.pop t.queue with
+          | Some (time, Arrival (id, port, packet)) ->
+              if !npending = 0 then anchor := time;
+              pending :=
+                { b_node = id; b_port = port; b_time = time;
+                  b_packet = packet }
+                :: !pending;
+              incr npending
+          | Some _ | None -> assert false);
+          loop ()
+        end
+        else if batchable_ev && !npending > 0 then begin
+          (* Window boundary at a batchable node: rotate the pipeline.
+             The closing window is submitted and only windows beyond
+             [depth] are joined — with depth 1 this is where the
+             overlap happens: the arrival re-peeks and opens window
+             [k+1] while window [k] still executes. *)
           flush ();
+          loop ()
+        end
+        else if not (idle ()) then begin
+          (* A timer or non-batchable arrival must observe every
+             batched effect before it runs: its handler may read state
+             the batches write, and the applications may schedule
+             earlier events than this one. Close the window, drain the
+             pipeline, re-peek. *)
+          flush ();
+          drain ();
           loop ()
         end
         else begin
@@ -390,13 +444,6 @@ let run_batched ?(until = Float.infinity) ?(window = 0.0) t ~batchable ~exec =
           | None -> ()
           | Some (time, ev) -> (
               match ev with
-              | Arrival (id, port, packet) when joins ->
-                  if !npending = 0 then anchor := time;
-                  pending :=
-                    { b_node = id; b_port = port; b_time = time;
-                      b_packet = packet }
-                    :: !pending;
-                  incr npending
               | Arrival (id, port, packet) ->
                   t.clock <- time;
                   handle_arrival t id port packet
@@ -407,3 +454,13 @@ let run_batched ?(until = Float.infinity) ?(window = 0.0) t ~batchable ~exec =
         end
   in
   loop ()
+
+let run_batched ?until ?window t ~batchable ~exec =
+  run_submitted ~who:"Sim.run_batched" ?until ?window ~depth:0 t ~batchable
+    ~submit:(fun arr ->
+      let results = exec arr in
+      fun () -> results)
+
+let run_pipelined ?until ?window t ~batchable ~submit =
+  run_submitted ~who:"Sim.run_pipelined" ?until ?window ~depth:1 t ~batchable
+    ~submit

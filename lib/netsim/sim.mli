@@ -114,6 +114,35 @@ val run_batched :
     pending batch and run normally. [exec] must return exactly one
     action list per item; it must not touch the simulator. *)
 
+val run_pipelined :
+  ?until:float ->
+  ?window:float ->
+  t ->
+  batchable:(node_id -> bool) ->
+  submit:(batch_item array -> unit -> action list array) ->
+  unit
+(** {!run_batched} with a double-buffered execution pipeline.
+    [submit] hands a window to an asynchronous backend and returns
+    the join thunk that blocks for (and yields) its action lists;
+    one submitted window may stay in flight while the loop collects
+    the next, so with {!Dip_mcore.Pool.dispatch_async} the workers
+    chew on window [k] while the dispatcher shards and enqueues
+    window [k+1] — the per-window full barrier of {!run_batched}
+    becomes a one-window-deep pipeline.
+
+    Scheduling stays deterministic: windows close at the same points
+    as {!run_batched} (window span, timers, non-batchable arrivals —
+    the latter two also drain the pipeline), results are applied in
+    batch order on the calling domain, and none of it depends on
+    backend timing. The observable difference from {!run_batched} is
+    one window of extra staleness: actions of window [k] are applied
+    (and the arrivals they schedule become visible) only after
+    window [k+1] closes, so a packet forwarded between two batchable
+    nodes joins a window one rotation later than under the barrier
+    discipline. Per-flow order at a node is preserved for flows that
+    enter the batched set at one point, which is what the flow-hash
+    sharding contract needs. *)
+
 val counters : t -> Stats.Counters.t
 (** Global counters: per node, ["<name>.rx"], ["<name>.tx"],
     ["<name>.consumed"], ["<name>.drop.<reason>"]. *)

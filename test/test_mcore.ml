@@ -77,6 +77,51 @@ let test_spsc_capacity_guard () =
     (Invalid_argument "Spsc.create: capacity must be >= 1") (fun () ->
       ignore (Mcore.Spsc.create ~capacity:0))
 
+(* Regression (PR 7): [size] used to load tail before head, so a pop
+   landing between the two loads made it return a negative count.
+   Sample it from both ring ends and a third observer domain while a
+   push/pop storm runs: every sample must stay within [0, capacity]. *)
+let prop_spsc_size_bounded =
+  QCheck.Test.make
+    ~name:"spsc: size in [0, capacity] under concurrent push/pop" ~count:15
+    QCheck.(pair (int_range 1 8) (int_range 0 250))
+    (fun (capacity, n) ->
+      let q = Mcore.Spsc.create ~capacity in
+      let cap = Mcore.Spsc.capacity q in
+      let ok = Atomic.make true in
+      let finished = Atomic.make false in
+      let check () =
+        let s = Mcore.Spsc.size q in
+        if s < 0 || s > cap then Atomic.set ok false
+      in
+      let observer =
+        Domain.spawn (fun () ->
+            while not (Atomic.get finished) do
+              check ();
+              Domain.cpu_relax ()
+            done)
+      in
+      let producer =
+        Domain.spawn (fun () ->
+            for i = 1 to n do
+              check ();
+              while not (Mcore.Spsc.push q i) do
+                Domain.cpu_relax ()
+              done
+            done)
+      in
+      let popped = ref 0 in
+      while !popped < n do
+        check ();
+        match Mcore.Spsc.pop q with
+        | Some _ -> incr popped
+        | None -> Domain.cpu_relax ()
+      done;
+      Domain.join producer;
+      Atomic.set finished true;
+      Domain.join observer;
+      Atomic.get ok && Mcore.Spsc.size q = 0)
+
 (* --- Flow --- *)
 
 let mk_ipv4 ?(payload = "flowtest") flow =
@@ -443,6 +488,130 @@ let test_pool_counters_and_metrics () =
   (* Shutdown is idempotent. *)
   Mcore.Pool.shutdown pool
 
+(* Regression (PR 7): [publish] used to drop the retiring epoch's
+   per-worker envs — and their counters and metrics with them — so a
+   configuration swap silently zeroed the pool's history. Totals must
+   accumulate across epochs. *)
+let test_pool_counters_survive_publish () =
+  let snap0 = Mcore.Snapshot.v ~registry ~mk_env:(fun w -> mk_env w) () in
+  let pool = Mcore.Pool.create ~domains:2 ~metrics:true snap0 in
+  let batch n =
+    ignore
+      (Mcore.Pool.process_batch pool
+         (Array.init n (fun i ->
+              { Mcore.Pool.now = 0.0; ingress = 0; pkt = mk_ipv4 i })))
+  in
+  let n1 = 30 and n2 = 20 in
+  batch n1;
+  (match
+     Mcore.Pool.publish pool
+       (Mcore.Snapshot.next ~mk_env:(mk_env ~v4_port:7) snap0)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("publish rejected: " ^ e));
+  batch n2;
+  let c = Mcore.Pool.counters pool in
+  Alcotest.(check int) "progcache traffic spans both epochs" (n1 + n2)
+    (Dip_netsim.Stats.Counters.get c "progcache.hit"
+    + Dip_netsim.Stats.Counters.get c "progcache.miss");
+  (match Mcore.Pool.metrics pool with
+  | None -> Alcotest.fail "metrics expected"
+  | Some m ->
+      Alcotest.(check (option (pair string int)))
+        "engine.packets spans both epochs"
+        (Some ("engine.packets", n1 + n2))
+        (List.find_opt (fun (k, _) -> k = "engine.packets") (obs_counts m)));
+  Mcore.Pool.shutdown pool
+
+(* Regression (PR 7): workers used to read the published world at
+   job-pop time, so a publish landing between dispatch and execution
+   retargeted an in-flight batch — the RCU contract says a batch runs
+   on the epoch it was dispatched under. The pin is per-job state
+   written before the ring push, so this holds under {e any} worker
+   scheduling: the assertion below is race-free even though the
+   publish deliberately races the workers. *)
+let test_pool_epoch_pinned_at_dispatch () =
+  let snap0 = Mcore.Snapshot.v ~registry ~mk_env:(fun w -> mk_env w) () in
+  let pool = Mcore.Pool.create ~domains:2 snap0 in
+  let items =
+    Array.init 24 (fun i ->
+        { Mcore.Pool.now = 0.0; ingress = 0; pkt = mk_ipv4 i })
+  in
+  let ticket = Mcore.Pool.dispatch_async pool ~want_actions:false items in
+  (* Swap the config while the batch is (potentially) still queued:
+     old epoch routes 10/8 to port 1, new epoch to port 7. *)
+  (match
+     Mcore.Pool.publish pool
+       (Mcore.Snapshot.next ~mk_env:(mk_env ~v4_port:7) snap0)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("publish rejected: " ^ e));
+  Alcotest.(check int) "epoch bumped" 1 (Mcore.Pool.epoch pool);
+  let verdicts, _ = Mcore.Pool.await pool ticket in
+  Array.iter
+    (fun (v, _) ->
+      match v with
+      | Engine.Forwarded [ 1 ] -> ()
+      | v ->
+          Alcotest.failf "in-flight batch leaked onto the new epoch: %s"
+            (verdict_summary v))
+    verdicts;
+  (* A batch dispatched after the swap runs on the new epoch. *)
+  let out = Mcore.Pool.process_batch pool items in
+  (match out.(0) with
+  | Engine.Forwarded [ 7 ], _ -> ()
+  | v, _ -> Alcotest.failf "post-publish batch on old epoch: %s"
+              (verdict_summary v));
+  Mcore.Pool.shutdown pool
+
+(* Hand-off sanity: a 1-domain pool must stay in the same ballpark as
+   the plain sequential fold (the bench asserts the real >= 0.9x
+   floor; here a generous 0.4x bound just catches the PR-5 class of
+   regression without becoming a flaky timing test). *)
+let test_pool_throughput_sanity () =
+  let n = 4096 in
+  let pkts = Array.init n (fun i -> mk_ipv4 (i mod 64)) in
+  let items =
+    Array.map (fun pkt -> { Mcore.Pool.now = 0.0; ingress = 0; pkt }) pkts
+  in
+  let reset () = Array.iter (fun p -> Bitbuf.set_uint8 p 2 64) pkts in
+  (* Fastest-of-N with interleaved sampling, as in bench_mcore:
+     interference only adds time, so minima compare the true costs
+     even when the machine is noisy. *)
+  let sample pass =
+    reset ();
+    let t0 = Unix.gettimeofday () in
+    pass ();
+    Unix.gettimeofday () -. t0
+  in
+  let env = mk_env 0 in
+  let seq_pass () =
+    Array.iter
+      (fun pkt ->
+        ignore
+          (Sys.opaque_identity
+             (Engine.process ~registry env ~now:0.0 ~ingress:0 pkt)))
+      pkts
+  in
+  let pool =
+    Mcore.Pool.create ~domains:1
+      (Mcore.Snapshot.v ~registry ~mk_env:(fun w -> mk_env w) ())
+  in
+  let pool_pass () =
+    ignore (Sys.opaque_identity (Mcore.Pool.process_batch pool items))
+  in
+  ignore (sample seq_pass) (* warm caches *);
+  ignore (sample pool_pass);
+  let seq = ref infinity and par = ref infinity in
+  for _ = 1 to 20 do
+    seq := Float.min !seq (sample seq_pass);
+    par := Float.min !par (sample pool_pass)
+  done;
+  Mcore.Pool.shutdown pool;
+  if !par > !seq /. 0.4 then
+    Alcotest.failf "1-domain pool at %.2fx of sequential (floor 0.4x)"
+      (!seq /. !par)
+
 (* --- simulator determinism across domain counts --- *)
 
 let run_chain ~mode count =
@@ -553,6 +722,7 @@ let () =
           Alcotest.test_case "fifo + capacity" `Quick test_spsc_fifo;
           Alcotest.test_case "cross-domain" `Quick test_spsc_cross_domain;
           Alcotest.test_case "capacity guard" `Quick test_spsc_capacity_guard;
+          QCheck_alcotest.to_alcotest prop_spsc_size_bounded;
         ] );
       ( "flow",
         [
@@ -575,6 +745,12 @@ let () =
             test_pool_publish_gate_rejects;
           Alcotest.test_case "counters + metrics" `Quick
             test_pool_counters_and_metrics;
+          Alcotest.test_case "counters survive publish" `Quick
+            test_pool_counters_survive_publish;
+          Alcotest.test_case "epoch pinned at dispatch" `Quick
+            test_pool_epoch_pinned_at_dispatch;
+          Alcotest.test_case "1-domain throughput sanity" `Quick
+            test_pool_throughput_sanity;
         ] );
       ( "determinism",
         [
