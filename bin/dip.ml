@@ -251,13 +251,53 @@ let export_metrics fmt m =
     | Fmt_json -> Dip_obs.Export.json_lines m
     | Fmt_prom -> Dip_obs.Export.prometheus m)
 
+(* --- flight-recorder output --- *)
+
+let write_flight ~path ~text ~pid_names events =
+  let oc = open_out path in
+  output_string oc
+    (if text then Dip_obs.Export.timeline events
+     else Dip_obs.Export.chrome_trace ~pid_names events);
+  close_out oc;
+  Printf.printf "flight trace: %d event(s) -> %s%s\n" (List.length events) path
+    (if text then "" else " (load in Perfetto or about://tracing)")
+
+let print_timeline_summary label (s : Dip_mcore.Pool.summary) =
+  let module T = Dip_stdext.Tabular in
+  let t =
+    T.create
+      ~aligns:[ T.Left; T.Right; T.Right; T.Right; T.Right ]
+      [ "lane"; "count"; "mean us"; "p99 us"; "max us" ]
+  in
+  let row name (st : Dip_mcore.Pool.lane_stat) =
+    T.add_row t
+      [
+        name;
+        string_of_int st.count;
+        Printf.sprintf "%.2f" (st.mean_ns /. 1e3);
+        Printf.sprintf "%.2f" (float_of_int st.p99_ns /. 1e3);
+        Printf.sprintf "%.2f" (float_of_int st.max_ns /. 1e3);
+      ]
+  in
+  row "dispatch" s.Dip_mcore.Pool.dispatch;
+  row
+    (Printf.sprintf "await (%d blocked)" s.Dip_mcore.Pool.await_blocked)
+    s.Dip_mcore.Pool.await;
+  List.iter
+    (fun (l : Dip_mcore.Pool.lane) ->
+      row (Printf.sprintf "w%d queue-wait" l.worker) l.queue_wait;
+      row (Printf.sprintf "w%d execute" l.worker) l.execute)
+    s.Dip_mcore.Pool.lanes;
+  Printf.printf "%s hand-off timeline (flight recorder):\n" label;
+  T.print t
+
 (* The --domains variant: each chain router becomes a Dip_mcore pool
    of worker domains, fed through the simulator's batched run loop.
    Injections are packed microseconds apart (instead of the
    sequential demo's 1 s) so arrivals actually batch; delivery counts
    are identical whatever the domain count (Sim.run_batched applies
    results in arrival order). *)
-let demo_parallel proto n count no_cache metrics domains =
+let demo_parallel proto n count no_cache metrics domains flight =
   let sim = Dip_netsim.Sim.create () in
   let m =
     match metrics with
@@ -267,6 +307,14 @@ let demo_parallel proto n count no_cache metrics domains =
         Dip_netsim.Sim.attach_metrics sim m;
         Some m
   in
+  (* The recorder is armed for --flight, and also for --metrics=table
+     because the table surfaces the hand-off latency summary, which is
+     digested from flight events. *)
+  let with_flight = flight <> None || metrics = Some Fmt_table in
+  let sim_ring =
+    if with_flight then Some (Dip_obs.Flight.create ~pid:0 ~tid:0 ()) else None
+  in
+  Dip_netsim.Sim.set_flight sim sim_ring;
   let mk_env i _w =
     let env = mk_chain_router ~no_cache i in
     preinstall_pit proto [ env ];
@@ -276,6 +324,7 @@ let demo_parallel proto n count no_cache metrics domains =
     List.init n (fun i ->
         Dip_mcore.Pool.create ~domains
           ~metrics:(metrics <> None)
+          ?flight:(if with_flight then Some (i + 1) else None)
           (Dip_mcore.Snapshot.v ~registry ~mk_env:(mk_env i) ()))
   in
   let sink_consumed = ref 0 in
@@ -340,12 +389,33 @@ let demo_parallel proto n count no_cache metrics domains =
           | None -> ())
         pools;
       print_newline ();
-      export_metrics fmt m
+      export_metrics fmt m;
+      if fmt = Fmt_table then
+        List.iteri
+          (fun i pool ->
+            match Dip_mcore.Pool.timeline_summary pool with
+            | Some s ->
+                print_newline ();
+                print_timeline_summary (Printf.sprintf "r%d" (i + 1)) s
+            | None -> ())
+          pools
   | _ -> ());
+  (match flight with
+  | Some path ->
+      let rings =
+        Option.to_list sim_ring
+        @ List.concat_map Dip_mcore.Pool.flight_rings pools
+      in
+      let pid_names =
+        (0, "sim")
+        :: List.mapi (fun i _ -> (i + 1, Printf.sprintf "r%d" (i + 1))) pools
+      in
+      write_flight ~path ~text:false ~pid_names (Dip_obs.Flight.merge rings)
+  | None -> ());
   List.iter Dip_mcore.Pool.shutdown pools;
   0
 
-let demo proto n count no_cache metrics domains =
+let demo proto n count no_cache metrics domains flight =
   if n < 1 then begin
     Printf.eprintf "need at least one router\n";
     exit 1
@@ -358,22 +428,34 @@ let demo proto n count no_cache metrics domains =
     Printf.eprintf "need at least one domain\n";
     exit 1
   end;
-  if domains > 1 then demo_parallel proto n count no_cache metrics domains
+  if domains > 1 then demo_parallel proto n count no_cache metrics domains flight
   else begin
   let sim = Dip_netsim.Sim.create () in
+  (* Everything runs on this domain, so one ring carries the whole
+     trace. *)
+  let ring =
+    match flight with
+    | None -> None
+    | Some _ -> Some (Dip_obs.Flight.create ~pid:0 ~tid:0 ())
+  in
+  Dip_netsim.Sim.set_flight sim ring;
   (* With --metrics, every router reports through one shared Obs (so
      per-opkey counters aggregate across the chain) and the simulator
      mirrors link activity into the same registry. sample_every:1
      because a short demo run wants every packet timed. *)
   let obs =
-    match metrics with
-    | None -> None
-    | Some _ ->
+    match (metrics, ring) with
+    | None, None -> None
+    | _ ->
         let m = Dip_obs.Metrics.create () in
-        Dip_netsim.Sim.attach_metrics sim m;
-        Some (Obs.create ~sample_every:1 m)
+        if metrics <> None then Dip_netsim.Sim.attach_metrics sim m;
+        Some (Obs.create ~sample_every:1 ?flight:ring m)
   in
-  let mk_router = mk_chain_router ~no_cache in
+  let mk_router i =
+    let env = mk_chain_router ~no_cache i in
+    Progcache.set_flight env.Env.prog_cache ring;
+    env
+  in
   let sink_consumed = ref 0 in
   let sink _sim ~now:_ ~ingress:_ _pkt =
     incr sink_consumed;
@@ -428,6 +510,12 @@ let demo proto n count no_cache metrics domains =
   | Some fmt, Some o ->
       print_newline ();
       export_metrics fmt (Obs.metrics o)
+  | _ -> ());
+  (match (flight, ring) with
+  | Some path, Some r ->
+      write_flight ~path ~text:false
+        ~pid_names:[ (0, "chain") ]
+        (Dip_obs.Flight.events r)
   | _ -> ());
   0
   end
@@ -1078,7 +1166,7 @@ let lint proto all hex strict deep topology json corpus emit =
 (* --- chaos: fault injection + reliable delivery --- *)
 
 let chaos n count interval seed drop corrupt duplicate jitter flap crash
-    no_retx json metrics =
+    no_retx json metrics flight =
   let spec =
     try Dip_netsim.Faults.spec ~drop ~corrupt ~duplicate ~jitter ()
     with Invalid_argument e ->
@@ -1105,8 +1193,13 @@ let chaos n count interval seed drop corrupt duplicate jitter flap crash
   let m =
     match metrics with None -> None | Some _ -> Some (Dip_obs.Metrics.create ())
   in
+  let ring =
+    match flight with
+    | None -> None
+    | Some _ -> Some (Dip_obs.Flight.create ~pid:0 ~tid:0 ())
+  in
   let r =
-    try Chaos.run ?metrics:m cfg
+    try Chaos.run ?metrics:m ?flight:ring cfg
     with Invalid_argument e ->
       Printf.eprintf "%s\n" e;
       exit 2
@@ -1157,6 +1250,130 @@ let chaos n count interval seed drop corrupt duplicate jitter flap crash
       print_newline ();
       export_metrics fmt m
   | _ -> ());
+  (match (flight, ring) with
+  | Some path, Some r ->
+      write_flight ~path ~text:false
+        ~pid_names:[ (0, "chaos") ]
+        (Dip_obs.Flight.events r)
+  | _ -> ());
+  0
+
+(* --- profile: flight-recorded parallel run --- *)
+
+(* A demo-shaped chain run with the flight recorder armed everywhere:
+   per-pool worker lanes, the dispatcher lane, the simulator's window
+   lifecycle, plus one deliberate mid-run epoch republish so the trace
+   shows a configuration swap. The merged timeline is written as
+   Chrome trace-event JSON (or plain text with --text). *)
+let profile proto n count domains out text =
+  if n < 1 || count < 1 || domains < 1 then begin
+    Printf.eprintf "need at least one router, packet and domain\n";
+    exit 1
+  end;
+  let sim = Dip_netsim.Sim.create () in
+  let sim_ring = Dip_obs.Flight.create ~pid:0 ~tid:0 () in
+  Dip_netsim.Sim.set_flight sim (Some sim_ring);
+  let mk_env i _w =
+    let env = mk_chain_router ~no_cache:false i in
+    preinstall_pit proto [ env ];
+    env
+  in
+  let snaps =
+    List.init n (fun i -> Dip_mcore.Snapshot.v ~registry ~mk_env:(mk_env i) ())
+  in
+  let pools =
+    List.mapi
+      (fun i snap ->
+        Dip_mcore.Pool.create ~domains ~metrics:true ~obs_sample_every:1
+          ~flight:(i + 1) snap)
+      snaps
+  in
+  let sink_consumed = ref 0 in
+  let sink _sim ~now:_ ~ingress:_ _pkt =
+    incr sink_consumed;
+    [ Dip_netsim.Sim.Consume ]
+  in
+  let handler_of pool _sim ~now ~ingress pkt =
+    (Dip_mcore.Pool.handle_batch pool [| { Dip_mcore.Pool.now; ingress; pkt } |]).(0)
+  in
+  let ids =
+    List.mapi
+      (fun i pool ->
+        Dip_netsim.Sim.add_node sim
+          ~name:(Printf.sprintf "r%d" (i + 1))
+          (handler_of pool))
+      pools
+  in
+  let sink_id = Dip_netsim.Sim.add_node sim ~name:"sink" sink in
+  let rec wire = function
+    | a :: (b :: _ as rest) ->
+        Dip_netsim.Sim.connect sim (a, 1) (b, 0);
+        wire rest
+    | [ last ] -> Dip_netsim.Sim.connect sim (last, 1) (sink_id, 0)
+    | [] -> ()
+  in
+  wire ids;
+  for k = 0 to count - 1 do
+    Dip_netsim.Sim.inject sim ~at:(float_of_int k *. 1e-6) ~node:(List.hd ids)
+      ~port:0
+      (sample_packet ~hops:n proto)
+  done;
+  (* Republish every pool halfway through so the trace contains an
+     epoch swap. The timer drains the execution pipeline first, so the
+     pools are quiescent at the swap. *)
+  Dip_netsim.Sim.schedule sim
+    ~at:(float_of_int (count / 2) *. 1e-6)
+    (fun _ ->
+      List.iter2
+        (fun snap pool ->
+          match Dip_mcore.Pool.publish pool (Dip_mcore.Snapshot.next snap) with
+          | Ok () -> ()
+          | Error e -> Printf.eprintf "republish: %s\n" e)
+        snaps pools);
+  Dip_mcore.Runner.run_parallel ~window:16e-6 sim
+    ~pools:(List.combine ids pools);
+  let rings =
+    sim_ring :: List.concat_map Dip_mcore.Pool.flight_rings pools
+  in
+  let events = Dip_obs.Flight.merge rings in
+  let layer_count prefix =
+    List.length
+      (List.filter
+         (fun e ->
+           let name = Dip_obs.Flight.id_name e.Dip_obs.Flight.ev_id in
+           String.length name >= String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix)
+         events)
+  in
+  Printf.printf
+    "profiled %d router(s) x %d domain(s): %d/%d packet(s) reached the sink\n"
+    n domains !sink_consumed count;
+  Printf.printf "recorded %d event(s) (%d ring(s)):\n" (List.length events)
+    (List.length rings);
+  List.iter
+    (fun (label, prefix) -> Printf.printf "  %-14s %d\n" label (layer_count prefix))
+    [
+      ("engine", "engine.");
+      ("progcache", "progcache.");
+      ("pool", "pool.");
+      ("epoch swaps", "pool.publish");
+      ("sim windows", "sim.window.");
+      ("gc", "gc.");
+    ];
+  List.iteri
+    (fun i pool ->
+      match Dip_mcore.Pool.timeline_summary pool with
+      | Some s ->
+          print_newline ();
+          print_timeline_summary (Printf.sprintf "r%d" (i + 1)) s
+      | None -> ())
+    pools;
+  let pid_names =
+    (0, "sim")
+    :: List.mapi (fun i _ -> (i + 1, Printf.sprintf "r%d" (i + 1))) pools
+  in
+  write_flight ~path:out ~text ~pid_names events;
+  List.iter Dip_mcore.Pool.shutdown pools;
   0
 
 (* --- control: runtime FN management demo --- *)
@@ -1247,6 +1464,16 @@ let metrics_arg =
 let parallel_arg =
   Arg.(value & flag & info [ "parallel" ] ~doc:"Set the \\S2.2 parallel flag.")
 
+let flight_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "dip-flight.json") (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Arm the flight recorder and write the merged timeline to $(docv) \
+           (default $(b,dip-flight.json)) as Chrome trace-event JSON — load \
+           it in Perfetto or about://tracing.")
+
 let domains_arg =
   Arg.(
     value & opt int 1
@@ -1273,7 +1500,54 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run a router-chain simulation for a protocol.")
     Term.(
       const demo $ proto_arg $ n_arg $ count_arg $ no_cache_arg $ metrics_arg
-      $ domains_arg)
+      $ domains_arg $ flight_arg)
+
+let profile_proto_arg =
+  Arg.(
+    value
+    & opt proto_conv Dip32
+    & info [ "p"; "protocol"; "realization" ] ~docv:"PROTOCOL"
+        ~doc:
+          "Realization to profile (default dip32): dip32, dip128, ndn, opt, \
+           ndn+opt, xia or epic.")
+
+let profile_n_arg =
+  Arg.(
+    value & opt int 2 & info [ "n"; "routers" ] ~docv:"N" ~doc:"Chain length.")
+
+let profile_count_arg =
+  Arg.(
+    value & opt int 5000
+    & info [ "c"; "count" ] ~docv:"N" ~doc:"Packets to inject.")
+
+let profile_domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~docv:"N" ~doc:"Worker domains per router.")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt string "dip-trace.json"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the trace.")
+
+let profile_text_arg =
+  Arg.(
+    value & flag
+    & info [ "text" ]
+        ~doc:"Write a plain-text merged timeline instead of Chrome JSON.")
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a fully flight-recorded parallel chain (engine spans, \
+          program-cache traffic, pool hand-off lanes, a mid-run epoch swap, \
+          window lifecycle, GC counters) and write the merged timeline as \
+          Chrome trace-event JSON.")
+    Term.(
+      const profile $ profile_proto_arg $ profile_n_arg $ profile_count_arg
+      $ profile_domains_arg $ profile_out_arg $ profile_text_arg)
 
 let trace_cmd =
   Cmd.v
@@ -1439,7 +1713,7 @@ let chaos_cmd =
       $ prob_arg "corrupt" "Per-transmission byte-corruption probability."
       $ prob_arg "duplicate" "Per-transmission duplication probability."
       $ jitter_arg $ flap_arg $ crash_arg $ no_retx_arg $ chaos_json_arg
-      $ metrics_arg)
+      $ metrics_arg $ flight_arg)
 
 let () =
   let doc = "DIP: unified L3 protocols from shared field operations" in
@@ -1448,6 +1722,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; trace_cmd;
-            estimate_cmd; lint_cmd; chaos_cmd; control_cmd;
+            catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; profile_cmd;
+            trace_cmd; estimate_cmd; lint_cmd; chaos_cmd; control_cmd;
           ]))

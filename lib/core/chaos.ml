@@ -59,24 +59,38 @@ let payload_for cfg i =
   if String.length s >= n then String.sub s 0 n
   else s ^ String.make (n - String.length s) 'x'
 
-let run ?metrics cfg =
+let run ?metrics ?flight cfg =
   if cfg.routers < 1 then invalid_arg "Chaos.run: need at least one router";
   if cfg.packets < 0 then invalid_arg "Chaos.run: negative packet count";
   if cfg.interval <= 0.0 then invalid_arg "Chaos.run: non-positive interval";
   let sim = Sim.create () in
   (match metrics with Some m -> Sim.attach_metrics sim m | None -> ());
+  Sim.set_flight sim flight;
+  (* Everything runs on the simulator's domain, so one ring carries
+     engine, progcache, window and fault events alike; sample_every:1
+     because a chaos run is short and post-mortems want every span. *)
+  let obs =
+    match flight with
+    | None -> None
+    | Some r ->
+        let reg =
+          match metrics with Some m -> m | None -> Dip_obs.Metrics.create ()
+        in
+        Some (Obs.create ~sample_every:1 ~flight:r reg)
+  in
   let registry = Ops.default_registry () in
   let routers =
     Array.init cfg.routers (fun i ->
         let name = Printf.sprintf "r%d" (i + 1) in
         let env = Env.create ~name () in
+        Progcache.set_flight env.Env.prog_cache flight;
         Dip_ip.Ipv4.add_route env.Env.v4_routes
           (Ipaddr.Prefix.of_string "10.0.0.0/8")
           1;
         Dip_ip.Ipv4.add_route env.Env.v4_routes
           (Ipaddr.Prefix.of_string "192.168.0.0/16")
           0;
-        Sim.add_node sim ~name (Engine.handler ~registry env))
+        Sim.add_node sim ~name (Engine.handler ?obs ~registry env))
   in
   let sender =
     Reliable.add_sender ~config:cfg.reliable sim ~name:"sender"

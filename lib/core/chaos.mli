@@ -48,7 +48,12 @@ type report = {
   counters : (string * int) list;  (** simulator counters *)
 }
 
-val run : ?metrics:Dip_obs.Metrics.t -> config -> report
+val run :
+  ?metrics:Dip_obs.Metrics.t -> ?flight:Dip_obs.Flight.ring -> config -> report
 (** Build the network, inject the workload, drain the simulator and
     summarize. [metrics] additionally mirrors simulator and fault
-    activity into a Dip_obs registry ([sim.*], [sim.fault.*]). *)
+    activity into a Dip_obs registry ([sim.*], [sim.fault.*]).
+    [flight] records the whole experiment — engine spans (unsampled),
+    program-cache traffic, window lifecycle and fault injections —
+    into one caller-owned ring (everything runs on the simulator's
+    domain), ready for {!Dip_obs.Export.chrome_trace}. *)

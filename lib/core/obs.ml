@@ -1,6 +1,14 @@
 module M = Dip_obs.Metrics
+module F = Dip_obs.Flight
 
 let default_sample_every = 16
+
+(* Flight-recorder event types (registered once, process-wide). Both
+   spans ride the sampled path — begin_packet already decides which
+   packets pay for clock reads, so arming a flight ring adds no
+   unsampled per-packet work. *)
+let ev_process = F.register ~kind:F.Span "engine.process"
+let ev_op = F.register ~kind:F.Span "engine.op"
 
 type t = {
   m : M.t;
@@ -19,6 +27,11 @@ type t = {
   cache_evict : M.gauge;
   sample_every : int;
   mutable tick : int;
+  mutable flight : F.ring option;
+  (* The verdict class of the current run, captured by [verdict] so
+     the flight span recorded in [process_ns] can carry it (the
+     engine always reports the verdict before the span). *)
+  mutable last_class : int;
 }
 
 let verdict_names =
@@ -32,7 +45,8 @@ let class_index = function
   | `Dropped -> 4
   | `Unsupported -> 5
 
-let create ?(prefix = "engine") ?(sample_every = default_sample_every) m =
+let create ?(prefix = "engine") ?(sample_every = default_sample_every) ?flight
+    m =
   if sample_every < 1 then invalid_arg "Obs.create: sample_every must be >= 1";
   let n = Opkey.max_key + 1 in
   let per_op suffix help =
@@ -67,9 +81,13 @@ let create ?(prefix = "engine") ?(sample_every = default_sample_every) m =
     cache_evict = M.gauge m (prefix ^ ".progcache.evict");
     sample_every;
     tick = 0;
+    flight;
+    last_class = 0;
   }
 
 let metrics t = t.m
+let set_flight t r = t.flight <- r
+let flight t = t.flight
 
 let publish_cache t pc =
   M.Gauge.set t.cache_hit (Progcache.hits pc);
@@ -91,6 +109,19 @@ let begin_packet t =
 let op_run t k = M.Counter.incr t.op_run.(Opkey.to_int k)
 let op_skip t k = M.Counter.incr t.op_skip.(Opkey.to_int k)
 let op_error t k = M.Counter.incr t.op_error.(Opkey.to_int k)
-let op_ns t k ns = M.Counter.incr ~by:ns t.op_nanos.(Opkey.to_int k)
-let verdict t v = M.Counter.incr t.verdicts.(class_index v)
-let process_ns t ns = M.Histogram.observe t.latency (float_of_int ns)
+let op_ns t k ns =
+  M.Counter.incr ~by:ns t.op_nanos.(Opkey.to_int k);
+  match t.flight with
+  | None -> ()
+  | Some r -> F.record r ev_op ns (Opkey.to_int k) 0
+
+let verdict t v =
+  let c = class_index v in
+  M.Counter.incr t.verdicts.(c);
+  t.last_class <- c
+
+let process_ns t ns =
+  M.Histogram.observe t.latency (float_of_int ns);
+  match t.flight with
+  | None -> ()
+  | Some r -> F.record r ev_process ns t.last_class 0

@@ -29,15 +29,28 @@
 type t
 
 val create :
-  ?prefix:string -> ?sample_every:int -> Dip_obs.Metrics.t -> t
+  ?prefix:string ->
+  ?sample_every:int ->
+  ?flight:Dip_obs.Flight.ring ->
+  Dip_obs.Metrics.t ->
+  t
 (** [create metrics] registers the engine instruments.
     [sample_every] (default {!default_sample_every}, must be [>= 1])
-    sets the span-timing rate; [1] times every packet. *)
+    sets the span-timing rate; [1] times every packet. [flight] arms
+    a flight-recorder ring: sampled runs additionally record
+    ["engine.process"] spans (a0 = ns, a1 = verdict class) and
+    ["engine.op"] spans (a0 = ns, a1 = opkey) into it. *)
 
 val default_sample_every : int
 (** 16. *)
 
 val metrics : t -> Dip_obs.Metrics.t
+
+val set_flight : t -> Dip_obs.Flight.ring option -> unit
+(** Arm (or disarm) the flight ring after creation. The ring must be
+    owned by the domain running this observer's engine. *)
+
+val flight : t -> Dip_obs.Flight.ring option
 
 val publish_cache : t -> Progcache.t -> unit
 (** Mirror the program cache's hit/miss/evict totals into the

@@ -56,6 +56,15 @@ val reset_counters : t -> unit
 val size : t -> int
 val capacity : t -> int
 
+val set_flight : t -> Dip_obs.Flight.ring option -> unit
+(** Arm (or disarm) a flight-recorder ring: cache events are recorded
+    as ["progcache.hit"] (sampled 1-in-16, a0 = running hit total),
+    ["progcache.miss"] and ["progcache.evict"] instants (every one,
+    a0 = running total). The ring must belong to the domain whose
+    engine owns this cache. *)
+
+val flight : t -> Dip_obs.Flight.ring option
+
 val key_of : Dip_bitbuf.Bitbuf.t -> string option
 (** The raw basic-header + FN-definition prefix with the hop-limit
     byte zeroed; [None] when the buffer is shorter than the prefix it

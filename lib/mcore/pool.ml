@@ -5,8 +5,24 @@ module Obs = Dip_core.Obs
 module Progcache = Dip_core.Progcache
 module Metrics = Dip_obs.Metrics
 module Counters = Dip_netsim.Stats.Counters
+module F = Dip_obs.Flight
 
 type item = { now : float; ingress : Env.port; pkt : Bitbuf.t }
+
+(* Flight event types for the hand-off pipeline. Ring layout: a pool
+   with [flight] armed owns [ndomains + 1] rings — index 0 is the
+   dispatcher lane (tid 0: dispatch / await / publish), index [w + 1]
+   is worker [w]'s lane (tid [w + 1]: queue-wait / execute / engine /
+   progcache / GC). Every ring has exactly one writing domain; a
+   1-domain pool's dispatcher writes lanes 0 and 1 itself (it {e is}
+   worker 0). *)
+let ev_dispatch = F.register ~kind:F.Span "pool.dispatch"
+let ev_queue_wait = F.register ~kind:F.Span "pool.queue_wait"
+let ev_execute = F.register ~kind:F.Span "pool.execute"
+let ev_await = F.register ~kind:F.Span "pool.await"
+let ev_publish = F.register "pool.publish"
+let ev_gc_minor = F.register ~kind:F.Counter "gc.minor_collections"
+let ev_gc_promoted = F.register ~kind:F.Counter "gc.promoted_words"
 
 (* Everything a worker reads per batch, swapped as one pointer
    (RCU-style): treat all of it as immutable once published. The
@@ -48,6 +64,7 @@ type job = {
   mutable j_actions : Dip_netsim.Sim.action list array; (* caller-indexed; [||] if unwanted *)
   mutable j_want_actions : bool;
   mutable j_pub : published; (* pinned at dispatch time: the RCU contract *)
+  mutable j_submit_ns : int; (* flight: dispatch stamp for queue-wait *)
   j_comp : completion;
 }
 
@@ -79,20 +96,71 @@ type t = {
      (the epoch's envs die with it otherwise). *)
   acc_counters : Counters.t;
   acc_metrics : Metrics.t option;
+  (* Flight lanes (see the ring-layout comment above); all [None]
+     when the recorder is off, so the hot paths pay one array read. *)
+  fl_rings : F.ring option array; (* length ndomains + 1 *)
+  (* Epoch-swap visibility for the Metrics exporters. *)
+  pub_counter : Metrics.counter option;
+  epoch_gauge : Metrics.gauge option;
+  (* Per-worker GC gauges, registered once in [acc_metrics] (gauges in
+     per-epoch registries would double-count absolute readings when
+     retired epochs are absorbed). Each gauge has exactly one writer:
+     its worker's domain. *)
+  gc_gauges : (Metrics.gauge * Metrics.gauge) option array;
 }
 
-let build_published ?sample_every ~metrics snap ndomains =
+(* [flights] are the worker lanes (slots 1.. of [fl_rings]): arming a
+   worker's observer and program cache routes engine spans and cache
+   events into that worker's private ring. An armed recorder forces
+   per-worker observers even without [metrics] (the engine only
+   records spans through an [Obs.t]); their registries then stay
+   private scratch. *)
+let build_published ?sample_every ~metrics ~flights snap ndomains =
   let metricses =
     Array.init ndomains (fun _ -> if metrics then Some (Metrics.create ()) else None)
   in
-  let obses = Array.map (Option.map (fun m -> Obs.create ?sample_every m)) metricses in
+  let obses =
+    Array.init ndomains (fun w ->
+        match (metricses.(w), flights.(w)) with
+        | None, None -> None
+        | m_opt, fl ->
+            let m =
+              match m_opt with Some m -> m | None -> Metrics.create ()
+            in
+            Some (Obs.create ?sample_every ?flight:fl m))
+  in
   let envs = Array.init ndomains snap.Snapshot.mk_env in
+  Array.iteri
+    (fun w env -> Progcache.set_flight env.Env.prog_cache flights.(w))
+    envs;
   let hints = Array.init ndomains (fun _ -> Progcache.hint ()) in
   { snap; envs; obses; metricses; hints }
+
+(* Per-batch GC visibility from the executing domain: the absolute
+   minor-collection and promoted-word readings as flight counters
+   (the timeline shows exactly which windows a collection landed in)
+   and, when metrics are on, as the worker's gauges. *)
+let note_gc t w fl =
+  if fl <> None || t.gc_gauges.(w) <> None then begin
+    let s = Gc.quick_stat () in
+    let minors = s.Gc.minor_collections in
+    let promoted = int_of_float s.Gc.promoted_words in
+    (match fl with
+    | Some r ->
+        F.record r ev_gc_minor minors w 0;
+        F.record r ev_gc_promoted promoted w 0
+    | None -> ());
+    match t.gc_gauges.(w) with
+    | Some (gm, gp) ->
+        Metrics.Gauge.set gm minors;
+        Metrics.Gauge.set gp promoted
+    | None -> ()
+  end
 
 let worker t w =
   let stop () = Atomic.get t.stop in
   let ring = t.rings.(w) in
+  let fl = t.fl_rings.(w + 1) in
   let rec loop () =
     match Spsc.pop_wait ~spin:t.spin ring ~stop with
     | None -> ()
@@ -102,6 +170,14 @@ let worker t w =
            an in-flight batch (snapshot.mli's RCU contract). *)
         let pub = job.j_pub in
         let env = pub.envs.(w) in
+        let t0 =
+          match fl with
+          | None -> 0
+          | Some r ->
+              let n = F.now () in
+              F.record r ev_queue_wait (n - job.j_submit_ns) job.j_count 0;
+              n
+        in
         let b =
           Engine.batch_start ?obs:pub.obses.(w)
             ?verify:pub.snap.Snapshot.verify ~hint:pub.hints.(w)
@@ -120,6 +196,10 @@ let worker t w =
               Engine.actions_of_verdict env ~ingress:it.ingress it.pkt verdict
         done;
         Engine.batch_finish b;
+        (match fl with
+        | None -> ()
+        | Some r -> F.record r ev_execute (F.now () - t0) job.j_count 0);
+        note_gc t w fl;
         (* After the decrement the dispatcher may reclaim the job as
            scratch — the job must not be touched again. Only the last
            job of the dispatch pays the lock/broadcast, and only to
@@ -141,18 +221,27 @@ let worker t w =
 let spin_budget ~domains =
   if Domain.recommended_domain_count () > domains then 4096 else 0
 
-let create ?(queue_capacity = 64) ?(metrics = false) ?obs_sample_every ~domains
-    snap =
+let create ?(queue_capacity = 64) ?(metrics = false) ?obs_sample_every ?flight
+    ?flight_capacity ~domains snap =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
   (match Snapshot.validate snap with
   | Ok () -> ()
   | Error e -> invalid_arg ("Pool.create: " ^ e));
+  let fl_rings =
+    match flight with
+    | None -> Array.make (domains + 1) None
+    | Some pid ->
+        Array.init (domains + 1) (fun tid ->
+            Some (F.create ?capacity:flight_capacity ~pid ~tid ()))
+  in
+  let acc_metrics = if metrics then Some (Metrics.create ()) else None in
   let t =
     {
       ndomains = domains;
       current =
         Atomic.make
-          (build_published ?sample_every:obs_sample_every ~metrics snap domains);
+          (build_published ?sample_every:obs_sample_every ~metrics
+             ~flights:(Array.sub fl_rings 1 domains) snap domains);
       rings = Array.init domains (fun _ -> Spsc.create ~capacity:queue_capacity);
       stop = Atomic.make false;
       doms = [||];
@@ -161,9 +250,38 @@ let create ?(queue_capacity = 64) ?(metrics = false) ?obs_sample_every ~domains
       spin = spin_budget ~domains;
       free_tickets = [];
       acc_counters = Counters.create ();
-      acc_metrics = (if metrics then Some (Metrics.create ()) else None);
+      acc_metrics;
+      fl_rings;
+      pub_counter =
+        Option.map
+          (fun m ->
+            Metrics.counter m "pool.publish.count"
+              ~help:"configuration epochs published over the pool's lifetime")
+          acc_metrics;
+      epoch_gauge =
+        Option.map
+          (fun m ->
+            Metrics.gauge m "pool.epoch"
+              ~help:"epoch of the currently published snapshot")
+          acc_metrics;
+      gc_gauges =
+        Array.init domains (fun w ->
+            Option.map
+              (fun m ->
+                ( Metrics.gauge m
+                    (Printf.sprintf "pool.worker%d.gc.minor_collections" w)
+                    ~help:"minor collections on the worker's domain",
+                  Metrics.gauge m
+                    (Printf.sprintf "pool.worker%d.gc.promoted_words" w)
+                    ~help:
+                      "words promoted to the major heap on the worker's domain"
+                ))
+              acc_metrics);
     }
   in
+  (match t.epoch_gauge with
+  | Some g -> Metrics.Gauge.set g snap.Snapshot.epoch
+  | None -> ());
   (* A 1-worker pool runs every batch on the dispatching domain (see
      [dispatch_async]), so spawning its worker would only buy GC
      synchronization: each minor collection must handshake with the
@@ -203,10 +321,21 @@ let publish t snap =
   Snapshot.publish snap ~via:(fun snap ->
       let next =
         build_published ?sample_every:t.obs_sample_every ~metrics:t.with_metrics
-          snap t.ndomains
+          ~flights:(Array.sub t.fl_rings 1 t.ndomains) snap t.ndomains
       in
       let retired = Atomic.exchange t.current next in
-      absorb_published t retired)
+      absorb_published t retired;
+      (match t.pub_counter with
+      | Some c -> Metrics.Counter.incr c
+      | None -> ());
+      (match t.epoch_gauge with
+      | Some g -> Metrics.Gauge.set g snap.Snapshot.epoch
+      | None -> ());
+      match t.fl_rings.(0) with
+      | Some r ->
+          F.record r ev_publish snap.Snapshot.epoch
+            retired.snap.Snapshot.epoch 0
+      | None -> ())
 
 let nil_info =
   { Engine.ops_run = 0; ops_skipped = 0; state_bytes = 0; parallel_depth = 0 }
@@ -230,6 +359,7 @@ let new_ticket t =
             j_actions = [||];
             j_want_actions = false;
             j_pub = pub;
+            j_submit_ns = 0;
             j_comp = comp;
           });
     shard_of = [||];
@@ -250,6 +380,8 @@ let take_ticket t =
 let dispatch_async t ~want_actions items =
   let n = Array.length items in
   let tk = take_ticket t in
+  let fl0 = t.fl_rings.(0) in
+  let d0 = match fl0 with None -> 0 | Some _ -> F.now () in
   let verdicts = Array.make n (Engine.Quiet, nil_info) in
   let actions = if want_actions then Array.make n [] else [||] in
   tk.t_verdicts <- verdicts;
@@ -266,6 +398,8 @@ let dispatch_async t ~want_actions items =
        the (parked) worker domain never touches them. *)
     let pub = Atomic.get t.current in
     let env = pub.envs.(0) in
+    let fl1 = t.fl_rings.(1) in
+    let x0 = match fl1 with None -> 0 | Some _ -> F.now () in
     let b =
       Engine.batch_start ?obs:pub.obses.(0) ?verify:pub.snap.Snapshot.verify
         ~hint:pub.hints.(0) ~registry:pub.snap.Snapshot.registry env
@@ -281,6 +415,12 @@ let dispatch_async t ~want_actions items =
           Engine.actions_of_verdict env ~ingress:it.ingress it.pkt verdict
     done;
     Engine.batch_finish b;
+    (* The dispatcher {e is} worker 0 here, so the execute span lands
+       on worker 0's lane, written from the only domain there is. *)
+    (match fl1 with
+    | None -> ()
+    | Some r -> F.record r ev_execute (F.now () - x0) n 0);
+    note_gc t 0 fl1;
     Atomic.set tk.comp.pending 0
   end
   else begin
@@ -323,6 +463,15 @@ let dispatch_async t ~want_actions items =
       j.j_idxs.(fill.(w)) <- i;
       fill.(w) <- fill.(w) + 1
     done;
+    (* One submit stamp for the whole dispatch: each worker's
+       queue-wait span measures pop time minus this. *)
+    (match fl0 with
+    | None -> ()
+    | Some _ ->
+        let s = F.now () in
+        for w = 0 to t.ndomains - 1 do
+          if counts.(w) > 0 then tk.jobs.(w).j_submit_ns <- s
+        done);
     (* The countdown must be armed before the first push: a fast
        worker may finish its job before the later pushes happen. *)
     Atomic.set tk.comp.pending !live;
@@ -334,24 +483,34 @@ let dispatch_async t ~want_actions items =
         while not (Spsc.push t.rings.(w) tk.jobs.(w)) do
           Domain.cpu_relax ()
         done
-    done
+    done;
+    match fl0 with
+    | None -> ()
+    | Some r -> F.record r ev_dispatch (F.now () - d0) n !live
   end;
   tk
 
 let await t tk =
   let comp = tk.comp in
+  let fl0 = t.fl_rings.(0) in
+  let a0 = match fl0 with None -> 0 | Some _ -> F.now () in
   let budget = ref t.spin in
   while Atomic.get comp.pending > 0 && !budget > 0 do
     Domain.cpu_relax ();
     decr budget
   done;
-  if Atomic.get comp.pending > 0 then begin
+  let blocked = Atomic.get comp.pending > 0 in
+  if blocked then begin
     Mutex.lock comp.c_lock;
     while Atomic.get comp.pending > 0 do
       Condition.wait comp.c_done comp.c_lock
     done;
     Mutex.unlock comp.c_lock
   end;
+  (match fl0 with
+  | None -> ()
+  | Some r ->
+      F.record r ev_await (F.now () - a0) (if blocked then 1 else 0) 0);
   let verdicts = tk.t_verdicts and actions = tk.t_actions in
   (* Reset the scratch before parking the ticket: a parked ticket
      must pin no packets, results, or retired world. *)
@@ -403,6 +562,74 @@ let metrics t =
       pub.metricses;
     Some acc
   end
+
+let flight_rings t =
+  Array.to_list t.fl_rings |> List.filter_map (fun r -> r)
+
+(* --- pipeline attribution from the flight rings -------------------- *)
+
+type lane_stat = { count : int; mean_ns : float; p99_ns : int; max_ns : int }
+
+type lane = { worker : int; queue_wait : lane_stat; execute : lane_stat }
+
+type summary = {
+  dispatch : lane_stat;
+  await : lane_stat;
+  await_blocked : int;
+  lanes : lane list;
+}
+
+let nil_stat = { count = 0; mean_ns = 0.0; p99_ns = 0; max_ns = 0 }
+
+let stat_of = function
+  | [] -> nil_stat
+  | l ->
+      let a = Array.of_list l in
+      Array.sort Stdlib.compare a;
+      let n = Array.length a in
+      let sum = Array.fold_left ( + ) 0 a in
+      let rank = Stdlib.max 1 (int_of_float (Float.ceil (0.99 *. float_of_int n))) in
+      {
+        count = n;
+        mean_ns = float_of_int sum /. float_of_int n;
+        p99_ns = a.(rank - 1);
+        max_ns = a.(n - 1);
+      }
+
+let timeline_summary t =
+  match t.fl_rings.(0) with
+  | None -> None
+  | Some r0 ->
+      let durs evs id =
+        List.filter_map
+          (fun e -> if e.F.ev_id = id then Some e.F.ev_a0 else None)
+          evs
+      in
+      let evs0 = F.events r0 in
+      let lanes =
+        List.init t.ndomains (fun w ->
+            let evs =
+              match t.fl_rings.(w + 1) with
+              | None -> []
+              | Some r -> F.events r
+            in
+            {
+              worker = w;
+              queue_wait = stat_of (durs evs ev_queue_wait);
+              execute = stat_of (durs evs ev_execute);
+            })
+      in
+      Some
+        {
+          dispatch = stat_of (durs evs0 ev_dispatch);
+          await = stat_of (durs evs0 ev_await);
+          await_blocked =
+            List.length
+              (List.filter
+                 (fun e -> e.F.ev_id = ev_await && e.F.ev_a1 = 1)
+                 evs0);
+          lanes;
+        }
 
 let shutdown t =
   if not (Atomic.get t.stop) then begin

@@ -49,6 +49,8 @@ val create :
   ?queue_capacity:int ->
   ?metrics:bool ->
   ?obs_sample_every:int ->
+  ?flight:int ->
+  ?flight_capacity:int ->
   domains:int ->
   Snapshot.t ->
   t
@@ -59,6 +61,17 @@ val create :
     (merged on {!metrics}); [obs_sample_every] tunes its span
     sampling. Call {!shutdown} when done — worker domains are not
     daemons.
+
+    [flight] arms a {!Dip_obs.Flight} recorder with the given trace
+    pid: the pool owns [domains + 1] rings ([flight_capacity] events
+    each) — tid 0 is the dispatcher lane (["pool.dispatch"] /
+    ["pool.await"] spans, ["pool.publish"] instants), tid [w + 1] is
+    worker [w]'s lane (["pool.queue_wait"] / ["pool.execute"] spans,
+    the engine's and program cache's events, and per-batch
+    ["gc.minor_collections"] / ["gc.promoted_words"] counters).
+    Arming the recorder gives every worker an observer even without
+    [metrics]. Drain with {!flight_rings} / {!timeline_summary} when
+    the pool is quiescent.
 
     A [domains:1] pool runs batches to completion on the dispatching
     domain itself (using worker 0's environment, hint and observer,
@@ -139,6 +152,39 @@ val metrics : t -> Dip_obs.Metrics.t option
     accumulator) merged into a fresh registry
     ({!Dip_obs.Metrics.absorb}) — [None] unless [create
     ~metrics:true]. Exact when the pool is quiescent. *)
+
+val flight_rings : t -> Dip_obs.Flight.ring list
+(** The pool's flight-recorder rings — dispatcher lane first, then
+    one per worker ([[]] unless [create ~flight]). Read them only
+    when the pool is quiescent; merge with the caller's own rings via
+    {!Dip_obs.Flight.merge} for a cross-layer timeline. *)
+
+type lane_stat = {
+  count : int;  (** samples recorded (0 → other fields are zero) *)
+  mean_ns : float;
+  p99_ns : int;
+  max_ns : int;
+}
+
+type lane = {
+  worker : int;
+  queue_wait : lane_stat;  (** enqueue → pop, per batch *)
+  execute : lane_stat;  (** pop → batch finished, per batch *)
+}
+
+type summary = {
+  dispatch : lane_stat;  (** shard + enqueue span on the dispatcher *)
+  await : lane_stat;  (** await-to-completion span on the dispatcher *)
+  await_blocked : int;  (** awaits that parked on the condvar *)
+  lanes : lane list;
+}
+
+val timeline_summary : t -> summary option
+(** Digest the flight rings into per-worker queue-wait / execute and
+    dispatcher dispatch / await latency stats — [None] unless the
+    recorder is armed. Statistics cover only the events still in the
+    rings (overwrite-oldest), so on long runs they describe the
+    recent past. Quiescent-pool only, like {!flight_rings}. *)
 
 val shutdown : t -> unit
 (** Drain the rings, stop and join the worker domains. The pool must

@@ -29,6 +29,7 @@ type t = {
   down : (Sim.node_id * Sim.port, (float * float) list) Hashtbl.t;
   counters : Stats.Counters.t;
   obs_counters : (string, Dip_obs.Metrics.counter) Hashtbl.t;
+  fl_events : (string, Dip_obs.Flight.id) Hashtbl.t;
   mutable events : event list; (* reversed *)
 }
 
@@ -36,6 +37,18 @@ let record t ~kind ~node ~port =
   Stats.Counters.incr (Sim.counters t.sim) ("fault." ^ kind);
   Stats.Counters.incr t.counters kind;
   t.events <- { time = Sim.now t.sim; kind; node; port } :: t.events;
+  (match Sim.flight t.sim with
+  | None -> ()
+  | Some r ->
+      let id =
+        match Hashtbl.find_opt t.fl_events kind with
+        | Some id -> id
+        | None ->
+            let id = Dip_obs.Flight.register ("sim.fault." ^ kind) in
+            Hashtbl.replace t.fl_events kind id;
+            id
+      in
+      Dip_obs.Flight.record r id node port 0);
   match Sim.metrics t.sim with
   | None -> ()
   | Some m ->
@@ -123,6 +136,7 @@ let attach ~seed sim =
       down = Hashtbl.create 8;
       counters = Stats.Counters.create ();
       obs_counters = Hashtbl.create 8;
+      fl_events = Hashtbl.create 8;
       events = [];
     }
   in

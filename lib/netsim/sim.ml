@@ -54,7 +54,16 @@ and t = {
      simulator knowing anything about fault policy. *)
   mutable egress_hook :
     (t -> from:node_id * port -> Dip_bitbuf.Bitbuf.t -> egress list) option;
+  (* Flight recorder for simulator-side events (window lifecycle,
+     fault injections) — always written from the driving domain. *)
+  mutable flight : Dip_obs.Flight.ring option;
 }
+
+(* Flight event types for the batched window lifecycle. *)
+let ev_window_submit = Dip_obs.Flight.register "sim.window.submit"
+
+let ev_window_apply =
+  Dip_obs.Flight.register ~kind:Dip_obs.Flight.Span "sim.window.apply"
 
 let create () =
   {
@@ -68,6 +77,7 @@ let create () =
     consume_hooks = [];
     obs = None;
     egress_hook = None;
+    flight = None;
   }
 
 let attach_metrics t metrics =
@@ -192,6 +202,8 @@ let on_consume t f = t.consume_hooks <- f :: t.consume_hooks
 let metrics t = Option.map (fun o -> o.metrics) t.obs
 let set_egress_hook t hook = t.egress_hook <- Some hook
 let clear_egress_hook t = t.egress_hook <- None
+let set_flight t r = t.flight <- r
+let flight t = t.flight
 
 let set_handler t id handler =
   check_node t id;
@@ -354,8 +366,14 @@ let run_submitted ~who ?(until = Float.infinity) ?(window = 0.0) ~depth t
   (* Submitted-but-unapplied windows, oldest first; never more than
      [depth] long after a [flush]. *)
   let inflight = Queue.create () in
+  (* Window sequence number, for correlating the submit instant with
+     the apply span on the flight timeline. *)
+  let wseq = ref 0 in
   let apply_oldest () =
-    let arr, join = Queue.pop inflight in
+    let arr, seq, join = Queue.pop inflight in
+    let t0 =
+      match t.flight with None -> 0 | Some _ -> Dip_obs.Flight.now ()
+    in
     let results = join () in
     if Array.length results <> Array.length arr then
       invalid_arg (who ^ ": exec returned a mismatched array");
@@ -363,7 +381,13 @@ let run_submitted ~who ?(until = Float.infinity) ?(window = 0.0) ~depth t
        handler could observe sequentially (per-link serialization,
        counters, consume order) is independent of how the backend
        scheduled the work. *)
-    Array.iteri (fun i item -> apply_batch_result t item results.(i)) arr
+    Array.iteri (fun i item -> apply_batch_result t item results.(i)) arr;
+    match t.flight with
+    | None -> ()
+    | Some r ->
+        Dip_obs.Flight.record r ev_window_apply
+          (Dip_obs.Flight.now () - t0)
+          (Array.length arr) seq
   in
   let drain () =
     while not (Queue.is_empty inflight) do
@@ -378,7 +402,13 @@ let run_submitted ~who ?(until = Float.infinity) ?(window = 0.0) ~depth t
         List.iteri (fun i item -> arr.(!npending - 1 - i) <- item) items;
         pending := [];
         npending := 0;
-        Queue.push (arr, submit arr) inflight);
+        let seq = !wseq in
+        incr wseq;
+        (match t.flight with
+        | None -> ()
+        | Some r ->
+            Dip_obs.Flight.record r ev_window_submit (Array.length arr) seq 0);
+        Queue.push (arr, seq, submit arr) inflight);
     while Queue.length inflight > depth do
       apply_oldest ()
     done

@@ -184,3 +184,14 @@ val set_egress_hook :
     applies to each returned entry. Replaces any previous hook. *)
 
 val clear_egress_hook : t -> unit
+
+val set_flight : t -> Dip_obs.Flight.ring option -> unit
+(** Arm (or disarm) a flight-recorder ring for simulator-side events,
+    written from the domain driving the simulator: per window,
+    ["sim.window.submit"] instants (a0 = items, a1 = window sequence
+    number) and ["sim.window.apply"] spans (a0 = join+apply ns,
+    a1 = items, a2 = window sequence number) from
+    {!run_batched} / {!run_pipelined}; {!Faults} additionally records
+    ["sim.fault.<kind>"] instants into the same ring. *)
+
+val flight : t -> Dip_obs.Flight.ring option

@@ -108,6 +108,126 @@ let json_lines m =
     (M.snapshot m);
   Buffer.contents b
 
+(* --- flight-recorder renderings ----------------------------------- *)
+
+(* Chrome trace-event JSON (the about://tracing / Perfetto format):
+   spans become complete ("X") events with microsecond ts/dur, the
+   start recovered as end - duration; instants become "i"; counters
+   become "C". Timestamps are rebased to the earliest start so the
+   trace opens at t=0. *)
+
+let chrome_trace ?(pid_names = []) events =
+  let start_ns e =
+    match Flight.id_kind e.Flight.ev_id with
+    | Flight.Span -> e.Flight.ev_ts - e.Flight.ev_a0
+    | Flight.Instant | Flight.Counter -> e.Flight.ev_ts
+  in
+  let t0 =
+    List.fold_left (fun acc e -> Stdlib.min acc (start_ns e)) max_int events
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  let us ns = Printf.sprintf "%.3f" (float_of_int (ns - t0) /. 1e3) in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_string b s
+  in
+  List.iter
+    (fun (p, name) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+            \"args\":{\"name\":\"%s\"}}"
+           p (json_escape name)))
+    pid_names;
+  let threads = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let key = (e.Flight.ev_pid, e.Flight.ev_tid) in
+      if not (Hashtbl.mem threads key) then begin
+        Hashtbl.add threads key ();
+        emit
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
+              \"args\":{\"name\":\"domain %d\"}}"
+             e.Flight.ev_pid e.Flight.ev_tid e.Flight.ev_tid)
+      end)
+    events;
+  List.iter
+    (fun e ->
+      let name = json_escape (Flight.id_name e.Flight.ev_id) in
+      match Flight.id_kind e.Flight.ev_id with
+      | Flight.Span ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\
+                \"ts\":%s,\"dur\":%.3f,\"args\":{\"a1\":%d,\"a2\":%d}}"
+               name e.Flight.ev_pid e.Flight.ev_tid
+               (us (e.Flight.ev_ts - e.Flight.ev_a0))
+               (float_of_int e.Flight.ev_a0 /. 1e3)
+               e.Flight.ev_a1 e.Flight.ev_a2)
+      | Flight.Instant ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\
+                \"tid\":%d,\"ts\":%s,\"args\":{\"a0\":%d,\"a1\":%d,\
+                \"a2\":%d}}"
+               name e.Flight.ev_pid e.Flight.ev_tid (us e.Flight.ev_ts)
+               e.Flight.ev_a0 e.Flight.ev_a1 e.Flight.ev_a2)
+      | Flight.Counter ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\
+                \"ts\":%s,\"args\":{\"value\":%d}}"
+               name e.Flight.ev_pid e.Flight.ev_tid (us e.Flight.ev_ts)
+               e.Flight.ev_a0))
+    events;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let timeline events =
+  let t0 =
+    List.fold_left
+      (fun acc e ->
+        let s =
+          match Flight.id_kind e.Flight.ev_id with
+          | Flight.Span -> e.Flight.ev_ts - e.Flight.ev_a0
+          | Flight.Instant | Flight.Counter -> e.Flight.ev_ts
+        in
+        Stdlib.min acc s)
+      max_int events
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      let name = Flight.id_name e.Flight.ev_id in
+      let at = float_of_int (e.Flight.ev_ts - t0) /. 1e3 in
+      (match Flight.id_kind e.Flight.ev_id with
+      | Flight.Span ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "%12.3f us  pid=%d tid=%d  %-28s dur=%.3f us a1=%d a2=%d" at
+               e.Flight.ev_pid e.Flight.ev_tid name
+               (float_of_int e.Flight.ev_a0 /. 1e3)
+               e.Flight.ev_a1 e.Flight.ev_a2)
+      | Flight.Instant ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "%12.3f us  pid=%d tid=%d  %-28s a0=%d a1=%d a2=%d" at
+               e.Flight.ev_pid e.Flight.ev_tid name e.Flight.ev_a0
+               e.Flight.ev_a1 e.Flight.ev_a2)
+      | Flight.Counter ->
+          Buffer.add_string b
+            (Printf.sprintf "%12.3f us  pid=%d tid=%d  %-28s value=%d" at
+               e.Flight.ev_pid e.Flight.ev_tid name e.Flight.ev_a0));
+      Buffer.add_char b '\n')
+    events;
+  Buffer.contents b
+
 let table m =
   let t =
     Dip_stdext.Tabular.create

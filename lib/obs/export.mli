@@ -21,3 +21,17 @@ val sanitize : string -> string
 (** The Prometheus name mangling: every character outside
     [[a-zA-Z0-9_:]] becomes ['_']; a leading digit is prefixed with
     ['_']. Exposed for the export round-trip tests. *)
+
+val chrome_trace : ?pid_names:(int * string) list -> Flight.event list -> string
+(** Render a merged {!Flight} timeline as Chrome trace-event JSON
+    (loadable in Perfetto / about://tracing). Spans become complete
+    ["X"] events (microsecond [ts]/[dur], start recovered as
+    [end - duration]), instants ["i"], counters ["C"]; [pid] and
+    [tid] come from the recording ring. [pid_names] adds
+    [process_name] metadata (e.g. node names); every distinct
+    (pid, tid) gets a ["domain N"] thread label. Timestamps are
+    rebased so the earliest event starts at 0. *)
+
+val timeline : Flight.event list -> string
+(** The same timeline as plain text, one event per line, for
+    terminal inspection without a trace viewer. *)
