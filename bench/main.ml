@@ -47,6 +47,14 @@
      flight-smoke      quick CI variant of flight: asserts the ring
                        stays within its 5% budget over the obs baseline
                        and drains exactly the events recorded
+     custody           delivery rate and p99 latency across
+                       disconnection lengths, custody transfer vs the
+                       end-to-end baseline (writes BENCH_PR9.json in
+                       the current directory)
+     custody-smoke     quick CI variant of custody: on a seeded
+                       satellite-pass schedule custody must reach full
+                       delivery where the e2e baseline gives up, with
+                       bounded store occupancy and a reproducible run
      all               everything above (default; excludes the smokes)
 
    Usage: dune exec bench/main.exe [-- <target>] *)
@@ -1446,6 +1454,152 @@ let bench_flight ?(smoke = false) () =
   end;
   print_newline ()
 
+(* --- custody: disruption tolerance (PR 9) --------------------------- *)
+
+(* Delivery and p99 latency across disconnection lengths, custody
+   transfer vs the PR 4 end-to-end baseline. A single outage of D
+   seconds covers the whole send window. The e2e retry budget
+   (8 retries, backoff 2 from 50 ms ≈ 12.8 s) rides out short
+   outages but abandons everything once D exceeds it; custodians hold
+   bundles for arbitrary D and replay them on link-up, at the price
+   of bounded per-router store occupancy (reported). *)
+let bench_custody ?(smoke = false) () =
+  print_endline "== custody: delivery across long disconnections ==";
+  let packets = if smoke then 60 else 200 in
+  let downs = if smoke then [ 30.0 ] else [ 5.0; 15.0; 30.0 ] in
+  let store_cfg down =
+    { Custody.default_config with retry_until = down +. 60.0 }
+  in
+  let case ~schedule ~custody ~deadline =
+    Chaos.run
+      {
+        Chaos.default with
+        packets;
+        schedule;
+        custody = (if custody then Some (store_cfg deadline) else None);
+      }
+  in
+  let results =
+    List.map
+      (fun down ->
+        ( down,
+          case ~schedule:[ (0.0, down) ] ~custody:true ~deadline:down,
+          case ~schedule:[ (0.0, down) ] ~custody:false ~deadline:down ))
+      downs
+  in
+  let t =
+    Tabular.create
+      ~aligns:
+        [ Tabular.Right; Tabular.Right; Tabular.Right; Tabular.Right;
+          Tabular.Right; Tabular.Right ]
+      [ "outage"; "delivered (custody)"; "p99 (custody)"; "delivered (e2e)";
+        "p99 (e2e)"; "store high-water" ]
+  in
+  List.iter
+    (fun (down, rc, re) ->
+      Tabular.add_row t
+        [
+          Printf.sprintf "%.0f s" down;
+          Printf.sprintf "%.1f%%" (100.0 *. rc.Chaos.delivery_rate);
+          Printf.sprintf "%.2f s" rc.Chaos.latency_p99;
+          Printf.sprintf "%.1f%%" (100.0 *. re.Chaos.delivery_rate);
+          Printf.sprintf "%.2f s" re.Chaos.latency_p99;
+          string_of_int (List.assoc "high-water" rc.Chaos.custody);
+        ])
+    results;
+  Tabular.print t;
+  (* The acceptance scenario: a seeded satellite-pass contact plan
+     (one 0.1 s contact every 20 s) that leaves most of the workload
+     stranded between passes. *)
+  let passes =
+    Dip_netsim.Workload.satellite_passes ~seed:42L ~period:20.0 ~pass:0.1
+      ~horizon:45.0 ()
+  in
+  let sat_c = case ~schedule:passes ~custody:true ~deadline:45.0 in
+  let sat_e = case ~schedule:passes ~custody:false ~deadline:45.0 in
+  Printf.printf
+    "satellite passes (0.1 s contact / 20 s period): custody %.1f%%, e2e \
+     baseline %.1f%%\n"
+    (100.0 *. sat_c.Chaos.delivery_rate)
+    (100.0 *. sat_e.Chaos.delivery_rate);
+  let case_json label custody r =
+    Printf.sprintf
+      "    { \"case\": %S, \"custody\": %b, \"sent\": %d, \"delivered\": %d, \
+       \"delivery_rate\": %.4f, \"p99_latency_s\": %.6f, \"mean_latency_s\": \
+       %.6f, \"transmissions\": %d, \"custodied\": %d, \"gave_up\": %d, \
+       \"store_take\": %d, \"store_evict\": %d, \"store_high_water\": %d, \
+       \"store_held_at_drain\": %d }"
+      label custody r.Chaos.sent r.Chaos.delivered r.Chaos.delivery_rate
+      r.Chaos.latency_p99 r.Chaos.latency_mean r.Chaos.transmissions
+      r.Chaos.custodied r.Chaos.gave_up
+      (Option.value ~default:0 (List.assoc_opt "take" r.Chaos.custody))
+      (Option.value ~default:0 (List.assoc_opt "evict" r.Chaos.custody))
+      (Option.value ~default:0 (List.assoc_opt "high-water" r.Chaos.custody))
+      (Option.value ~default:0 (List.assoc_opt "held" r.Chaos.custody))
+  in
+  let oc = open_out "BENCH_PR9.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"pr9-custody\",\n\
+    \  \"topology\": \"sender - 3 custodian DIP routers - receiver\",\n\
+    \  \"packets\": %d,\n\
+    \  \"seed\": 42,\n\
+    \  \"store\": { \"capacity\": %d, \"max_bytes\": %d },\n\
+    \  \"cases\": [\n%s\n  ]\n}\n"
+    packets Custody.default_config.Custody.capacity
+    Custody.default_config.Custody.max_bytes
+    (String.concat ",\n"
+       (List.concat_map
+          (fun (down, rc, re) ->
+            let label = Printf.sprintf "outage-%.0fs" down in
+            [ case_json label true rc; case_json label false re ])
+          results
+       @ [
+           case_json "satellite-passes" true sat_c;
+           case_json "satellite-passes" false sat_e;
+         ]));
+  close_out oc;
+  print_endline "wrote BENCH_PR9.json";
+  if smoke then begin
+    (* Acceptance: on the seeded satellite-pass schedule custody must
+       reach >= 99% delivery where the e2e baseline gets < 50%, with
+       nothing stranded, bounded store occupancy, and a reproducible
+       run. *)
+    if sat_e.Chaos.delivery_rate >= 0.5 then begin
+      Printf.eprintf
+        "SMOKE FAIL: e2e baseline delivered %.1f%% — the schedule is not \
+         disruptive enough to prove anything\n"
+        (100.0 *. sat_e.Chaos.delivery_rate);
+      exit 1
+    end;
+    if sat_c.Chaos.delivery_rate < 0.99 then begin
+      Printf.eprintf "SMOKE FAIL: custody delivered only %d/%d\n"
+        sat_c.Chaos.delivered sat_c.Chaos.sent;
+      exit 1
+    end;
+    if List.assoc "held" sat_c.Chaos.custody <> 0 then begin
+      prerr_endline "SMOKE FAIL: bundles stranded in custody after drain";
+      exit 1
+    end;
+    let bound = 3 * Custody.default_config.Custody.capacity in
+    if List.assoc "high-water" sat_c.Chaos.custody > bound then begin
+      prerr_endline "SMOKE FAIL: custody store occupancy exceeded its bound";
+      exit 1
+    end;
+    let again = case ~schedule:passes ~custody:true ~deadline:45.0 in
+    if again.Chaos.deliveries <> sat_c.Chaos.deliveries then begin
+      prerr_endline "SMOKE FAIL: custody delivery order not reproducible";
+      exit 1
+    end;
+    Printf.printf
+      "smoke ok: custody %d/%d vs e2e %d/%d on the satellite-pass schedule, \
+       store high-water %d, reproducible\n"
+      sat_c.Chaos.delivered sat_c.Chaos.sent sat_e.Chaos.delivered
+      sat_e.Chaos.sent
+      (List.assoc "high-water" sat_c.Chaos.custody)
+  end;
+  print_newline ()
+
 (* --- driver --------------------------------------------------------- *)
 
 let targets =
@@ -1467,6 +1621,7 @@ let targets =
     ("faults", fun () -> bench_faults ());
     ("mcore", fun () -> bench_mcore ());
     ("flight", fun () -> bench_flight ());
+    ("custody", fun () -> bench_custody ());
   ]
 
 let () =
@@ -1483,13 +1638,14 @@ let () =
   | "faults-smoke" -> bench_faults ~smoke:true ()
   | "mcore-smoke" -> bench_mcore ~smoke:true ()
   | "flight-smoke" -> bench_flight ~smoke:true ()
+  | "custody-smoke" -> bench_custody ~smoke:true ()
   | name -> (
       match List.assoc_opt name targets with
       | Some f -> f ()
       | None ->
           Printf.eprintf
             "unknown target %S; available: all cache-smoke obs-smoke \
-             faults-smoke mcore-smoke flight-smoke %s\n"
+             faults-smoke mcore-smoke flight-smoke custody-smoke %s\n"
             name
             (String.concat " " (List.map fst targets));
           exit 1)

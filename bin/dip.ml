@@ -1166,7 +1166,7 @@ let lint proto all hex strict deep topology json corpus emit =
 (* --- chaos: fault injection + reliable delivery --- *)
 
 let chaos n count interval seed drop corrupt duplicate jitter flap crash
-    no_retx json metrics flight =
+    custody passes horizon no_retx json metrics flight =
   let spec =
     try Dip_netsim.Faults.spec ~drop ~corrupt ~duplicate ~jitter ()
     with Invalid_argument e ->
@@ -1177,6 +1177,17 @@ let chaos n count interval seed drop corrupt duplicate jitter flap crash
     if no_retx then { Host.Reliable.default_config with max_retries = 0 }
     else Host.Reliable.default_config
   in
+  let schedule =
+    match passes with
+    | None -> []
+    | Some (period, pass) -> (
+        try
+          Dip_netsim.Workload.satellite_passes ~seed:(Int64.of_int seed)
+            ~period ~pass ~horizon ()
+        with Invalid_argument e ->
+          Printf.eprintf "%s\n" e;
+          exit 2)
+  in
   let cfg =
     {
       Chaos.default with
@@ -1186,8 +1197,17 @@ let chaos n count interval seed drop corrupt duplicate jitter flap crash
       seed = Int64.of_int seed;
       spec;
       flap;
+      schedule;
       crash;
       reliable;
+      custody =
+        (if custody then
+           (* The sweep deadline bounds the run even if bundles end up
+              permanently stranded (e.g. --drop 1). *)
+           Some
+             { Dip_core.Custody.default_config with
+               retry_until = (2.0 *. horizon) +. 60.0 }
+         else None);
     }
   in
   let m =
@@ -1205,33 +1225,34 @@ let chaos n count interval seed drop corrupt duplicate jitter flap crash
       exit 2
   in
   if json then begin
-    let faults =
-      String.concat ","
-        (List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) r.Chaos.faults)
+    let ints kvs =
+      String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) kvs)
     in
     Printf.printf
       "{\"sent\":%d,\"delivered\":%d,\"delivery_rate\":%.6f,\"duplicates\":%d,\
-       \"rejected\":%d,\"transmissions\":%d,\"acked\":%d,\"gave_up\":%d,\
-       \"in_flight\":%d,\"latency_mean\":%.6f,\"latency_p50\":%.6f,\
-       \"latency_p99\":%.6f,\"faults\":{%s}}\n"
+       \"rejected\":%d,\"transmissions\":%d,\"acked\":%d,\"custodied\":%d,\
+       \"gave_up\":%d,\"in_flight\":%d,\"latency_mean\":%.6f,\
+       \"latency_p50\":%.6f,\"latency_p99\":%.6f,\"faults\":{%s},\
+       \"custody\":{%s}}\n"
       r.Chaos.sent r.Chaos.delivered r.Chaos.delivery_rate r.Chaos.duplicates
-      r.Chaos.rejected r.Chaos.transmissions r.Chaos.acked r.Chaos.gave_up
-      r.Chaos.in_flight r.Chaos.latency_mean r.Chaos.latency_p50
-      r.Chaos.latency_p99 faults
+      r.Chaos.rejected r.Chaos.transmissions r.Chaos.acked r.Chaos.custodied
+      r.Chaos.gave_up r.Chaos.in_flight r.Chaos.latency_mean r.Chaos.latency_p50
+      r.Chaos.latency_p99 (ints r.Chaos.faults) (ints r.Chaos.custody)
   end
   else begin
     Printf.printf
-      "%d router(s), %d packet(s), seed %d%s:\n  delivered %d/%d (%.1f%%), %d \
+      "%d router(s), %d packet(s), seed %d%s%s:\n  delivered %d/%d (%.1f%%), %d \
        duplicate(s) deduped, %d integrity drop(s)\n  %d transmission(s), %d \
-       acked, %d abandoned, %d unresolved\n  latency mean %.4fs  p50 %.4fs  \
-       p99 %.4fs\n"
+       acked, %d custodied, %d abandoned, %d unresolved\n  latency mean %.4fs  \
+       p50 %.4fs  p99 %.4fs\n"
       n count seed
       (if no_retx then " (retransmission off)" else "")
+      (if custody then " (custody transfer on)" else "")
       r.Chaos.delivered r.Chaos.sent
       (100.0 *. r.Chaos.delivery_rate)
       r.Chaos.duplicates r.Chaos.rejected r.Chaos.transmissions r.Chaos.acked
-      r.Chaos.gave_up r.Chaos.in_flight r.Chaos.latency_mean r.Chaos.latency_p50
-      r.Chaos.latency_p99;
+      r.Chaos.custodied r.Chaos.gave_up r.Chaos.in_flight r.Chaos.latency_mean
+      r.Chaos.latency_p50 r.Chaos.latency_p99;
     if r.Chaos.faults <> [] then begin
       let t =
         Dip_stdext.Tabular.create
@@ -1243,7 +1264,18 @@ let chaos n count interval seed drop corrupt duplicate jitter flap crash
         r.Chaos.faults;
       Dip_stdext.Tabular.print t
     end
-    else print_endline "no faults injected"
+    else print_endline "no faults injected";
+    if r.Chaos.custody <> [] then begin
+      let t =
+        Dip_stdext.Tabular.create
+          ~aligns:[ Dip_stdext.Tabular.Left; Dip_stdext.Tabular.Right ]
+          [ "custody (all routers)"; "count" ]
+      in
+      List.iter
+        (fun (k, v) -> Dip_stdext.Tabular.add_row t [ k; string_of_int v ])
+        r.Chaos.custody;
+      Dip_stdext.Tabular.print t
+    end
   end;
   (match (metrics, m) with
   | Some fmt, Some m ->
@@ -1691,6 +1723,30 @@ let crash_arg =
     & info [ "crash" ] ~docv:"FROM:UNTIL"
         ~doc:"Crash window for the middle router.")
 
+let custody_arg =
+  Arg.(
+    value & flag
+    & info [ "custody" ]
+        ~doc:
+          "Turn every router into a custodian (F_cust): bundles are stored \
+           hop-by-hop, ACKed upstream and replayed when the link comes back \
+           up — DTN-style disruption tolerance.")
+
+let passes_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:':' float float)) None
+    & info [ "passes" ] ~docv:"PERIOD:PASS"
+        ~doc:
+          "Satellite-pass contact schedule for the middle link: up for PASS \
+           seconds every PERIOD seconds, down otherwise (until --horizon).")
+
+let horizon_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "horizon" ] ~docv:"SECONDS"
+        ~doc:"End of the --passes schedule (the link stays up after it).")
+
 let no_retx_arg =
   Arg.(
     value & flag
@@ -1706,14 +1762,15 @@ let chaos_cmd =
        ~doc:
          "Run a reliable host pair across a router chain with seeded fault \
           injection (drop, corruption, duplication, reordering, link flap, \
-          router crash) and report delivery and recovery statistics.")
+          router crash, satellite-pass outages) and report delivery and \
+          recovery statistics; --custody adds DTN-style custody transfer.")
     Term.(
       const chaos $ n_arg $ chaos_count_arg $ interval_arg $ seed_arg
       $ prob_arg "drop" "Per-transmission drop probability."
       $ prob_arg "corrupt" "Per-transmission byte-corruption probability."
       $ prob_arg "duplicate" "Per-transmission duplication probability."
-      $ jitter_arg $ flap_arg $ crash_arg $ no_retx_arg $ chaos_json_arg
-      $ metrics_arg $ flight_arg)
+      $ jitter_arg $ flap_arg $ crash_arg $ custody_arg $ passes_arg
+      $ horizon_arg $ no_retx_arg $ chaos_json_arg $ metrics_arg $ flight_arg)
 
 let () =
   let doc = "DIP: unified L3 protocols from shared field operations" in

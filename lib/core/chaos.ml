@@ -12,8 +12,10 @@ type config = {
   seed : int64;
   spec : Faults.spec;
   flap : (float * float) option;
+  schedule : (float * float) list;
   crash : (float * float) option;
   reliable : Reliable.config;
+  custody : Custody.config option;
 }
 
 let default =
@@ -25,8 +27,10 @@ let default =
     seed = 42L;
     spec = Faults.spec ();
     flap = None;
+    schedule = [];
     crash = None;
     reliable = Reliable.default_config;
+    custody = None;
   }
 
 type report = {
@@ -36,6 +40,7 @@ type report = {
   rejected : int;
   transmissions : int;
   acked : int;
+  custodied : int;
   gave_up : int;
   in_flight : int;
   delivery_rate : float;
@@ -45,6 +50,8 @@ type report = {
   faults : (string * int) list;
   events : Faults.event list;
   counters : (string * int) list;
+  custody : (string * int) list;
+  deliveries : (int32 * float) list;
 }
 
 (* Sender and receiver sit in distinct prefixes so every router can
@@ -79,6 +86,10 @@ let run ?metrics ?flight cfg =
         Some (Obs.create ~sample_every:1 ~flight:r reg)
   in
   let registry = Ops.default_registry () in
+  (* With custody enabled every router becomes a custodian (store +
+     replay path out of port 1, the data direction); [cust_routers]
+     keeps the handles for link-up hooks and the aggregate report. *)
+  let cust_routers = Array.make cfg.routers None in
   let routers =
     Array.init cfg.routers (fun i ->
         let name = Printf.sprintf "r%d" (i + 1) in
@@ -90,10 +101,19 @@ let run ?metrics ?flight cfg =
         Dip_ip.Ipv4.add_route env.Env.v4_routes
           (Ipaddr.Prefix.of_string "192.168.0.0/16")
           0;
-        Sim.add_node sim ~name (Engine.handler ?obs ~registry env))
+        match cfg.custody with
+        | Some ccfg ->
+            let r =
+              Custody.add_router ?obs ?metrics ?flight ~config:ccfg sim
+                ~registry ~env ~name ~out_port:1 ()
+            in
+            cust_routers.(i) <- Some r;
+            Custody.node r
+        | None -> Sim.add_node sim ~name (Engine.handler ?obs ~registry env))
   in
   let sender =
-    Reliable.add_sender ~config:cfg.reliable sim ~name:"sender"
+    Reliable.add_sender ~config:cfg.reliable
+      ~custody:(Option.is_some cfg.custody) sim ~name:"sender"
       ~seed:(Int64.add cfg.seed 1L) ~src:sender_addr ~dst:receiver_addr
       ~out_port:0
   in
@@ -110,12 +130,26 @@ let run ?metrics ?flight cfg =
   let faults = Faults.attach ~seed:cfg.seed sim in
   Faults.all_links faults cfg.spec;
   let mid = routers.(cfg.routers / 2) in
-  (match cfg.flap with
-  | Some (a, b) -> Faults.link_down faults (mid, 1) ~from_:a ~until:b
-  | None -> ());
+  let windows =
+    (match cfg.flap with Some w -> [ w ] | None -> []) @ cfg.schedule
+  in
+  List.iter
+    (fun (a, b) -> Faults.link_down faults (mid, 1) ~from_:a ~until:b)
+    windows;
   (match cfg.crash with
   | Some (a, b) -> Faults.crash_node faults mid ~at:a ~until:b
   | None -> ());
+  (* Every custodian replays its held bundles the moment its data
+     egress comes back up (the DTN contact event); the periodic sweep
+     in Custody covers lost custody ACKs. *)
+  Array.iter
+    (function
+      | Some r ->
+          Faults.on_link_up faults
+            (Custody.node r, 1)
+            (fun _now -> Custody.replay r)
+      | None -> ())
+    cust_routers;
   for i = 0 to cfg.packets - 1 do
     Reliable.send sender
       ~at:(float_of_int i *. cfg.interval)
@@ -133,6 +167,19 @@ let run ?metrics ?flight cfg =
     if Stats.Series.count lat = 0 then 0.0 else Stats.Series.percentile lat p
   in
   let delivered = Reliable.delivered recv in
+  let custody =
+    match List.filter_map Fun.id (Array.to_list cust_routers) with
+    | [] -> []
+    | rs ->
+        let keys = List.map fst (Custody.stats (List.hd rs)) in
+        List.map
+          (fun k ->
+            ( k,
+              List.fold_left
+                (fun acc r -> acc + List.assoc k (Custody.stats r))
+                0 rs ))
+          keys
+  in
   {
     sent = ss.Reliable.sent;
     delivered;
@@ -140,6 +187,7 @@ let run ?metrics ?flight cfg =
     rejected = Reliable.rejected recv;
     transmissions = ss.Reliable.transmissions;
     acked = ss.Reliable.acked;
+    custodied = ss.Reliable.custodied;
     gave_up = ss.Reliable.gave_up;
     in_flight = ss.Reliable.in_flight;
     delivery_rate =
@@ -151,4 +199,6 @@ let run ?metrics ?flight cfg =
     faults = Faults.counts faults;
     events = Faults.events faults;
     counters = Stats.Counters.to_list (Sim.counters sim);
+    custody;
+    deliveries = Reliable.deliveries recv;
   }

@@ -21,14 +21,21 @@ type config = {
   seed : int64;  (** drives faults (seed) and sender jitter (seed+1) *)
   spec : Dip_netsim.Faults.spec;  (** applied to all links *)
   flap : (float * float) option;  (** middle-link down window *)
+  schedule : (float * float) list;
+      (** additional middle-link down windows — e.g. the output of
+          {!Dip_netsim.Workload.satellite_passes} for DTN runs *)
   crash : (float * float) option;  (** middle-router crash window *)
   reliable : Host.Reliable.config;
       (** set [max_retries = 0] to measure without retransmission *)
+  custody : Custody.config option;
+      (** [Some _] turns every router into a custodian
+          ({!Custody.add_router}), marks all data packets with the
+          F_cust custody request and replays held bundles on link-up *)
 }
 
 val default : config
 (** 3 routers, 200 packets at 10 ms spacing, 32-byte payloads, seed
-    42, no faults, default reliable config. *)
+    42, no faults, default reliable config, no custody. *)
 
 type report = {
   sent : int;
@@ -37,6 +44,7 @@ type report = {
   rejected : int;  (** integrity-check drops at the endpoints *)
   transmissions : int;  (** data packets put on the wire *)
   acked : int;
+  custodied : int;  (** sequences the sender handed to a custodian *)
   gave_up : int;
   in_flight : int;  (** unacked at drain — 0 when every fate resolved *)
   delivery_rate : float;  (** delivered / sent *)
@@ -46,6 +54,12 @@ type report = {
   faults : (string * int) list;  (** injected faults by kind *)
   events : Dip_netsim.Faults.event list;  (** full fault schedule *)
   counters : (string * int) list;  (** simulator counters *)
+  custody : (string * int) list;
+      (** custody-store counters summed over all routers
+          ({!Custody.stats} keys); empty without custody *)
+  deliveries : (int32 * float) list;
+      (** first delivery of each sequence in delivery order — lets
+          callers check reruns for bit-identical behavior *)
 }
 
 val run :

@@ -20,7 +20,7 @@ let mandatory = function
   | Opkey.F_parm | Opkey.F_mac | Opkey.F_mark | Opkey.F_hvf -> true
   | Opkey.F_32_match | Opkey.F_128_match | Opkey.F_source | Opkey.F_fib
   | Opkey.F_pit | Opkey.F_ver | Opkey.F_dag | Opkey.F_intent | Opkey.F_pass
-  | Opkey.F_cc | Opkey.F_tel ->
+  | Opkey.F_cc | Opkey.F_tel | Opkey.F_cust ->
       false
 
 (* Dependency leveling for the §2.2 parallel flag: two FNs conflict
@@ -108,6 +108,7 @@ let execute ?obs ~registry ~side env ~now ~ingress buf ~sampled ~t_start checked
       let budget = Guard.start env.Env.guard in
       let scratch = env.Env.scratch in
       scratch.Registry.opt_key <- None;
+      scratch.Registry.emit <- [];
       let ops_run = ref 0 and ops_skipped = ref 0 in
       let route = ref None in
       let nfns = Array.length view.Packet.fns in
@@ -260,7 +261,21 @@ let host_process ?obs ?verify ~registry env ~now ~ingress buf =
 
 let count env key = Dip_netsim.Stats.Counters.incr env.Env.counters key
 
-let actions_of_verdict env ~ingress buf = function
+(* Auxiliary transmissions (scratch.emit, pushed by F_cust) precede
+   the verdict's own actions: custody is taken — and ACKed — even
+   when a later decision drops the packet (hop-limit expiry), which
+   is exactly when the stored copy matters. Draining here instead of
+   threading a value through [info] keeps every call site — the sim
+   handlers, the mcore pool, direct users — correct without a
+   signature change. *)
+let drain_aux env =
+  match env.Env.scratch.Registry.emit with
+  | [] -> []
+  | l ->
+      env.Env.scratch.Registry.emit <- [];
+      List.rev_map (fun (p, pkt) -> Dip_netsim.Sim.Forward (p, pkt)) l
+
+let verdict_actions env ~ingress buf = function
   | Forwarded ports ->
       count env "dip.forwarded";
       (* Fan-out copies must not share storage: every downstream hop
@@ -289,6 +304,11 @@ let actions_of_verdict env ~ingress buf = function
         Dip_netsim.Sim.Forward (ingress, Errors.fn_unsupported ~key ~rejected:buf);
         Dip_netsim.Sim.Drop ("unsupported-" ^ Opkey.name key);
       ]
+
+let actions_of_verdict env ~ingress buf verdict =
+  match drain_aux env with
+  | [] -> verdict_actions env ~ingress buf verdict
+  | aux -> aux @ verdict_actions env ~ingress buf verdict
 
 let publish_obs obs env =
   match obs with

@@ -114,9 +114,11 @@ val actions_of_verdict :
     applies: [Forwarded] becomes per-port transmissions (with fan-out
     buffer copies), [Unsupported] becomes the §2.3 FN-unsupported
     notification plus a drop, and so on. Counts the verdict into
-    [env]'s counters. Exposed so batched dispatchers
-    ({!Dip_mcore.Pool}) can produce action lists off the handler
-    path. *)
+    [env]'s counters. Also drains the auxiliary-transmission channel
+    ([scratch.emit] — custody ACKs pushed by F_cust during the
+    preceding [process]) into leading [Forward] actions. Exposed so
+    batched dispatchers ({!Dip_mcore.Pool}) can produce action lists
+    off the handler path. *)
 
 (** {1 Batch processing}
 

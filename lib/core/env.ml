@@ -1,6 +1,9 @@
 type port = Dip_netsim.Sim.port
 
-type scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
+type scratch = {
+  mutable opt_key : Dip_opt.Drkey.session_key option;
+  mutable emit : (Dip_netsim.Sim.port * Dip_bitbuf.Bitbuf.t) list;
+}
 
 type t = {
   name : string;
@@ -27,6 +30,8 @@ type t = {
   counters : Dip_netsim.Stats.Counters.t;
   scratch : scratch;
   prog_cache : Progcache.t;
+  mutable custody :
+    (int32, Dip_bitbuf.Bitbuf.t) Dip_tables.Custody_store.t option;
 }
 
 let create ?(cache_capacity = 0) ?(pit_capacity = 65536)
@@ -57,8 +62,9 @@ let create ?(cache_capacity = 0) ?(pit_capacity = 65536)
     queue_depth = (fun () -> 0);
     guard = (match guard with Some g -> g | None -> Guard.create ());
     counters = Dip_netsim.Stats.Counters.create ();
-    scratch = { opt_key = None };
+    scratch = { opt_key = None; emit = [] };
     prog_cache = Progcache.create ~capacity:prog_cache_capacity ();
+    custody = None;
   }
 
 let set_opt_identity t ~secret ~hop =

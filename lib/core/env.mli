@@ -16,8 +16,18 @@ type port = Dip_netsim.Sim.port
     deposits the derived OPT key, F_MAC/F_mark consume it). Owned by
     the environment so the engine reuses one record per node instead
     of allocating per packet; {!Dip_core.Engine} resets it before
-    each run. *)
-type scratch = { mutable opt_key : Dip_opt.Drkey.session_key option }
+    each run.
+
+    [emit] is the auxiliary-transmission channel: an operation that
+    must put an {e extra} packet on the wire without deciding the
+    current packet's fate (F_cust's hop-by-hop custody ACK) pushes
+    [(egress_port, packet)] here and returns [Continue];
+    {!Dip_core.Engine.actions_of_verdict} drains it into leading
+    [Forward] actions. *)
+type scratch = {
+  mutable opt_key : Dip_opt.Drkey.session_key option;
+  mutable emit : (Dip_netsim.Sim.port * Dip_bitbuf.Bitbuf.t) list;
+}
 
 type t = {
   name : string;
@@ -60,6 +70,11 @@ type t = {
      decoded-FN-program cache. *)
   scratch : scratch;
   prog_cache : Progcache.t;
+  (* Custody transfer (F_cust, key 16): the bounded per-router bundle
+     store, keyed by bundle id. [None] (default) means this node
+     never takes custody — F_cust then ignores the FN per §2.4. *)
+  mutable custody :
+    (int32, Dip_bitbuf.Bitbuf.t) Dip_tables.Custody_store.t option;
 }
 
 val create :

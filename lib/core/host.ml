@@ -126,12 +126,14 @@ module Reliable = struct
   type config = {
     rto : float;
     backoff : float;
+    rto_max : float;
     max_jitter : float;
     max_retries : int;
   }
 
   let default_config =
-    { rto = 0.05; backoff = 2.0; max_jitter = 0.005; max_retries = 8 }
+    { rto = 0.05; backoff = 2.0; rto_max = Float.infinity; max_jitter = 0.005;
+      max_retries = 8 }
 
   let fns =
     [
@@ -143,8 +145,14 @@ module Reliable = struct
     let covered = Bitbuf.sub_string view.Packet.buf ~pos:view.Packet.loc_base ~len:12 in
     Crc32.digest ~init:(Crc32.digest covered) (Packet.payload view)
 
-  let build ~next_header ~dst ~src ~seq ~payload =
-    let loc = Bytes.create loc_len in
+  (* With [custody] the locations grow by the 5-byte Custody region
+     (tag + bundle id = seq) and the program gains the ignorable
+     F_cust. The CRC still covers only locations[0..12) + payload, so
+     custodians flipping the in-custody bit in flight don't break the
+     end-to-end integrity check. *)
+  let build ?(custody = false) ~next_header ~dst ~src ~seq ~payload () =
+    let n = if custody then loc_len + Custody.region_bytes else loc_len in
+    let loc = Bytes.create n in
     Bytes.blit_string (Ipaddr.V4.to_wire dst) 0 loc 0 4;
     Bytes.blit_string (Ipaddr.V4.to_wire src) 0 loc 4 4;
     Bytes.set_int32_be loc 8 seq;
@@ -152,17 +160,39 @@ module Reliable = struct
       Crc32.digest ~init:(Crc32.digest_sub loc ~pos:0 ~len:12) payload
     in
     Bytes.set_int32_be loc 12 crc;
+    let fns =
+      if custody then begin
+        Custody.set_region loc ~off:loc_len ~flags:Custody.flag_request
+          ~bundle:seq;
+        fns @ [ Custody.fn_at ~loc:(8 * loc_len) ]
+      end
+      else fns
+    in
     Packet.build ~next_header ~fns ~locations:(Bytes.to_string loc) ~payload ()
 
-  (* A validated reliable-protocol packet. *)
-  type frame = { f_dst : Ipaddr.V4.t; f_src : Ipaddr.V4.t; seq : int32 }
+  (* A validated reliable-protocol packet. [custody] is the bundle id
+     when the source requested custody transfer for this packet. *)
+  type frame = {
+    f_dst : Ipaddr.V4.t;
+    f_src : Ipaddr.V4.t;
+    seq : int32;
+    custody : int32 option;
+  }
 
   let classify packet =
     match Packet.parse packet with
     | Error e -> `Invalid ("parse: " ^ e)
     | Ok view ->
         let nh = view.Packet.header.Header.next_header in
-        if nh <> data_next_header && nh <> ack_next_header then `Other
+        if nh = Custody.ack_next_header then begin
+          (* A hop-local custody ACK that reached an endpoint: the
+             first custodian is taking over from the sender. *)
+          if view.Packet.header.Header.fn_loc_len < Custody.region_bytes then
+            `Invalid "custody: short ack region"
+          else
+            `Cust_ack (Custody.read_bundle view.Packet.buf ~base:view.Packet.loc_base)
+        end
+        else if nh <> data_next_header && nh <> ack_next_header then `Other
         else if view.Packet.header.Header.fn_loc_len < loc_len then
           `Invalid "reliable: short locations region"
         else begin
@@ -170,11 +200,22 @@ module Reliable = struct
           let stored = Bitbuf.get_uint32 view.Packet.buf (base + 12) in
           if not (Int32.equal stored (crc_of_view view)) then `Corrupt
           else
+            let custody =
+              if
+                view.Packet.header.Header.fn_loc_len
+                >= loc_len + Custody.region_bytes
+                && Custody.read_flags view.Packet.buf ~base:(base + loc_len)
+                   land Custody.flag_request
+                   <> 0
+              then Some (Custody.read_bundle view.Packet.buf ~base:(base + loc_len))
+              else None
+            in
             let frame =
               {
                 f_dst = Ipaddr.V4.of_wire (Bitbuf.sub_string view.Packet.buf ~pos:base ~len:4);
                 f_src = Ipaddr.V4.of_wire (Bitbuf.sub_string view.Packet.buf ~pos:(base + 4) ~len:4);
                 seq = Bitbuf.get_uint32 view.Packet.buf (base + 8);
+                custody;
               }
             in
             if nh = data_next_header then `Data frame else `Ack frame
@@ -186,6 +227,7 @@ module Reliable = struct
     sent : int;  (** unique payloads handed to {!send} *)
     transmissions : int;  (** wire transmissions incl. retransmits *)
     acked : int;
+    custodied : int;
     gave_up : int;
     in_flight : int;
   }
@@ -194,6 +236,7 @@ module Reliable = struct
     sim : Sim.t;
     mutable node : Sim.node_id;
     cfg : config;
+    cust : bool;
     rng : Prng.t;
     src : Ipaddr.V4.t;
     dst : Ipaddr.V4.t;
@@ -203,19 +246,29 @@ module Reliable = struct
     mutable s_sent : int;
     mutable s_tx : int;
     mutable s_acked : int;
+    mutable s_custodied : int;
     mutable s_gave_up : int;
   }
 
   let timeout_after s tries =
-    (s.cfg.rto *. (s.cfg.backoff ** float_of_int (tries - 1)))
+    Float.min s.cfg.rto_max
+      (s.cfg.rto *. (s.cfg.backoff ** float_of_int (tries - 1)))
     +. (if s.cfg.max_jitter > 0.0 then Prng.float s.rng s.cfg.max_jitter
         else 0.0)
 
   (* Timers cannot return [Forward] actions, so every (re)transmission
      goes through self-injection: the timer injects the packet on
      [self_port] and the node handler turns that arrival into the
-     actual [Forward]. *)
-  let arm s seq =
+     actual [Forward].
+
+     The timer re-arms *itself* after every retransmission it
+     injects. Re-arming from the handler instead (as the first
+     version did) wedges the sequence permanently if the
+     self-injection never reaches the handler — a crash window over
+     the sender, a full queue — because nothing else ever schedules
+     another look at that seq: not retried, not counted as gave-up,
+     [in_flight] never draining. *)
+  let rec arm s seq =
     match Hashtbl.find_opt s.pending seq with
     | None -> ()
     | Some p ->
@@ -231,18 +284,20 @@ module Reliable = struct
                 else begin
                   p.tries <- p.tries + 1;
                   Sim.inject sim ~at:(Sim.now sim) ~node:s.node
-                    ~port:self_port (Bitbuf.copy p.packet)
+                    ~port:self_port (Bitbuf.copy p.packet);
+                  arm s seq
                 end)
 
   let sender_handler s _sim ~now:_ ~ingress packet =
     if ingress = self_port then begin
       (match classify packet with
       | `Data frame ->
-          if not (Hashtbl.mem s.pending frame.seq) then
+          if not (Hashtbl.mem s.pending frame.seq) then begin
             Hashtbl.replace s.pending frame.seq
               { packet = Bitbuf.copy packet; tries = 1 };
-          if s.cfg.max_retries > 0 then arm s frame.seq
-      | `Ack _ | `Other | `Invalid _ | `Corrupt -> ());
+            if s.cfg.max_retries > 0 then arm s frame.seq
+          end
+      | `Ack _ | `Cust_ack _ | `Other | `Invalid _ | `Corrupt -> ());
       s.s_tx <- s.s_tx + 1;
       [ Sim.Forward (s.out_port, packet) ]
     end
@@ -254,14 +309,24 @@ module Reliable = struct
             s.s_acked <- s.s_acked + 1
           end;
           [ Sim.Consume ]
+      | `Cust_ack bundle ->
+          (* The first-hop custodian holds the bundle now: stop
+             retransmitting end-to-end, the network owns delivery. *)
+          if Hashtbl.mem s.pending bundle then begin
+            Hashtbl.remove s.pending bundle;
+            s.s_custodied <- s.s_custodied + 1
+          end;
+          [ Sim.Consume ]
       | `Corrupt -> [ Sim.Drop Errors.integrity_reason ]
       | `Invalid e -> [ Sim.Drop e ]
       | `Data _ | `Other -> [ Sim.Drop "reliable-unexpected" ]
 
-  let add_sender ?(config = default_config) sim ~name ~seed ~src ~dst
-      ~out_port =
+  let add_sender ?(config = default_config) ?(custody = false) sim ~name ~seed
+      ~src ~dst ~out_port =
     if config.rto <= 0.0 then invalid_arg "Reliable: rto must be positive";
     if config.backoff < 1.0 then invalid_arg "Reliable: backoff must be >= 1";
+    if config.rto_max < config.rto then
+      invalid_arg "Reliable: rto_max must be >= rto";
     if config.max_jitter < 0.0 || config.max_retries < 0 then
       invalid_arg "Reliable: negative jitter or retries";
     let s =
@@ -269,6 +334,7 @@ module Reliable = struct
         sim;
         node = -1;
         cfg = config;
+        cust = custody;
         rng = Prng.create seed;
         src;
         dst;
@@ -278,6 +344,7 @@ module Reliable = struct
         s_sent = 0;
         s_tx = 0;
         s_acked = 0;
+        s_custodied = 0;
         s_gave_up = 0;
       }
     in
@@ -291,7 +358,8 @@ module Reliable = struct
     s.next_seq <- Int32.add s.next_seq 1l;
     s.s_sent <- s.s_sent + 1;
     let packet =
-      build ~next_header:data_next_header ~dst:s.dst ~src:s.src ~seq ~payload
+      build ~custody:s.cust ~next_header:data_next_header ~dst:s.dst
+        ~src:s.src ~seq ~payload ()
     in
     Sim.inject s.sim ~at ~node:s.node ~port:self_port packet
 
@@ -302,6 +370,7 @@ module Reliable = struct
       sent = s.s_sent;
       transmissions = s.s_tx;
       acked = s.s_acked;
+      custodied = s.s_custodied;
       gave_up = s.s_gave_up;
       in_flight = Hashtbl.length s.pending;
     }
@@ -317,25 +386,37 @@ module Reliable = struct
     match classify packet with
     | `Data frame ->
         (* ACK every valid copy — re-acking duplicates is what stops
-           the sender retransmitting when the first ACK was lost. *)
+           the sender retransmitting when the first ACK was lost. For
+           custody packets also ACK the last-hop custodian so it can
+           release its stored copy (again on duplicates: the replay
+           that produced the duplicate re-stored the bundle). *)
         let ack =
           build ~next_header:ack_next_header ~dst:frame.f_src
-            ~src:frame.f_dst ~seq:frame.seq ~payload:""
+            ~src:frame.f_dst ~seq:frame.seq ~payload:"" ()
+        in
+        let acks =
+          match frame.custody with
+          | Some bundle ->
+              [
+                Sim.Forward (ingress, ack);
+                Sim.Forward (ingress, Custody.build_ack ~bundle);
+              ]
+          | None -> [ Sim.Forward (ingress, ack) ]
         in
         if Hashtbl.mem r.seen frame.seq then begin
           r.r_dups <- r.r_dups + 1;
-          [ Sim.Forward (ingress, ack); Sim.Drop "reliable-duplicate" ]
+          acks @ [ Sim.Drop "reliable-duplicate" ]
         end
         else begin
           Hashtbl.replace r.seen frame.seq ();
           r.deliveries <- (frame.seq, now) :: r.deliveries;
-          [ Sim.Forward (ingress, ack); Sim.Consume ]
+          acks @ [ Sim.Consume ]
         end
     | `Corrupt ->
         r.r_rejected <- r.r_rejected + 1;
         [ Sim.Drop Errors.integrity_reason ]
     | `Invalid e -> [ Sim.Drop e ]
-    | `Ack _ | `Other -> [ Sim.Drop "reliable-unexpected" ]
+    | `Ack _ | `Cust_ack _ | `Other -> [ Sim.Drop "reliable-unexpected" ]
 
   let add_receiver sim ~name =
     let r =

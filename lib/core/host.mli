@@ -157,18 +157,23 @@ module Reliable : sig
   type config = {
     rto : float;  (** initial retransmit timeout, seconds *)
     backoff : float;  (** timeout multiplier per retry, ≥ 1 *)
+    rto_max : float;  (** ceiling the backed-off timeout is clamped to
+                          (before jitter); must be ≥ [rto] *)
     max_jitter : float;  (** uniform extra timeout in [\[0, max_jitter)] *)
     max_retries : int;  (** retransmissions after the first try; 0 disables
                             retransmission entirely *)
   }
 
   val default_config : config
-  (** [rto = 50ms; backoff = 2; max_jitter = 5ms; max_retries = 8]. *)
+  (** [rto = 50ms; backoff = 2; rto_max = ∞; max_jitter = 5ms;
+      max_retries = 8]. The infinite [rto_max] preserves the historic
+      unclamped backoff. *)
 
   type sender
 
   val add_sender :
     ?config:config ->
+    ?custody:bool ->
     Sim.t ->
     name:string ->
     seed:int64 ->
@@ -178,7 +183,11 @@ module Reliable : sig
     sender
   (** Create the sending endpoint as a simulator node. Wire its
       [out_port] toward the network; ACKs are accepted on any wired
-      ingress. *)
+      ingress. With [~custody:true] every data packet carries the
+      F_cust custody-request FN ({!Custody}): custodian routers along
+      the path may take over delivery, in which case the sender stops
+      retransmitting as soon as the first hop-local custody ACK
+      arrives (counted in [custodied], not [acked]). *)
 
   val send : sender -> at:float -> payload:string -> unit
   (** Queue one payload for reliable delivery at simulated time
@@ -189,9 +198,10 @@ module Reliable : sig
   type sender_stats = {
     sent : int;  (** unique payloads handed to {!send} *)
     transmissions : int;  (** wire transmissions incl. retransmits *)
-    acked : int;
+    acked : int;  (** end-to-end ACKs *)
+    custodied : int;  (** sequences handed off to a custodian router *)
     gave_up : int;  (** sequences abandoned after [max_retries] *)
-    in_flight : int;  (** sent, not yet acked or abandoned *)
+    in_flight : int;  (** sent, not yet acked, custodied or abandoned *)
   }
 
   val sender_stats : sender -> sender_stats

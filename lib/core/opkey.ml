@@ -14,6 +14,7 @@ type t =
   | F_cc
   | F_tel
   | F_hvf
+  | F_cust
 
 let to_int = function
   | F_32_match -> 1
@@ -31,11 +32,12 @@ let to_int = function
   | F_cc -> 13
   | F_tel -> 14
   | F_hvf -> 15
+  | F_cust -> 16
 
 let all =
   [
     F_32_match; F_128_match; F_source; F_fib; F_pit; F_parm; F_mac; F_mark;
-    F_ver; F_dag; F_intent; F_pass; F_cc; F_tel; F_hvf;
+    F_ver; F_dag; F_intent; F_pass; F_cc; F_tel; F_hvf; F_cust;
   ]
 
 let of_int i = List.find_opt (fun k -> to_int k = i) all
@@ -58,6 +60,7 @@ let name = function
   | F_cc -> "F_cc"
   | F_tel -> "F_tel"
   | F_hvf -> "F_hvf"
+  | F_cust -> "F_cust"
 
 let description = function
   | F_32_match -> "32-bit address match"
@@ -75,6 +78,7 @@ let description = function
   | F_cc -> "congestion policing"
   | F_tel -> "in-band telemetry"
   | F_hvf -> "per-hop validation field check"
+  | F_cust -> "custody transfer"
 
 let equal a b = a = b
 let compare a b = Int.compare (to_int a) (to_int b)

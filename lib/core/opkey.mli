@@ -13,7 +13,9 @@
     {i F_cc} realizes NetFence-style in-network congestion policing
     (§1), {i F_tel} the in-band telemetry opportunity of §5, and
     {i F_hvf} the EPIC hop-validation check (§1 names EPIC beside
-    OPT). *)
+    OPT). Key 16 ({i F_cust}) realizes DTN-style custody transfer as
+    an ignorable FN (§2.4): supporting routers take custody of the
+    packet and ACK hop-by-hop; others forward it untouched. *)
 
 type t =
   | F_32_match   (** 1 — 32-bit address match *)
@@ -31,6 +33,7 @@ type t =
   | F_cc         (** 13 — congestion policing (NetFence-style, §1) *)
   | F_tel        (** 14 — in-band telemetry (§5 opportunities) *)
   | F_hvf        (** 15 — EPIC per-hop validation field check (§1) *)
+  | F_cust       (** 16 — DTN-style custody transfer (§2.4 ignorable) *)
 
 val to_int : t -> int
 val of_int : int -> t option

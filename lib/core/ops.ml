@@ -332,6 +332,63 @@ let f_hvf ctx =
               | Dip_epic.Protocol.Forwarded -> Continue
               | Dip_epic.Protocol.Rejected -> Abort "hvf-rejected"))
 
+(* --- F_cust (key 16): DTN custody transfer --- *)
+
+(* Ignorable by design (§2.4): a router without a custody store — or
+   without the operation installed at all — leaves the region alone
+   and the packet falls back to pure end-to-end recovery. A custodian
+   stores a copy of the whole packet, marks the in-custody bit, and
+   ACKs one hop upstream through the scratch emit channel (the packet
+   itself must keep forwarding, so the ACK cannot be a [Respond]). *)
+let f_cust ctx =
+  if ctx.fn.Fn.field.Field.len_bits <> Custody.region_bits then
+    Abort "cust: field must be 40 bits"
+  else if ctx.target.Field.off_bits mod 8 <> 0 then
+    Abort "cust: region not byte aligned"
+  else begin
+    let buf = ctx.view.Packet.buf in
+    let base = ctx.target.Field.off_bits / 8 in
+    let flags = Custody.read_flags buf ~base in
+    let bundle = Custody.read_bundle buf ~base in
+    let ack_upstream () =
+      ctx.scratch.emit <-
+        (ctx.ingress, Custody.build_ack ~bundle) :: ctx.scratch.emit;
+      Dip_netsim.Stats.Counters.incr ctx.env.Env.counters "custody.ack"
+    in
+    if flags land Custody.flag_ack <> 0 then begin
+      (* Hop-local custody ACK: downstream holds the bundle now. *)
+      (match ctx.env.Env.custody with
+      | Some store -> ignore (Dip_tables.Custody_store.release store bundle)
+      | None -> ());
+      Silent
+    end
+    else if flags land Custody.flag_request = 0 then Continue
+    else
+      match ctx.env.Env.custody with
+      | None -> Continue (* not a custodian: forward untouched *)
+      | Some store ->
+          if Dip_tables.Custody_store.mem store bundle then begin
+            (* Upstream retransmitted: its custody ACK was lost.
+               Re-ACK so the upstream copy is released. *)
+            ack_upstream ();
+            Continue
+          end
+          else begin
+            Bitbuf.set_uint8 buf base (flags lor Custody.flag_in_custody);
+            match
+              Dip_tables.Custody_store.take store bundle (Bitbuf.copy buf)
+            with
+            | `Stored ->
+                ack_upstream ();
+                Continue
+            | `Rejected ->
+                (* Store bounds refuse the bundle: upstream keeps
+                   custody, we forward without taking over. *)
+                Bitbuf.set_uint8 buf base flags;
+                Continue
+          end
+  end
+
 let default_registry () =
   let r = Registry.empty () in
   Registry.install r Opkey.F_32_match f_32_match;
@@ -349,4 +406,5 @@ let default_registry () =
   Registry.install r Opkey.F_cc f_cc;
   Registry.install r Opkey.F_tel f_tel;
   Registry.install r Opkey.F_hvf f_hvf;
+  Registry.install r Opkey.F_cust f_cust;
   r

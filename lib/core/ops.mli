@@ -68,6 +68,15 @@ val f_hvf : Registry.impl
     HVF against the key derived from (source, timestamp), dropping
     the packet on mismatch, and replace it with its verified form. *)
 
+val f_cust : Registry.impl
+(** Key 16 (extension): DTN custody transfer (see {!Custody}). On a
+    custodian (an {!Env.t} with a custody store): store a copy of a
+    custody-requested packet, set the in-custody bit, push a
+    hop-local custody ACK upstream via [scratch.emit], and keep
+    forwarding; release the stored copy when the matching custody
+    ACK arrives. Without a store the FN is a no-op — ignorable per
+    §2.4. *)
+
 val compute_pass_label :
   Dip_crypto.Siphash.key ->
   locations:string ->

@@ -19,6 +19,7 @@ type ctx = {
 
 and scratch = Env.scratch = {
   mutable opt_key : Dip_opt.Drkey.session_key option;
+  mutable emit : (Env.port * Dip_bitbuf.Bitbuf.t) list;
 }
 
 type impl = ctx -> outcome
@@ -53,6 +54,7 @@ let access = function
   | Opkey.F_pass -> ro
   | Opkey.F_cc | Opkey.F_tel -> { ro with target = Read_write }
   | Opkey.F_hvf -> { ro with target = Read_write }
+  | Opkey.F_cust -> { ro with target = Read_write }
 
 let writes_target a = a.target <> Read
 
@@ -111,6 +113,10 @@ let transfer = function
   | Opkey.F_cc | Opkey.F_tel ->
       { pure with t_writes = [ (whole, W_node) ] }
   | Opkey.F_hvf -> { pure with t_writes = [ (whole, W_data) ] }
+  | Opkey.F_cust ->
+      (* flips only the in-custody bit of the leading tag byte; the
+         bundle id is read-only *)
+      { pure with t_writes = [ ({ s_off = 0; s_len = 8 }, W_node) ] }
 
 let resolve_span ~(field : Dip_bitbuf.Field.t) ~region_bits s =
   let off = field.Dip_bitbuf.Field.off_bits + s.s_off in

@@ -37,11 +37,14 @@ type ctx = {
 }
 
 (** Per-packet scratch shared between the FNs of one packet: F_parm
-    deposits the derived OPT key here, F_MAC/F_mark consume it. The
-    engine reuses {!Env.scratch} (one record per node) rather than
-    allocating per packet. *)
+    deposits the derived OPT key here, F_MAC/F_mark consume it, and
+    F_cust pushes auxiliary transmissions (custody ACKs) onto [emit]
+    for {!Engine.actions_of_verdict} to drain. The engine reuses
+    {!Env.scratch} (one record per node) rather than allocating per
+    packet. *)
 and scratch = Env.scratch = {
   mutable opt_key : Dip_opt.Drkey.session_key option;
+  mutable emit : (Env.port * Dip_bitbuf.Bitbuf.t) list;
 }
 
 type impl = ctx -> outcome

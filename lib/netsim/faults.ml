@@ -19,6 +19,20 @@ let silent = { drop = 0.0; corrupt = 0.0; duplicate = 0.0; jitter = 0.0 }
 
 type event = { time : float; kind : string; node : Sim.node_id; port : Sim.port }
 
+(* Crash bookkeeping: overlapping and nested windows on one node must
+   behave as the union of their intervals. [active] counts windows
+   currently covering the node; the true pre-crash handler is saved
+   only on the 0→1 transition and restored only on the →0 one, so no
+   window can ever capture (and later reinstall) the drop handler
+   itself. [gen] stamps each crash episode: an end-timer from an
+   episode that has already fully restored must not decrement a later
+   episode's count. *)
+type crash = {
+  mutable active : int;
+  mutable gen : int;
+  mutable saved : Sim.handler option;
+}
+
 type t = {
   sim : Sim.t;
   rng : Prng.t;
@@ -27,6 +41,10 @@ type t = {
   (* Down windows per directed egress, unordered; the hook scans them
      (links have few windows). *)
   down : (Sim.node_id * Sim.port, (float * float) list) Hashtbl.t;
+  crashes : (Sim.node_id, crash) Hashtbl.t;
+  (* Link-up subscribers per directed endpoint, looked up when a down
+     window actually ends (so registration order doesn't matter). *)
+  up_subs : (Sim.node_id * Sim.port, (float -> unit) list ref) Hashtbl.t;
   counters : Stats.Counters.t;
   obs_counters : (string, Dip_obs.Metrics.counter) Hashtbl.t;
   fl_events : (string, Dip_obs.Flight.id) Hashtbl.t;
@@ -134,6 +152,8 @@ let attach ~seed sim =
       default = silent;
       link_specs = Hashtbl.create 8;
       down = Hashtbl.create 8;
+      crashes = Hashtbl.create 4;
+      up_subs = Hashtbl.create 4;
       counters = Stats.Counters.create ();
       obs_counters = Hashtbl.create 8;
       fl_events = Hashtbl.create 8;
@@ -151,23 +171,69 @@ let add_window t key w =
   let ws = Option.value ~default:[] (Hashtbl.find_opt t.down key) in
   Hashtbl.replace t.down key (w :: ws)
 
+let on_link_up t key f =
+  let subs =
+    match Hashtbl.find_opt t.up_subs key with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace t.up_subs key l;
+        l
+  in
+  subs := f :: !subs
+
+let fire_link_up t key now =
+  match Hashtbl.find_opt t.up_subs key with
+  | None -> ()
+  | Some subs -> List.iter (fun f -> f now) (List.rev !subs)
+
 let link_down t (node, port) ~from_ ~until =
   if until <= from_ then invalid_arg "Faults.link_down: empty window";
   match Sim.neighbor t.sim node port with
   | None -> invalid_arg "Faults.link_down: unwired port"
   | Some peer ->
       add_window t (node, port) (from_, until);
-      add_window t peer (from_, until)
+      add_window t peer (from_, until);
+      (* Notify subscribers when this window ends — unless another
+         window still covers the endpoint, in which case that
+         window's own end will fire. *)
+      Sim.schedule t.sim ~at:until (fun sim ->
+          let now = Sim.now sim in
+          List.iter
+            (fun key -> if not (is_down t key now) then fire_link_up t key now)
+            [ (node, port); peer ])
+
+let crash_state t node =
+  match Hashtbl.find_opt t.crashes node with
+  | Some c -> c
+  | None ->
+      let c = { active = 0; gen = 0; saved = None } in
+      Hashtbl.replace t.crashes node c;
+      c
 
 let crash_node t node ~at ~until =
   if until <= at then invalid_arg "Faults.crash_node: empty window";
   Sim.schedule t.sim ~at (fun sim ->
-      let original = Sim.node_handler sim node in
-      Sim.set_handler sim node (fun _ ~now:_ ~ingress:_ _ ->
-          record t ~kind:"node-crash" ~node ~port:(-1);
-          [ Sim.Drop "node-crash" ]);
+      let c = crash_state t node in
+      if c.active = 0 then begin
+        c.saved <- Some (Sim.node_handler sim node);
+        c.gen <- c.gen + 1;
+        Sim.set_handler sim node (fun _ ~now:_ ~ingress:_ _ ->
+            record t ~kind:"node-crash" ~node ~port:(-1);
+            [ Sim.Drop "node-crash" ])
+      end;
+      c.active <- c.active + 1;
+      let gen = c.gen in
       Sim.schedule sim ~at:until (fun sim ->
-          Sim.set_handler sim node original))
+          if c.gen = gen then begin
+            c.active <- c.active - 1;
+            if c.active = 0 then begin
+              (match c.saved with
+              | Some h -> Sim.set_handler sim node h
+              | None -> ());
+              c.saved <- None
+            end
+          end))
 
 let events t = List.rev t.events
 let counts t = Stats.Counters.to_list t.counters

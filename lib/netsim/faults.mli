@@ -60,12 +60,22 @@ val link_down : t -> Sim.node_id * Sim.port -> from_:float -> until:float -> uni
     [Invalid_argument] if the port is unwired or the window is
     empty. *)
 
+val on_link_up : t -> Sim.node_id * Sim.port -> (float -> unit) -> unit
+(** Subscribe to link-up at a directed endpoint: the callback fires
+    (with the current time) whenever a {!link_down} window covering
+    [(node, port)] ends and no other window still covers it.
+    Subscribers registered after the window was scheduled still
+    fire — lookup happens at window end. Multiple subscribers fire
+    in registration order. *)
+
 val crash_node : t -> Sim.node_id -> at:float -> until:float -> unit
 (** Schedule a crash: at [at] the node's handler is replaced by a
-    black hole that drops every arrival (kind ["node-crash"]); at
-    [until] the original handler is restored. Any state the handler
-    closure held survives — the crash models a dataplane outage, not
-    a state wipe. Windows for one node must not overlap. *)
+    black hole that drops every arrival (kind ["node-crash"]); when
+    the last covering window ends the true pre-crash handler is
+    restored. Any state the handler closure held survives — the
+    crash models a dataplane outage, not a state wipe. Windows for
+    one node may overlap or nest; the node is down for exactly the
+    union of its windows. *)
 
 (** One injected fault, in injection order. [port] is [-1] for node
     faults. *)

@@ -31,6 +31,40 @@ let constant_arrivals ~interval ~count =
     invalid_arg "Workload.constant_arrivals: interval must be positive";
   List.init count (fun i -> { time = float_of_int i *. interval; index = i })
 
+(* Satellite-pass / mobile contact schedule: the link is up only
+   during periodic contact windows ("passes") and down the rest of
+   the time. Returns the DOWN windows, ready to feed one by one to
+   [Faults.link_down]. With [jitter] > 0 each pass start shifts by a
+   seeded uniform draw in [0, jitter) — a mobile node whose contacts
+   drift — while windows provably stay disjoint and ordered because
+   jitter must leave [period - pass] headroom. *)
+let satellite_passes ?(start = 0.0) ?(jitter = 0.0) ?(seed = 0L) ~period ~pass
+    ~horizon () =
+  if pass <= 0.0 then invalid_arg "Workload.satellite_passes: pass must be positive";
+  if period <= pass then
+    invalid_arg "Workload.satellite_passes: period must exceed pass";
+  if horizon <= 0.0 then
+    invalid_arg "Workload.satellite_passes: horizon must be positive";
+  if start < 0.0 then invalid_arg "Workload.satellite_passes: negative start";
+  if jitter < 0.0 || jitter >= period -. pass then
+    invalid_arg "Workload.satellite_passes: jitter must be in [0, period - pass)";
+  let g = Dip_stdext.Prng.create seed in
+  let rec go k down_from acc =
+    let up_from =
+      start +. (float_of_int k *. period)
+      +. (if jitter > 0.0 then Dip_stdext.Prng.float g jitter else 0.0)
+    in
+    if up_from >= horizon then
+      if down_from < horizon then List.rev ((down_from, horizon) :: acc)
+      else List.rev acc
+    else
+      let acc =
+        if up_from > down_from then (down_from, up_from) :: acc else acc
+      in
+      go (k + 1) (up_from +. pass) acc
+  in
+  go 0 0.0 []
+
 let catalog_name k =
   Dip_tables.Name.of_components [ "content"; Printf.sprintf "item%d" k ]
 

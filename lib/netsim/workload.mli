@@ -26,6 +26,23 @@ val poisson_arrivals : seed:int64 -> rate:float -> count:int -> arrival list
 val constant_arrivals : interval:float -> count:int -> arrival list
 (** Evenly spaced arrivals. *)
 
+val satellite_passes :
+  ?start:float ->
+  ?jitter:float ->
+  ?seed:int64 ->
+  period:float ->
+  pass:float ->
+  horizon:float ->
+  unit ->
+  (float * float) list
+(** A satellite-pass / mobile contact schedule for one link: contact
+    windows of length [pass] begin at [start + k*period] (plus a
+    seeded uniform draw in [\[0, jitter)] per pass when [jitter] is
+    set); the link is {e down} outside them. Returns the down
+    windows covering [\[0, horizon)], in order, ready for
+    {!Faults.link_down}. Requires [0 < pass < period],
+    [jitter < period - pass]. Deterministic in [seed]. *)
+
 val zipf_names :
   seed:int64 -> catalog:int -> count:int -> skew:float -> Dip_tables.Name.t list
 (** [count] content names drawn from a [catalog]-item corpus

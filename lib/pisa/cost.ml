@@ -52,6 +52,10 @@ let op_cost ~alg = function
       (* Key derivation plus check plus update: three short MACs. *)
       let c = crypto_cost ~alg in
       { stages = 3 * c.stages; extra_passes = 3 * c.extra_passes }
+  | Dip_core.Opkey.F_cust ->
+      (* Tag-byte test + store insert (stateful table op) + ACK
+         generation via the mirror port. *)
+      { stages = 2; extra_passes = 0 }
 
 type estimate = { passes : int; stages_used : int; time_ns : float }
 

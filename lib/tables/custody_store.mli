@@ -1,0 +1,75 @@
+(** A bounded store for custodial packets.
+
+    Wraps {!Lru} with byte accounting and explicit admission: a
+    custodian must know whether the store {e accepted} a bundle
+    (custody taken, ACK upstream) or {e rejected} it (upstream keeps
+    custody) — the silent eviction of a plain LRU cache would lose
+    the only stored copy without anyone noticing. Both an entry-count
+    bound and a byte bound hold at all times; admission pre-evicts
+    least-recently-used bundles (counted) until the new one fits, and
+    a bundle larger than [max_bytes] is rejected outright. *)
+
+type ('k, 'v) t
+
+(** Store transitions, for wiring gauges/Flight instants. *)
+type event = Take | Release | Evict | Reject
+
+type counters = {
+  takes : int;
+  releases : int;
+  evicts : int;
+  rejects : int;
+}
+
+val create :
+  ?hash:('k -> int) ->
+  ?equal:('k -> 'k -> bool) ->
+  capacity:int ->
+  max_bytes:int ->
+  size:('v -> int) ->
+  unit ->
+  ('k, 'v) t
+(** [size] measures a stored value in bytes (charged on admission,
+    refunded on release/evict). Both bounds must be [>= 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val max_bytes : ('k, 'v) t -> int
+
+val size : ('k, 'v) t -> int
+(** Live entries — never exceeds [capacity]. *)
+
+val bytes : ('k, 'v) t -> int
+(** Live bytes — never exceeds [max_bytes]. *)
+
+val high_water : ('k, 'v) t -> int
+(** Maximum {!size} ever observed (the bounded-occupancy evidence the
+    benchmark reports). *)
+
+val high_water_bytes : ('k, 'v) t -> int
+
+val mem : ('k, 'v) t -> 'k -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+(** A hit refreshes recency. *)
+
+val take : ('k, 'v) t -> 'k -> 'v -> [ `Stored | `Rejected ]
+(** Admit a bundle, evicting LRU entries as needed. [`Rejected] only
+    when the bundle alone exceeds [max_bytes]. Re-taking a held key
+    replaces the stored value. *)
+
+val release : ('k, 'v) t -> 'k -> bool
+(** Downstream took over (custody ACK): drop our copy. [false] if the
+    key was not held. *)
+
+val evict_lru : ('k, 'v) t -> 'k option
+(** Forcibly evict the least-recently-used bundle (counted as an
+    eviction). *)
+
+val fold : ('k -> 'v -> 'a -> 'a) -> ('k, 'v) t -> 'a -> 'a
+(** Most recently used first. *)
+
+val counters : ('k, 'v) t -> counters
+
+val set_observer : ('k, 'v) t -> (event -> unit) -> unit
+(** Called on every transition, after the store's own accounting —
+    the hook {!Dip_core.Custody} uses for depth gauges and Flight
+    instants. *)

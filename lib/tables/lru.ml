@@ -111,6 +111,9 @@ let clear t =
   t.tail <- None;
   t.count <- 0
 
+let peek_lru t =
+  match t.tail with None -> None | Some n -> Some (n.key, n.value)
+
 let fold f t init =
   let rec go acc = function
     | None -> acc

@@ -27,5 +27,9 @@ val mem : ('k, 'v) t -> 'k -> bool
 val remove : ('k, 'v) t -> 'k -> bool
 val clear : ('k, 'v) t -> unit
 
+val peek_lru : ('k, 'v) t -> ('k * 'v) option
+(** The least-recently-used binding, without refreshing recency —
+    what {!Custody_store} inspects before deciding to evict. *)
+
 val fold : ('k -> 'v -> 'a -> 'a) -> ('k, 'v) t -> 'a -> 'a
 (** Most recent first. *)

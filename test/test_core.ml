@@ -42,9 +42,12 @@ let test_opkey_table1 () =
           Alcotest.(check int) "roundtrip" key (Opkey.to_int k))
     expect;
   Alcotest.(check (option reject)) "key 0 unknown" None (Opkey.of_int 0);
-  (* Keys 13-15 are this repo's documented extensions (F_cc, F_tel,
-     F_hvf). *)
-  Alcotest.(check (option reject)) "key 16 unknown" None (Opkey.of_int 16)
+  (* Keys 13-16 are this repo's documented extensions (F_cc, F_tel,
+     F_hvf, F_cust). *)
+  (match Opkey.of_int 16 with
+  | Some k -> Alcotest.(check string) "key 16 is F_cust" "F_cust" (Opkey.name k)
+  | None -> Alcotest.fail "key 16 missing");
+  Alcotest.(check (option reject)) "key 17 unknown" None (Opkey.of_int 17)
 
 (* --- Fn --- *)
 
@@ -1022,7 +1025,7 @@ let test_compat_restore_short () =
 
 let test_registry_restrict_and_supported () =
   let r = Ops.default_registry () in
-  Alcotest.(check int) "all 15 installed" 15 (List.length (Registry.supported r));
+  Alcotest.(check int) "all 16 installed" 16 (List.length (Registry.supported r));
   let limited = Registry.restrict r [ Opkey.F_fib; Opkey.F_pit ] in
   Alcotest.(check (list string)) "restricted" [ "F_FIB"; "F_PIT" ]
     (List.map Opkey.name (Registry.supported limited));

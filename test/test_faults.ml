@@ -103,6 +103,42 @@ let test_node_crash_and_restart () =
   Alcotest.(check int) "drop reason at the node" 1
     (Stats.Counters.get (Sim.counters sim) "r.drop.node-crash")
 
+(* Regression: overlapping crash windows. The second window used to
+   capture the first window's *drop handler* as the "original" and
+   reinstall it at its end, leaving the node black-holed forever. The
+   node must be down for exactly the union of its windows. *)
+let test_crash_overlapping_windows () =
+  let sim, r, _ = relay_pair () in
+  let faults = Faults.attach ~seed:1L sim in
+  Faults.crash_node faults r ~at:0.0 ~until:1.0;
+  Faults.crash_node faults r ~at:0.5 ~until:1.5;
+  Sim.inject sim ~at:1.2 ~node:r ~port:0 (packet "in-union");
+  Sim.inject sim ~at:2.0 ~node:r ~port:0 (packet "after-union");
+  Sim.run sim;
+  (match Sim.consumed sim with
+  | [ (_, _, pkt) ] ->
+      Alcotest.(check string) "true handler restored at union end"
+        "after-union" (Bitbuf.to_string pkt)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l));
+  Alcotest.(check (option int)) "in-union arrival black-holed" (Some 1)
+    (List.assoc_opt "node-crash" (Faults.counts faults))
+
+(* Regression: a window nested inside another must not restore the
+   handler when the inner window ends. *)
+let test_crash_nested_windows () =
+  let sim, r, _ = relay_pair () in
+  let faults = Faults.attach ~seed:1L sim in
+  Faults.crash_node faults r ~at:0.0 ~until:2.0;
+  Faults.crash_node faults r ~at:0.5 ~until:1.0;
+  Sim.inject sim ~at:1.5 ~node:r ~port:0 (packet "still-down");
+  Sim.inject sim ~at:2.5 ~node:r ~port:0 (packet "back-up");
+  Sim.run sim;
+  match Sim.consumed sim with
+  | [ (_, _, pkt) ] ->
+      Alcotest.(check string) "outer window governs" "back-up"
+        (Bitbuf.to_string pkt)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l)
+
 (* --- Integrity check at the reliable endpoints --- *)
 
 let test_corruption_detected_not_delivered () =
@@ -189,6 +225,141 @@ let test_no_retransmit_loses_packets () =
   Alcotest.(check int) "one transmission per payload" r.Chaos.sent
     r.Chaos.transmissions
 
+(* --- Retransmit timer regressions --- *)
+
+let reliable_pair ?config ?custody () =
+  let sim = Sim.create () in
+  let sender =
+    Reliable.add_sender ?config ?custody sim ~name:"s" ~seed:5L
+      ~src:(Ipaddr.V4.of_string "192.168.0.1")
+      ~dst:(Ipaddr.V4.of_string "10.0.0.1")
+      ~out_port:0
+  in
+  let recv, recv_node = Reliable.add_receiver sim ~name:"d" in
+  Sim.connect sim ~latency:1e-3 (Reliable.sender_node sender, 0) (recv_node, 0);
+  (sim, sender, recv)
+
+(* Regression: the retry timer used to rely on the *handler* to
+   re-arm. If the self-injected retransmission never reached the
+   handler — here, a crash window over the sender swallows it — the
+   sequence wedged in [pending] forever: never retried, never
+   abandoned. The timer must re-arm itself. *)
+let test_retransmit_survives_sender_crash () =
+  let cfg = { Reliable.default_config with Reliable.max_jitter = 0.0 } in
+  let sim, sender, recv = reliable_pair ~config:cfg () in
+  let faults = Faults.attach ~seed:2L sim in
+  (* t=0 transmission dies on a down link; the t=0.05 retransmit
+     self-injection is black-holed by the crash before the handler
+     can re-arm; recovery must still happen at t=0.15. *)
+  Faults.link_down faults
+    (Reliable.sender_node sender, 0)
+    ~from_:0.0 ~until:0.02;
+  Faults.crash_node faults (Reliable.sender_node sender) ~at:0.03 ~until:0.08;
+  Reliable.send sender ~at:0.0 ~payload:"stubborn";
+  Sim.run sim;
+  let ss = Reliable.sender_stats sender in
+  Alcotest.(check int) "delivered despite swallowed retransmit" 1
+    (Reliable.delivered recv);
+  Alcotest.(check int) "acked" 1 ss.Reliable.acked;
+  Alcotest.(check int) "nothing wedged in flight" 0 ss.Reliable.in_flight;
+  Alcotest.(check int) "nothing abandoned" 0 ss.Reliable.gave_up
+
+let test_rto_max_clamps_backoff () =
+  let recover cfg =
+    let sim, sender, recv = reliable_pair ~config:cfg () in
+    let faults = Faults.attach ~seed:3L sim in
+    Faults.link_down faults
+      (Reliable.sender_node sender, 0)
+      ~from_:0.0 ~until:0.18;
+    Reliable.send sender ~at:0.0 ~payload:"p";
+    Sim.run sim;
+    Alcotest.(check int) "delivered" 1 (Reliable.delivered recv);
+    match Reliable.deliveries recv with
+    | [ (_, t) ] -> t
+    | _ -> Alcotest.fail "expected exactly one delivery"
+  in
+  let base = { Reliable.default_config with Reliable.max_jitter = 0.0 } in
+  (* Unclamped retries at 0.05/0.15/0.35 recover at ~0.35; clamping
+     to rto keeps retrying every 50 ms and recovers at ~0.20. *)
+  let unclamped = recover base in
+  let clamped = recover { base with Reliable.rto_max = 0.05 } in
+  Alcotest.(check bool) "clamped recovers sooner" true (clamped < unclamped);
+  Alcotest.(check bool) "clamped retries stay at rto" true (clamped < 0.25);
+  Alcotest.(check bool) "unclamped backoff overshoots" true (unclamped > 0.3)
+
+let test_rto_max_validated () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "rto_max below rto rejected"
+    (Invalid_argument "Reliable: rto_max must be >= rto") (fun () ->
+      ignore
+        (Reliable.add_sender
+           ~config:{ Reliable.default_config with Reliable.rto_max = 0.01 }
+           sim ~name:"s" ~seed:1L
+           ~src:(Ipaddr.V4.of_string "192.168.0.1")
+           ~dst:(Ipaddr.V4.of_string "10.0.0.1")
+           ~out_port:0))
+
+(* --- Custody transfer (disruption tolerance) --- *)
+
+module Custody = Dip_core.Custody
+
+let custody_cfg =
+  {
+    Chaos.default with
+    Chaos.packets = 20;
+    seed = 11L;
+    schedule = [ (0.0, 15.0) ];
+    custody = Some Custody.default_config;
+  }
+
+let test_custody_rides_out_long_outage () =
+  (* The e2e retry budget (8 retries, backoff 2 from 50 ms) is spent
+     after ~12.8 s, so a 15 s outage defeats pure end-to-end
+     recovery... *)
+  let baseline = Chaos.run { custody_cfg with Chaos.custody = None } in
+  Alcotest.(check int) "baseline delivers nothing" 0 baseline.Chaos.delivered;
+  Alcotest.(check int) "baseline abandons everything" baseline.Chaos.sent
+    baseline.Chaos.gave_up;
+  (* ...while custodians hold the bundles and replay them on link-up. *)
+  let r = Chaos.run custody_cfg in
+  Alcotest.(check int) "custody delivers everything" r.Chaos.sent
+    r.Chaos.delivered;
+  Alcotest.(check int) "sender handed every bundle off" r.Chaos.sent
+    r.Chaos.custodied;
+  Alcotest.(check int) "every fate resolved" 0 r.Chaos.in_flight;
+  Alcotest.(check bool) "custody was taken" true
+    (List.assoc "take" r.Chaos.custody > 0);
+  Alcotest.(check int) "no copies stranded after drain" 0
+    (List.assoc "held" r.Chaos.custody);
+  Alcotest.(check bool) "latency reflects the outage, not a timeout" true
+    (r.Chaos.latency_p99 > 10.0)
+
+let test_custody_deterministic () =
+  let a = Chaos.run custody_cfg in
+  let b = Chaos.run custody_cfg in
+  Alcotest.(check bool) "delivery order and times identical" true
+    (a.Chaos.deliveries = b.Chaos.deliveries);
+  Alcotest.(check bool) "fault schedules identical" true
+    (a.Chaos.events = b.Chaos.events);
+  Alcotest.(check bool) "custody counters identical" true
+    (a.Chaos.custody = b.Chaos.custody)
+
+let test_custody_survives_lossy_acks () =
+  (* Random drops can eat custody ACKs; the periodic replay sweep
+     must still converge on full delivery with nothing stranded. *)
+  let r =
+    Chaos.run
+      {
+        custody_cfg with
+        Chaos.packets = 10;
+        spec = Faults.spec ~drop:0.2 ();
+        schedule = [ (0.0, 5.0) ];
+      }
+  in
+  Alcotest.(check int) "all delivered despite losses" r.Chaos.sent
+    r.Chaos.delivered;
+  Alcotest.(check int) "no copies stranded" 0 (List.assoc "held" r.Chaos.custody)
+
 let () =
   Alcotest.run "faults"
     [
@@ -200,6 +371,10 @@ let () =
           Alcotest.test_case "link down window" `Quick test_link_down_window;
           Alcotest.test_case "node crash + restart" `Quick
             test_node_crash_and_restart;
+          Alcotest.test_case "overlapping crash windows" `Quick
+            test_crash_overlapping_windows;
+          Alcotest.test_case "nested crash windows" `Quick
+            test_crash_nested_windows;
         ] );
       ( "reliable",
         [
@@ -211,5 +386,19 @@ let () =
             test_same_seed_same_schedule;
           Alcotest.test_case "no-retransmit baseline loses" `Quick
             test_no_retransmit_loses_packets;
+          Alcotest.test_case "retransmit survives sender crash" `Quick
+            test_retransmit_survives_sender_crash;
+          Alcotest.test_case "rto_max clamps backoff" `Quick
+            test_rto_max_clamps_backoff;
+          Alcotest.test_case "rto_max validated" `Quick test_rto_max_validated;
+        ] );
+      ( "custody",
+        [
+          Alcotest.test_case "rides out a 15 s outage" `Quick
+            test_custody_rides_out_long_outage;
+          Alcotest.test_case "seeded runs identical" `Quick
+            test_custody_deterministic;
+          Alcotest.test_case "replay sweep covers lost ACKs" `Quick
+            test_custody_survives_lossy_acks;
         ] );
     ]

@@ -471,6 +471,133 @@ let prop_lru_most_recent_survives =
       List.iter (fun k -> Lru.insert l k k) keys;
       Lru.mem l (List.nth keys (List.length keys - 1)))
 
+(* --- custody store --- *)
+
+let cust ?(capacity = 4) ?(max_bytes = 100) () =
+  Custody_store.create ~capacity ~max_bytes ~size:String.length ()
+
+let test_cust_basic () =
+  let s = cust () in
+  Alcotest.(check bool) "stored" true (Custody_store.take s 1 "aaaa" = `Stored);
+  Alcotest.(check bool) "stored" true (Custody_store.take s 2 "bb" = `Stored);
+  Alcotest.(check int) "size" 2 (Custody_store.size s);
+  Alcotest.(check int) "bytes" 6 (Custody_store.bytes s);
+  Alcotest.(check (option string)) "find" (Some "aaaa") (Custody_store.find s 1);
+  Alcotest.(check bool) "release" true (Custody_store.release s 1);
+  Alcotest.(check bool) "release again" false (Custody_store.release s 1);
+  Alcotest.(check int) "bytes refunded" 2 (Custody_store.bytes s);
+  let c = Custody_store.counters s in
+  Alcotest.(check int) "takes" 2 c.Custody_store.takes;
+  Alcotest.(check int) "releases" 1 c.Custody_store.releases
+
+let test_cust_capacity_evicts_lru () =
+  let s = cust ~capacity:2 () in
+  ignore (Custody_store.take s 1 "a");
+  ignore (Custody_store.take s 2 "b");
+  ignore (Custody_store.find s 1) (* 2 becomes LRU *);
+  Alcotest.(check bool) "stored" true (Custody_store.take s 3 "c" = `Stored);
+  Alcotest.(check bool) "LRU evicted" false (Custody_store.mem s 2);
+  Alcotest.(check bool) "MRU kept" true (Custody_store.mem s 1);
+  Alcotest.(check int) "one eviction" 1
+    (Custody_store.counters s).Custody_store.evicts
+
+let test_cust_byte_bound_evicts () =
+  let s = cust ~capacity:10 ~max_bytes:10 () in
+  ignore (Custody_store.take s 1 "aaaa");
+  ignore (Custody_store.take s 2 "bbbb");
+  (* 8 bytes held; a 4-byte bundle must push out the LRU (key 1). *)
+  Alcotest.(check bool) "stored" true (Custody_store.take s 3 "cccc" = `Stored);
+  Alcotest.(check bool) "1 evicted for space" false (Custody_store.mem s 1);
+  Alcotest.(check int) "bytes bounded" 8 (Custody_store.bytes s);
+  Alcotest.(check int) "high water bytes" 8 (Custody_store.high_water_bytes s)
+
+let test_cust_oversized_rejected () =
+  let s = cust ~max_bytes:4 () in
+  ignore (Custody_store.take s 1 "ab");
+  Alcotest.(check bool) "rejected" true
+    (Custody_store.take s 2 "too-big" = `Rejected);
+  Alcotest.(check bool) "existing untouched" true (Custody_store.mem s 1);
+  Alcotest.(check int) "reject counted" 1
+    (Custody_store.counters s).Custody_store.rejects
+
+let test_cust_retake_replaces () =
+  let s = cust () in
+  ignore (Custody_store.take s 1 "aaaa");
+  Alcotest.(check bool) "replace" true (Custody_store.take s 1 "bb" = `Stored);
+  Alcotest.(check int) "one entry" 1 (Custody_store.size s);
+  Alcotest.(check int) "bytes re-measured" 2 (Custody_store.bytes s);
+  Alcotest.(check (option string)) "new value" (Some "bb")
+    (Custody_store.find s 1)
+
+let test_cust_observer_sees_transitions () =
+  let s = cust ~capacity:1 ~max_bytes:4 () in
+  let seen = ref [] in
+  Custody_store.set_observer s (fun ev -> seen := ev :: !seen);
+  ignore (Custody_store.take s 1 "a");
+  ignore (Custody_store.take s 2 "b") (* evicts 1, then stores *);
+  ignore (Custody_store.release s 2);
+  ignore (Custody_store.take s 3 "too-big");
+  Alcotest.(check bool) "take/evict/release/reject all observed" true
+    (List.rev !seen
+    = Custody_store.[ Take; Evict; Take; Release; Reject ])
+
+(* The tentpole safety property: no interleaving of operations may
+   ever break either bound — a custodian that over-commits memory
+   loses bundles it promised to keep. *)
+let prop_cust_bounds_hold =
+  QCheck.Test.make ~name:"custody store: bounds hold under interleavings"
+    ~count:300
+    QCheck.(
+      triple (int_range 1 6) (int_range 1 32)
+        (small_list
+           (pair (int_range 0 3) (pair (int_range 0 9) (int_range 0 12)))))
+    (fun (cap, max_bytes, ops) ->
+      let s =
+        Custody_store.create ~capacity:cap ~max_bytes ~size:String.length ()
+      in
+      List.for_all
+        (fun (op, (key, len)) ->
+          (match op with
+          | 0 | 1 -> ignore (Custody_store.take s key (String.make len 'x'))
+          | 2 -> ignore (Custody_store.release s key)
+          | _ -> ignore (Custody_store.evict_lru s));
+          Custody_store.size s <= cap
+          && Custody_store.bytes s <= max_bytes
+          && Custody_store.high_water s <= cap
+          && Custody_store.high_water_bytes s <= max_bytes)
+        ops)
+
+(* Conservation: everything admitted is either still held or counted
+   out exactly once (released or evicted). *)
+let prop_cust_conservation =
+  QCheck.Test.make ~name:"custody store: takes = held + releases + evicts"
+    ~count:300
+    QCheck.(
+      pair (int_range 1 4)
+        (small_list (pair (int_range 0 2) (int_range 0 9))))
+    (fun (cap, ops) ->
+      let s =
+        Custody_store.create ~capacity:cap ~max_bytes:1000
+          ~size:String.length ()
+      in
+      let stored = ref 0 in
+      List.iter
+        (fun (op, key) ->
+          match op with
+          | 0 | 1 ->
+              (* Re-takes replace in place: count only fresh admissions
+                 so the ledger matches held entries. *)
+              if not (Custody_store.mem s key) then
+                if Custody_store.take s key "pkt" = `Stored then incr stored
+                else ()
+              else ignore (Custody_store.take s key "pkt")
+          | _ -> ignore (Custody_store.release s key))
+        ops;
+      let c = Custody_store.counters s in
+      !stored
+      = Custody_store.size s + c.Custody_store.releases
+        + c.Custody_store.evicts)
+
 let prop_cs_never_exceeds_capacity =
   QCheck.Test.make ~name:"content store: size <= capacity" ~count:100
     QCheck.(pair (int_range 1 8) (small_list (int_range 0 20)))
@@ -551,5 +678,20 @@ let () =
           Alcotest.test_case "update refreshes" `Quick test_cs_update_refreshes;
           Alcotest.test_case "remove/clear" `Quick test_cs_remove_and_clear;
           QCheck_alcotest.to_alcotest prop_cs_never_exceeds_capacity;
+        ] );
+      ( "custody-store",
+        [
+          Alcotest.test_case "basic" `Quick test_cust_basic;
+          Alcotest.test_case "capacity evicts lru" `Quick
+            test_cust_capacity_evicts_lru;
+          Alcotest.test_case "byte bound evicts" `Quick
+            test_cust_byte_bound_evicts;
+          Alcotest.test_case "oversized rejected" `Quick
+            test_cust_oversized_rejected;
+          Alcotest.test_case "re-take replaces" `Quick test_cust_retake_replaces;
+          Alcotest.test_case "observer transitions" `Quick
+            test_cust_observer_sees_transitions;
+          QCheck_alcotest.to_alcotest prop_cust_bounds_hold;
+          QCheck_alcotest.to_alcotest prop_cust_conservation;
         ] );
     ]
