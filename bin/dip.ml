@@ -14,6 +14,9 @@
                                       statically verify FN programs
      dip chaos [--drop P ...]         reliable host pair over a faulty chain
                                       (seeded fault injection + recovery report)
+     dip fib [--routes N]             build the at-scale forwarding tables from
+                                      a seeded BGP-shaped prefix set and report
+                                      build rate, memory layout, sample probes
 
    Everything here drives the same public API the examples use. *)
 
@@ -1772,6 +1775,82 @@ let chaos_cmd =
       $ jitter_arg $ flap_arg $ crash_arg $ custody_arg $ passes_arg
       $ horizon_arg $ no_retx_arg $ chaos_json_arg $ metrics_arg $ flight_arg)
 
+(* --- fib --- *)
+
+(* Build the at-scale forwarding tables from a seeded BGP-shaped
+   prefix set and report what a line card would care about: build
+   rate, memory layout, and a few longest-match probes. *)
+let fib routes v6_routes seed =
+  let module Fib = Dip_tables.Fib in
+  let module Workload = Dip_netsim.Workload in
+  let ps = Workload.v4_prefixes ~seed ~count:routes in
+  let t0 = Unix.gettimeofday () in
+  let t = Fib.V4.create () in
+  Array.iteri (fun i (a, len) -> Fib.V4.insert t a ~len (i land 15)) ps;
+  let dt = Unix.gettimeofday () -. t0 in
+  let st = Fib.V4.stats t in
+  Printf.printf "IPv4: DIR-24-8 flat-array engine\n";
+  Printf.printf "  routes         %d (%.0f inserts/s)\n" st.Fib.V4.routes
+    (float_of_int routes /. dt);
+  Printf.printf "  next hops      %d interned\n" st.Fib.V4.next_hops;
+  Printf.printf "  /24 chunks     %d of 1024 materialized\n" st.Fib.V4.chunks;
+  Printf.printf "  spill blocks   %d (for /25-/32 routes)\n" st.Fib.V4.spill_blocks;
+  Printf.printf "  data plane     %.1f MB (%.1f B/route)\n"
+    (float_of_int st.Fib.V4.lookup_bytes /. 1e6)
+    (float_of_int st.Fib.V4.lookup_bytes /. float_of_int (max 1 st.Fib.V4.routes));
+  Printf.printf "  with side store %.1f MB total\n"
+    (float_of_int st.Fib.V4.total_bytes /. 1e6);
+  let g = Dip_stdext.Prng.create (Int64.add seed 1L) in
+  Printf.printf "  sample probes:\n";
+  for _ = 1 to 4 do
+    let a, _ = ps.(Dip_stdext.Prng.int g routes) in
+    match Fib.V4.lookup t a with
+    | Some (l, p) ->
+        Printf.printf "    %-18s -> %s/%d via port %d\n"
+          (Ipaddr.V4.to_string a)
+          (Ipaddr.V4.to_string a) l p
+    | None -> Printf.printf "    %-18s -> no route\n" (Ipaddr.V4.to_string a)
+  done;
+  let p6 = Workload.v6_prefixes ~seed ~count:v6_routes in
+  let t0 = Unix.gettimeofday () in
+  let t6 = Fib.V6.create () in
+  Array.iteri (fun i (a, len) -> Fib.V6.insert t6 a ~len (i land 15)) p6;
+  let dt6 = Unix.gettimeofday () -. t0 in
+  let st6 = Fib.V6.stats t6 in
+  Printf.printf "IPv6: compressed stride-8 multibit trie\n";
+  Printf.printf "  routes         %d (%.0f inserts/s)\n" st6.Fib.V6.routes
+    (float_of_int v6_routes /. dt6);
+  Printf.printf "  nodes          %d (%d promoted to dense)\n" st6.Fib.V6.nodes
+    st6.Fib.V6.dense_nodes;
+  Printf.printf "  memory         %.1f MB (%.1f B/route)\n"
+    (float_of_int st6.Fib.V6.total_bytes /. 1e6)
+    (float_of_int st6.Fib.V6.total_bytes /. float_of_int (max 1 st6.Fib.V6.routes));
+  0
+
+let fib_routes_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "routes" ] ~docv:"N" ~doc:"IPv4 route count.")
+
+let fib_v6_routes_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "v6-routes" ] ~docv:"N" ~doc:"IPv6 route count.")
+
+let fib_seed_arg =
+  Arg.(
+    value & opt int64 42L
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let fib_cmd =
+  Cmd.v
+    (Cmd.info "fib"
+       ~doc:
+         "Build the at-scale forwarding tables (DIR-24-8 IPv4, multibit-trie \
+          IPv6) from a seeded BGP-shaped prefix set and report build rate, \
+          memory layout and sample probes.")
+    Term.(const fib $ fib_routes_arg $ fib_v6_routes_arg $ fib_seed_arg)
+
 let () =
   let doc = "DIP: unified L3 protocols from shared field operations" in
   let info = Cmd.info "dip" ~version:"0.1.0" ~doc in
@@ -1781,4 +1860,5 @@ let () =
           [
             catalog_cmd; inspect_cmd; sizes_cmd; demo_cmd; profile_cmd;
             trace_cmd; estimate_cmd; lint_cmd; chaos_cmd; control_cmd;
+            fib_cmd;
           ]))

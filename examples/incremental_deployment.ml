@@ -50,7 +50,7 @@ let () =
   in
 
   (* Legacy core: a plain IPv4 router that has no idea about DIP. *)
-  let legacy_table = Dip_tables.Lpm_trie.create () in
+  let legacy_table = Dip_tables.Fib.V4.create () in
   Dip_ip.Ipv4.add_route legacy_table (Ipaddr.Prefix.of_string "198.51.100.2/32") 1;
   let legacy = Dip_ip.Ipv4.handler legacy_table in
 

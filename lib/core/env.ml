@@ -7,8 +7,8 @@ type scratch = {
 
 type t = {
   name : string;
-  v4_routes : port Dip_tables.Lpm_trie.t;
-  v6_routes : port Dip_tables.Lpm_trie.t;
+  v4_routes : port Dip_tables.Fib.V4.t;
+  v6_routes : port Dip_tables.Fib.V6.t;
   mutable local_v4 : Dip_tables.Ipaddr.V4.t option;
   mutable local_v6 : Dip_tables.Ipaddr.V6.t option;
   fib : port Dip_tables.Name_fib.t;
@@ -39,8 +39,8 @@ let create ?(cache_capacity = 0) ?(pit_capacity = 65536)
     ?(prog_cache_capacity = 512) ~name () =
   {
     name;
-    v4_routes = Dip_tables.Lpm_trie.create ();
-    v6_routes = Dip_tables.Lpm_trie.create ();
+    v4_routes = Dip_tables.Fib.V4.create ();
+    v6_routes = Dip_tables.Fib.V6.create ();
     local_v4 = None;
     local_v6 = None;
     fib = Dip_tables.Name_fib.create ();

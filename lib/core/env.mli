@@ -31,9 +31,12 @@ type scratch = {
 
 type t = {
   name : string;
-  (* IP state (F_32_match / F_128_match) *)
-  v4_routes : port Dip_tables.Lpm_trie.t;
-  v6_routes : port Dip_tables.Lpm_trie.t;
+  (* IP state (F_32_match / F_128_match): the at-scale LPM engines —
+     DIR-24-8 flat arrays for v4, a compressed multibit trie for v6
+     (see {!Dip_tables.Fib}). Tables are lazily sized, so idle Envs
+     stay cheap. *)
+  v4_routes : port Dip_tables.Fib.V4.t;
+  v6_routes : port Dip_tables.Fib.V6.t;
   mutable local_v4 : Dip_tables.Ipaddr.V4.t option;
   mutable local_v6 : Dip_tables.Ipaddr.V6.t option;
   (* NDN state (F_FIB / F_PIT); the prototype forwards on 32-bit

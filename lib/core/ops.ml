@@ -12,12 +12,10 @@ let f_32_match ctx =
     let dst = Int64.to_int32 (Bitbuf.get_uint ctx.view.Packet.buf ctx.target) in
     if ctx.env.Env.local_v4 = Some dst then Deliver_local
     else
-      match
-        Dip_tables.Lpm_trie.lookup ctx.env.Env.v4_routes ~bits:(Ipaddr.V4.bit dst)
-          ~len:32
-      with
-      | Some (_, port) -> Set_route [ port ]
-      | None -> Abort "no-route"
+      (* DIR-24-8 fast path: id-based lookup is allocation-free. *)
+      let id = Dip_tables.Fib.V4.lookup_id ctx.env.Env.v4_routes dst in
+      if id < 0 then Abort "no-route"
+      else Set_route [ Dip_tables.Fib.V4.value ctx.env.Env.v4_routes id ]
 
 let f_128_match ctx =
   if ctx.fn.Fn.field.Field.len_bits <> 128 then
@@ -26,12 +24,10 @@ let f_128_match ctx =
     let dst = Ipaddr.V6.of_wire (Bitbuf.get_field ctx.view.Packet.buf ctx.target) in
     if ctx.env.Env.local_v6 = Some dst then Deliver_local
     else
-      match
-        Dip_tables.Lpm_trie.lookup ctx.env.Env.v6_routes ~bits:(Ipaddr.V6.bit dst)
-          ~len:128
-      with
-      | Some (_, port) -> Set_route [ port ]
-      | None -> Abort "no-route"
+      let hi, lo = dst in
+      let id = Dip_tables.Fib.V6.lookup_id ctx.env.Env.v6_routes hi lo in
+      if id < 0 then Abort "no-route"
+      else Set_route [ Dip_tables.Fib.V6.value ctx.env.Env.v6_routes id ]
 
 let f_source ctx =
   (* The source field only needs to be well-formed; routers do not

@@ -86,13 +86,12 @@ let decrement_ttl buf =
     true
   end
 
-type route_table = Dip_netsim.Sim.port Dip_tables.Lpm_trie.t
+type route_table = Dip_netsim.Sim.port Dip_tables.Fib.V4.t
 
 let add_route table prefix port =
   match prefix.Ipaddr.Prefix.addr with
   | Ipaddr.Prefix.V4 a ->
-      Dip_tables.Lpm_trie.insert table ~bits:(Ipaddr.V4.bit a)
-        ~len:prefix.Ipaddr.Prefix.len port
+      Dip_tables.Fib.V4.insert table a ~len:prefix.Ipaddr.Prefix.len port
   | Ipaddr.Prefix.V6 _ -> invalid_arg "Ipv4.add_route: v6 prefix in v4 table"
 
 type verdict =
@@ -106,9 +105,31 @@ let forward ?local table buf =
   | Ok h -> (
       if local = Some h.dst then Deliver
       else
-        match
-          Dip_tables.Lpm_trie.lookup table ~bits:(Ipaddr.V4.bit h.dst) ~len:32
-        with
+        match Dip_tables.Fib.V4.lookup table h.dst with
+        | None -> Discard "no-route"
+        | Some (_, port) ->
+            if decrement_ttl buf then Forward port else Discard "ttl-expired")
+
+(* The binary-trie path survives as the correctness oracle and the
+   bench baseline, on the direct int32 fast path (no closure per
+   bit). *)
+type trie_table = Dip_netsim.Sim.port Dip_tables.Lpm_trie.t
+
+let add_route_trie table prefix port =
+  match prefix.Ipaddr.Prefix.addr with
+  | Ipaddr.Prefix.V4 a ->
+      Dip_tables.Lpm_trie.insert table ~bits:(Ipaddr.V4.bit a)
+        ~len:prefix.Ipaddr.Prefix.len port
+  | Ipaddr.Prefix.V6 _ ->
+      invalid_arg "Ipv4.add_route_trie: v6 prefix in v4 table"
+
+let forward_trie ?local table buf =
+  match decode buf with
+  | Error e -> Discard e
+  | Ok h -> (
+      if local = Some h.dst then Deliver
+      else
+        match Dip_tables.Lpm_trie.lookup_ipv4 table h.dst with
         | None -> Discard "no-route"
         | Some (_, port) ->
             if decrement_ttl buf then Forward port else Discard "ttl-expired")

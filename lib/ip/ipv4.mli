@@ -32,7 +32,9 @@ val decrement_ttl : Dip_bitbuf.Bitbuf.t -> bool
     update; returns [false] (and leaves the packet unchanged) when
     the TTL is already 0 or 1 — the packet must be dropped. *)
 
-type route_table = Dip_netsim.Sim.port Dip_tables.Lpm_trie.t
+type route_table = Dip_netsim.Sim.port Dip_tables.Fib.V4.t
+(** Routes live in the DIR-24-8 flat-array engine
+    ({!Dip_tables.Fib.V4}) — what a real line card holds. *)
 
 val add_route : route_table -> Dip_tables.Ipaddr.Prefix.t -> Dip_netsim.Sim.port -> unit
 (** Install a v4 prefix route. Raises [Invalid_argument] on a v6
@@ -48,6 +50,18 @@ val forward :
 (** One native forwarding step: validate, check for local delivery,
     LPM, TTL decrement (mutating the packet). This is the function
     the Figure 2 baseline benchmarks. *)
+
+type trie_table = Dip_netsim.Sim.port Dip_tables.Lpm_trie.t
+(** The pre-Fib binary-trie table, kept as the correctness oracle
+    and the `bench fib` baseline. *)
+
+val add_route_trie :
+  trie_table -> Dip_tables.Ipaddr.Prefix.t -> Dip_netsim.Sim.port -> unit
+
+val forward_trie :
+  ?local:Dip_tables.Ipaddr.V4.t -> trie_table -> Dip_bitbuf.Bitbuf.t -> verdict
+(** {!forward} against the trie, on the {!Dip_tables.Lpm_trie.lookup_ipv4}
+    fast path. *)
 
 val handler : ?local:Dip_tables.Ipaddr.V4.t -> route_table -> Dip_netsim.Sim.handler
 (** Wrap {!forward} as a simulator node. *)

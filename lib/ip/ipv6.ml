@@ -59,13 +59,12 @@ let decrement_hop_limit buf =
     true
   end
 
-type route_table = Dip_netsim.Sim.port Dip_tables.Lpm_trie.t
+type route_table = Dip_netsim.Sim.port Dip_tables.Fib.V6.t
 
 let add_route table prefix port =
   match prefix.Ipaddr.Prefix.addr with
   | Ipaddr.Prefix.V6 a ->
-      Dip_tables.Lpm_trie.insert table ~bits:(Ipaddr.V6.bit a)
-        ~len:prefix.Ipaddr.Prefix.len port
+      Dip_tables.Fib.V6.insert table a ~len:prefix.Ipaddr.Prefix.len port
   | Ipaddr.Prefix.V4 _ -> invalid_arg "Ipv6.add_route: v4 prefix in v6 table"
 
 type verdict =
@@ -79,9 +78,7 @@ let forward ?local table buf =
   | Ok h -> (
       if local = Some h.dst then Deliver
       else
-        match
-          Dip_tables.Lpm_trie.lookup table ~bits:(Ipaddr.V6.bit h.dst) ~len:128
-        with
+        match Dip_tables.Fib.V6.lookup table h.dst with
         | None -> Discard "no-route"
         | Some (_, port) ->
             if decrement_hop_limit buf then Forward port

@@ -22,7 +22,9 @@ val decode : Dip_bitbuf.Bitbuf.t -> (header, string) result
 val decrement_hop_limit : Dip_bitbuf.Bitbuf.t -> bool
 (** In-place decrement; [false] when the packet must be dropped. *)
 
-type route_table = Dip_netsim.Sim.port Dip_tables.Lpm_trie.t
+type route_table = Dip_netsim.Sim.port Dip_tables.Fib.V6.t
+(** Routes live in the compressed stride-8 multibit trie
+    ({!Dip_tables.Fib.V6}). *)
 
 val add_route : route_table -> Dip_tables.Ipaddr.Prefix.t -> Dip_netsim.Sim.port -> unit
 

@@ -51,6 +51,72 @@ let random ~seed ~nodes ~degree =
   done;
   { node_count = nodes; edges = List.rev !edges }
 
+let fat_tree ?latency ?bandwidth k =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Topology.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let cores = half * half in
+  (* Each pod: k/2 aggregation + k/2 edge switches, k/2 hosts per
+     edge switch. *)
+  let pod_size = k + (half * half) in
+  let pod_base p = cores + (p * pod_size) in
+  let agg p j = pod_base p + j in
+  let edge p j = pod_base p + half + j in
+  let host p j i = pod_base p + k + (j * half) + i in
+  let edges = ref [] in
+  let add u v = edges := mk_edge ?latency ?bandwidth u v :: !edges in
+  for p = 0 to k - 1 do
+    for j = 0 to half - 1 do
+      (* Aggregation switch [j] uplinks to core group [j]. *)
+      for i = 0 to half - 1 do
+        add ((j * half) + i) (agg p j)
+      done;
+      (* Full bipartite agg-edge mesh inside the pod. *)
+      for j' = 0 to half - 1 do
+        add (agg p j) (edge p j')
+      done;
+      (* Hosts under edge switch [j]. *)
+      for i = 0 to half - 1 do
+        add (edge p j) (host p j i)
+      done
+    done
+  done;
+  { node_count = cores + (k * pod_size); edges = List.rev !edges }
+
+let wan ~seed ~sites ~chords =
+  if sites < 3 then invalid_arg "Topology.wan: need at least three sites";
+  if chords < 0 then invalid_arg "Topology.wan: negative chord count";
+  let g = Dip_stdext.Prng.create seed in
+  let have = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add ~lo ~hi u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem have key) then begin
+      Hashtbl.replace have key ();
+      let latency = lo +. Dip_stdext.Prng.float g (hi -. lo) in
+      edges := mk_edge ~latency ~bandwidth:10e9 (fst key) (snd key) :: !edges;
+      true
+    end
+    else false
+  in
+  (* Backbone ring: short regional links. *)
+  for i = 0 to sites - 1 do
+    ignore (add ~lo:0.005 ~hi:0.030 i ((i + 1) mod sites))
+  done;
+  (* Long-haul chords: seeded site pairs, intercontinental
+     latencies. *)
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < chords && !attempts < 50 * (chords + 1) do
+    incr attempts;
+    if
+      add ~lo:0.020 ~hi:0.080
+        (Dip_stdext.Prng.int g sites)
+        (Dip_stdext.Prng.int g sites)
+    then incr added
+  done;
+  { node_count = sites; edges = List.rev !edges }
+
 let neighbors t u =
   List.filter_map
     (fun e ->

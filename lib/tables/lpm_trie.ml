@@ -79,6 +79,27 @@ let lookup t ~bits ~len =
   in
   go t.root 0 None
 
+(* IPv4 fast path: walking the 32 bits of an [int32] directly avoids
+   the closure the [~bits] accessor costs per level on the forwarding
+   hot path. The running best reuses the node's own [value] option, so
+   the only allocation is the final [(len, v)] pair on a hit. *)
+let lookup_ipv4 t key =
+  let k = Int32.to_int key land 0xFFFFFFFF in
+  let rec go node i best_len best =
+    let best_len, best =
+      match node.value with Some _ -> (i, node.value) | None -> (best_len, best)
+    in
+    if i = 32 then (best_len, best)
+    else
+      let c =
+        if k land (1 lsl (31 - i)) <> 0 then node.one else node.zero
+      in
+      match c with None -> (best_len, best) | Some c -> go c (i + 1) best_len best
+  in
+  match go t.root 0 (-1) None with
+  | _, None -> None
+  | l, Some v -> Some (l, v)
+
 let fold f t init =
   let rec go node path_rev len acc =
     let acc =

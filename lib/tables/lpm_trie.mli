@@ -35,6 +35,13 @@ val lookup : 'a t -> bits:(int -> bool) -> len:int -> (int * 'a) option
     [(prefix_len, value)] for the longest matching prefix, or [None]
     if not even a default route matches. *)
 
+val lookup_ipv4 : 'a t -> int32 -> (int * 'a) option
+(** [lookup_ipv4 t addr] is [lookup t ~bits:(Ipaddr.V4.bit addr)
+    ~len:32] without the closure-per-bit cost: the 32 key bits are
+    extracted by shifting directly, so a lookup allocates only the
+    result pair. This is the hot-path entry for IPv4 tables and the
+    baseline the {!Fib} bench compares against. *)
+
 val fold : (int * bool list -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
 (** Fold over all bound prefixes; the key is given as
     [(len, bits MSB-first)]. Order is unspecified. *)

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Bench-regression gate.
+#
+# The CI bench-smoke job re-runs each smoke from the workspace root,
+# overwriting the committed BENCH_PR*.json files with fresh numbers;
+# this script then compares fresh vs the baselines committed at HEAD
+# (recovered with `git show`, since the working-tree copies are
+# already overwritten).
+#
+# Two classes of check:
+#   - hard-fail: machine-independent RATIOS (cache speedup, the
+#     1-domain hand-off floor, FIB-vs-trie speedup). A >20% drop
+#     against the committed baseline fails the job.
+#   - warn-only: absolute THROUGHPUT numbers (pps, lookups/s), which
+#     swing wildly across shared CI runners; a drop prints a warning
+#     for the log but never fails.
+#
+# The FIB checks use absolute floors instead of baseline ratios: the
+# committed BENCH_PR10.json is the full million-route run, while CI
+# produces the 50k-route smoke, and the speedup grows with table
+# size, so cross-scale ratio comparison would be meaningless.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+baseline() { # file
+  git show "HEAD:$1" 2>/dev/null || true
+}
+
+# ratio_guard FILE JQ_EXPR MIN_FRACTION LABEL
+#   hard-fails when fresh < MIN_FRACTION * baseline.
+ratio_guard() {
+  local file=$1 expr=$2 frac=$3 label=$4
+  local base new
+  base=$(baseline "$file" | jq -r "$expr // empty" 2>/dev/null)
+  [ -f "$file" ] || { echo "SKIP  $label: no fresh $file"; return; }
+  new=$(jq -r "$expr // empty" "$file")
+  if [ -z "$base" ] || [ -z "$new" ]; then
+    echo "SKIP  $label: metric missing (base='$base' new='$new')"
+    return
+  fi
+  if awk -v n="$new" -v b="$base" -v f="$frac" 'BEGIN { exit !(n < b * f) }'; then
+    echo "FAIL  $label: $new vs baseline $base (floor ${frac}x)"
+    fail=1
+  else
+    echo "ok    $label: $new vs baseline $base"
+  fi
+}
+
+# floor_guard FILE JQ_EXPR FLOOR LABEL
+#   hard-fails when fresh < FLOOR (absolute).
+floor_guard() {
+  local file=$1 expr=$2 floor=$3 label=$4
+  local new
+  [ -f "$file" ] || { echo "SKIP  $label: no fresh $file"; return; }
+  new=$(jq -r "$expr // empty" "$file")
+  if [ -z "$new" ]; then
+    echo "SKIP  $label: metric missing"
+    return
+  fi
+  if awk -v n="$new" -v f="$floor" 'BEGIN { exit !(n < f) }'; then
+    echo "FAIL  $label: $new below floor $floor"
+    fail=1
+  else
+    echo "ok    $label: $new (floor $floor)"
+  fi
+}
+
+# warn_guard FILE JQ_EXPR MIN_FRACTION LABEL
+#   warn-only variant of ratio_guard for noisy throughput metrics.
+warn_guard() {
+  local file=$1 expr=$2 frac=$3 label=$4
+  local base new
+  base=$(baseline "$file" | jq -r "$expr // empty" 2>/dev/null)
+  [ -f "$file" ] || return 0
+  new=$(jq -r "$expr // empty" "$file")
+  [ -n "$base" ] && [ -n "$new" ] || return 0
+  if awk -v n="$new" -v b="$base" -v f="$frac" 'BEGIN { exit !(n < b * f) }'; then
+    echo "WARN  $label: $new vs baseline $base (noisy metric, not failing)"
+  else
+    echo "ok    $label: $new vs baseline $base"
+  fi
+}
+
+echo "== bench-regression gate (baselines from git HEAD) =="
+
+# PR2 program cache: the cached/cold speedup is a ratio of two runs
+# on the same machine, so it transfers across runners.
+ratio_guard BENCH_PR2.json '.parse_verify_speedup' 0.8 "cache parse+verify speedup"
+warn_guard  BENCH_PR2.json '.parse_speedup'        0.8 "cache parse-only speedup"
+warn_guard  BENCH_PR2.json '.soak.hit_rate'        0.9 "cache soak hit rate"
+
+# PR7 mcore: the 1-domain pool must stay near the sequential fold —
+# the hand-off overhead floor. Throughput itself is warn-only.
+ratio_guard BENCH_PR7.json '.scaling[] | select(.domains == 1) | .vs_sequential' \
+  0.9 "mcore 1-domain hand-off floor"
+warn_guard  BENCH_PR7.json '.sequential_pps' 0.8 "mcore sequential throughput"
+
+# PR8 flight recorder: overhead fraction must stay inside its budget.
+floor_guard BENCH_PR8.json '.budget_frac - .overhead_frac' 0 "flight overhead within budget"
+
+# PR10 FIB: absolute floors at smoke scale (50k routes); equivalence
+# itself is enforced inside the smoke (any FIB/trie disagreement
+# exits non-zero before a JSON is written).
+floor_guard BENCH_PR10.json '.v4_speedup_vs_trie' 2.0 "fib v4 speedup vs trie"
+floor_guard BENCH_PR10.json '.v6_speedup_vs_trie' 1.5 "fib v6 speedup vs trie"
+warn_guard  BENCH_PR10.json '.v4_lookups_per_s'   0.5 "fib v4 lookup throughput"
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench-regression gate: FAILED"
+  exit 1
+fi
+echo "bench-regression gate: ok"

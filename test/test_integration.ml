@@ -109,7 +109,7 @@ let test_tunnel_across_legacy_core () =
         (1, Compat.encapsulate_ipv4 ~src:(v4 "198.51.100.1") ~dst:(v4 "198.51.100.2") pkt);
     ]
   in
-  let legacy_table = Dip_tables.Lpm_trie.create () in
+  let legacy_table = Dip_tables.Fib.V4.create () in
   Dip_ip.Ipv4.add_route legacy_table (Ipaddr.Prefix.of_string "198.51.100.2/32") 1;
   let renv = Env.create ~name:"right" () in
   Dip_ip.Ipv4.add_route renv.Env.v4_routes (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;

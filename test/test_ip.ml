@@ -62,7 +62,7 @@ let test_v4_ttl_expiry () =
   | Error e -> Alcotest.fail e
 
 let test_v4_forward_lpm () =
-  let table = Dip_tables.Lpm_trie.create () in
+  let table = Dip_tables.Fib.V4.create () in
   Ipv4.add_route table (Ipaddr.Prefix.of_string "10.0.0.0/8") 1;
   Ipv4.add_route table (Ipaddr.Prefix.of_string "10.1.0.0/16") 2;
   let pkt dst = Ipv4.encode (v4_header ~src:"192.0.2.1" ~dst "") ~payload:"" in
@@ -74,20 +74,20 @@ let test_v4_forward_lpm () =
     (Ipv4.forward table (pkt "203.0.113.9") = Ipv4.Discard "no-route")
 
 let test_v4_forward_local_delivery () =
-  let table = Dip_tables.Lpm_trie.create () in
+  let table = Dip_tables.Fib.V4.create () in
   let pkt = Ipv4.encode (v4_header ~src:"192.0.2.1" ~dst:"10.0.0.7" "") ~payload:"" in
   Alcotest.(check bool) "delivered locally" true
     (Ipv4.forward ~local:(v4 "10.0.0.7") table pkt = Ipv4.Deliver)
 
 let test_v4_forward_ttl_drop () =
-  let table = Dip_tables.Lpm_trie.create () in
+  let table = Dip_tables.Fib.V4.create () in
   Ipv4.add_route table (Ipaddr.Prefix.of_string "0.0.0.0/0") 0;
   let pkt = Ipv4.encode (v4_header ~ttl:1 ~src:"192.0.2.1" ~dst:"10.0.0.7" "") ~payload:"" in
   Alcotest.(check bool) "ttl expiry" true
     (Ipv4.forward table pkt = Ipv4.Discard "ttl-expired")
 
 let test_v4_add_route_rejects_v6 () =
-  let table = Dip_tables.Lpm_trie.create () in
+  let table = Dip_tables.Fib.V4.create () in
   Alcotest.(check bool) "family check" true
     (try
        Ipv4.add_route table (Ipaddr.Prefix.of_string "2001:db8::/32") 0;
@@ -129,7 +129,7 @@ let test_v6_decode_rejects () =
   Alcotest.(check bool) "wrong version" true (Ipv6.decode b = Error "not IPv6")
 
 let test_v6_forward_lpm () =
-  let table = Dip_tables.Lpm_trie.create () in
+  let table = Dip_tables.Fib.V6.create () in
   Ipv6.add_route table (Ipaddr.Prefix.of_string "2001:db8::/32") 1;
   Ipv6.add_route table (Ipaddr.Prefix.of_string "2001:db8:1::/48") 2;
   let pkt dst = Ipv6.encode (v6_header ~src:"2001:db8::1" ~dst "") ~payload:"" in
@@ -141,7 +141,7 @@ let test_v6_forward_lpm () =
     (Ipv6.forward table (pkt "2001:db9::1") = Ipv6.Discard "no-route")
 
 let test_v6_hop_limit () =
-  let table = Dip_tables.Lpm_trie.create () in
+  let table = Dip_tables.Fib.V6.create () in
   Ipv6.add_route table (Ipaddr.Prefix.of_string "::/0") 0;
   let pkt =
     Ipv6.encode (v6_header ~hop_limit:1 ~src:"2001:db8::1" ~dst:"2001:db8::2" "")
@@ -157,9 +157,9 @@ let test_v4_chain_simulation () =
      routers, losing two TTL steps. *)
   let sim = Dip_netsim.Sim.create () in
   let dst_addr = v4 "10.3.0.1" in
-  let host_handler = Ipv4.handler ~local:dst_addr (Dip_tables.Lpm_trie.create ()) in
+  let host_handler = Ipv4.handler ~local:dst_addr (Dip_tables.Fib.V4.create ()) in
   let mk_router_table port =
-    let t = Dip_tables.Lpm_trie.create () in
+    let t = Dip_tables.Fib.V4.create () in
     Ipv4.add_route t (Ipaddr.Prefix.of_string "10.3.0.0/16") port;
     t
   in
